@@ -1,0 +1,89 @@
+// Experiment E1 (Theorem 4.3): measured congestion of the extended-nibble
+// strategy divided by the certified lower bound, across the full
+// topology × workload grid. The theorem promises a ratio of at most 7;
+// this harness reports the realised distribution.
+#include <cstdio>
+#include <iostream>
+
+#include "hbn/core/extended_nibble.h"
+#include "hbn/core/lower_bound.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/util/stats.h"
+#include "hbn/util/table.h"
+#include "hbn/workload/generators.h"
+
+namespace {
+
+constexpr std::uint64_t kSeed = 20000701;  // SPAA 2000, deterministic
+constexpr int kTrials = 8;
+
+}  // namespace
+
+int main() {
+  using namespace hbn;
+  std::cout << "E1 / Theorem 4.3 — extended-nibble congestion vs lower "
+               "bound (<= 7 guaranteed)\n"
+            << "seed=" << kSeed << ", trials per cell=" << kTrials << "\n\n";
+
+  util::Table table({"topology", "bandwidths", "workload", "procs",
+                     "mean C/LB", "max C/LB", "mean C", "mean LB"});
+  util::Rng master(kSeed);
+  double globalMax = 0.0;
+
+  for (const bool fatTree : {false, true}) {
+    for (const auto family :
+         {net::TopologyFamily::kary, net::TopologyFamily::star,
+          net::TopologyFamily::caterpillar, net::TopologyFamily::random,
+          net::TopologyFamily::cluster}) {
+      for (const auto profile :
+           {workload::Profile::uniform, workload::Profile::zipf,
+            workload::Profile::hotspot, workload::Profile::clustered,
+            workload::Profile::producerConsumer,
+            workload::Profile::adversarial}) {
+        util::Accumulator ratio;
+        util::Accumulator congestion;
+        util::Accumulator lowerBound;
+        int procs = 0;
+        for (int trial = 0; trial < kTrials; ++trial) {
+          util::Rng rng = master.split();
+          net::BandwidthModel bw;
+          bw.fatTree = fatTree;
+          const net::Tree tree = net::makeFamilyMember(family, 64, rng, bw);
+          procs = tree.processorCount();
+          workload::GenParams params;
+          params.numObjects = 24;
+          params.requestsPerProcessor = 40;
+          params.readFraction = 0.2 + 0.6 * rng.nextDouble();
+          const workload::Workload load =
+              workload::generate(profile, tree, params, rng);
+
+          const auto result = core::extendedNibble(tree, load);
+          const net::RootedTree rooted(tree, tree.defaultRoot());
+          // Combined bound: per-edge minima plus the per-object κ/h
+          // argument (essential on fat trees; see lower_bound.h).
+          const double lb = core::combinedLowerBound(rooted, load);
+          if (lb <= 0.0) continue;
+          ratio.add(result.report.congestionFinal / lb);
+          congestion.add(result.report.congestionFinal);
+          lowerBound.add(lb);
+        }
+        if (ratio.empty()) continue;
+        globalMax = std::max(globalMax, ratio.max());
+        table.addRow({net::topologyFamilyName(family),
+                      fatTree ? "fat-tree" : "uniform",
+                      workload::profileName(profile), std::to_string(procs),
+                      util::formatDouble(ratio.mean(), 3),
+                      util::formatDouble(ratio.max(), 3),
+                      util::formatDouble(congestion.mean(), 1),
+                      util::formatDouble(lowerBound.mean(), 1)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nglobal max C/LB = " << util::formatDouble(globalMax, 3)
+            << (globalMax <= 7.0 ? "  (within the Theorem 4.3 bound of 7)"
+                                 : "  (BOUND VIOLATED!)")
+            << "\n";
+  return globalMax <= 7.0 ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Experiment E5 (Observation 3.2): after the deletion step every copy
+// serves between κ_x and 2κ_x requests and every edge load grows by at
+// most κ_x — measured as the realised worst-case factors.
+#include <iostream>
+
+#include "hbn/core/deletion.h"
+#include "hbn/core/load.h"
+#include "hbn/core/nibble.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/util/stats.h"
+#include "hbn/util/table.h"
+#include "hbn/workload/generators.h"
+
+int main() {
+  using namespace hbn;
+  constexpr std::uint64_t kSeed = 5;
+  std::cout << "E5 / Observation 3.2 — deletion step: copy loads in "
+               "[kappa, 2*kappa], per-edge growth <= kappa\nseed="
+            << kSeed << "\n\n";
+
+  util::Table table({"workload", "copies before", "copies after",
+                     "min s/kappa", "max s/kappa", "max edge growth/kappa",
+                     "max edge factor"});
+  util::Rng master(kSeed);
+  bool withinBounds = true;
+
+  for (const auto profile :
+       {workload::Profile::uniform, workload::Profile::zipf,
+        workload::Profile::hotspot, workload::Profile::clustered,
+        workload::Profile::producerConsumer, workload::Profile::adversarial}) {
+    long before = 0;
+    long after = 0;
+    double minShare = 1e18;
+    double maxShare = 0.0;
+    double maxGrowth = 0.0;
+    double maxFactor = 0.0;
+    for (int trial = 0; trial < 12; ++trial) {
+      util::Rng rng = master.split();
+      const net::Tree tree = net::makeRandomTree(40, 12, rng);
+      workload::GenParams params;
+      params.numObjects = 10;
+      params.requestsPerProcessor = 30;
+      const workload::Workload load =
+          workload::generate(profile, tree, params, rng);
+      const net::RootedTree rooted(tree, tree.defaultRoot());
+      for (workload::ObjectId x = 0; x < load.numObjects(); ++x) {
+        const auto kappa = load.objectWrites(x);
+        if (kappa == 0) continue;
+        const auto nib = core::nibbleObject(tree, load, x);
+        const auto mod = core::deleteRarelyUsedCopies(
+            tree, nib.placement, kappa, nib.gravityCenter);
+        before += static_cast<long>(nib.placement.copies.size());
+        after += static_cast<long>(mod.copies.size());
+        if (mod.copies.size() > 1) {
+          for (const auto& copy : mod.copies) {
+            const double share = static_cast<double>(copy.servedTotal()) /
+                                 static_cast<double>(kappa);
+            minShare = std::min(minShare, share);
+            maxShare = std::max(maxShare, share);
+            withinBounds &= (share >= 1.0 - 1e-12 && share <= 2.0 + 1e-12);
+          }
+        }
+        core::LoadMap loadBefore(tree.edgeCount());
+        core::accumulateObjectLoad(rooted, nib.placement, loadBefore);
+        core::LoadMap loadAfter(tree.edgeCount());
+        core::accumulateObjectLoad(rooted, mod, loadAfter);
+        for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
+          const auto growth = loadAfter.edgeLoad(e) - loadBefore.edgeLoad(e);
+          maxGrowth = std::max(maxGrowth, static_cast<double>(growth) /
+                                              static_cast<double>(kappa));
+          if (loadBefore.edgeLoad(e) > 0) {
+            maxFactor = std::max(
+                maxFactor, static_cast<double>(loadAfter.edgeLoad(e)) /
+                               static_cast<double>(loadBefore.edgeLoad(e)));
+          }
+          withinBounds &= (growth <= kappa);
+        }
+      }
+    }
+    table.addRow({workload::profileName(profile), std::to_string(before),
+                  std::to_string(after),
+                  util::formatDouble(minShare > 1e17 ? 0.0 : minShare, 3),
+                  util::formatDouble(maxShare, 3),
+                  util::formatDouble(maxGrowth, 3),
+                  util::formatDouble(maxFactor, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nall Observation 3.2 bounds held: "
+            << (withinBounds ? "yes" : "NO — BUG") << "\n";
+  return withinBounds ? 0 : 1;
+}

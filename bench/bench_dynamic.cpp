@@ -1,0 +1,71 @@
+// Experiment E11 (related work, §1.3 — extension): empirical competitive
+// ratio of the online replicate/invalidate tree strategy against the
+// offline static lower bound, including adversarial ping-pong sequences.
+#include <iostream>
+
+#include "hbn/dynamic/harness.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/util/stats.h"
+#include "hbn/util/table.h"
+#include "hbn/workload/generators.h"
+
+int main() {
+  using namespace hbn;
+  constexpr std::uint64_t kSeed = 11;
+  std::cout << "E11 — online tree strategy: congestion ratio vs offline "
+               "static lower bound (threshold D sweep)\nseed="
+            << kSeed << "\n\n";
+
+  util::Table table({"sequence", "threshold D", "mean ratio", "max ratio",
+                     "mean replications", "mean invalidations"});
+  util::Rng master(kSeed);
+
+  for (const core::Count threshold : {1, 2, 4}) {
+    for (const bool pingPong : {false, true}) {
+      util::Accumulator ratio;
+      util::Accumulator repl;
+      util::Accumulator inval;
+      for (int trial = 0; trial < 10; ++trial) {
+        util::Rng rng = master.split();
+        const net::Tree tree = net::makeRandomTree(24, 8, rng);
+        const net::RootedTree rooted(tree, tree.defaultRoot());
+        std::vector<dynamic::Request> requests;
+        int numObjects = 6;
+        if (pingPong) {
+          requests =
+              dynamic::makePingPongSequence(tree, numObjects, 20, 5, rng);
+        } else {
+          workload::GenParams params;
+          params.numObjects = numObjects;
+          params.requestsPerProcessor = 40;
+          params.readFraction = 0.75;
+          const workload::Workload load = workload::generate(
+              static_cast<workload::Profile>(trial % 6), tree, params, rng);
+          requests = dynamic::sequenceFromWorkload(load, rng);
+        }
+        dynamic::OnlineOptions options;
+        options.replicationThreshold = threshold;
+        const auto result =
+            dynamic::runCompetitive(rooted, numObjects, requests, options);
+        if (result.offlineLowerBound > 0.0) {
+          ratio.add(result.onlineCongestion / result.offlineLowerBound);
+        }
+        repl.add(static_cast<double>(result.replications));
+        inval.add(static_cast<double>(result.invalidations));
+      }
+      if (ratio.empty()) continue;
+      table.addRow({pingPong ? "ping-pong adversary" : "shuffled static",
+                    std::to_string(threshold),
+                    util::formatDouble(ratio.mean(), 2),
+                    util::formatDouble(ratio.max(), 2),
+                    util::formatDouble(repl.mean(), 1),
+                    util::formatDouble(inval.mean(), 1)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(the FOCS'97 dynamic tree strategy is 3-competitive; this "
+               "adaptation should land in the same small-constant regime "
+               "on shuffled static traffic)\n";
+  return 0;
+}

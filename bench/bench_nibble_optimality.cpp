@@ -1,0 +1,78 @@
+// Experiment E4 (Theorem 3.1): the nibble placement achieves the analytic
+// per-edge minimum load on EVERY edge, across random instances — reported
+// as the fraction of edges at the minimum (must be 100%).
+#include <iostream>
+
+#include "hbn/core/load.h"
+#include "hbn/core/lower_bound.h"
+#include "hbn/core/nibble.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/util/stats.h"
+#include "hbn/util/table.h"
+#include "hbn/workload/generators.h"
+
+int main() {
+  using namespace hbn;
+  constexpr std::uint64_t kSeed = 4;
+  std::cout << "E4 / Theorem 3.1 — nibble achieves the per-edge minimum "
+               "load on every edge\nseed="
+            << kSeed << "\n\n";
+
+  util::Table table({"topology", "workload", "edges checked", "edges optimal",
+                     "max per-object load/kappa"});
+  util::Rng master(kSeed);
+  bool allOptimal = true;
+
+  for (const auto family :
+       {net::TopologyFamily::kary, net::TopologyFamily::caterpillar,
+        net::TopologyFamily::random, net::TopologyFamily::cluster}) {
+    for (const auto profile :
+         {workload::Profile::uniform, workload::Profile::zipf,
+          workload::Profile::adversarial}) {
+      long checked = 0;
+      long optimal = 0;
+      double maxKappaShare = 0.0;
+      for (int trial = 0; trial < 10; ++trial) {
+        util::Rng rng = master.split();
+        const net::Tree tree = net::makeFamilyMember(family, 48, rng);
+        workload::GenParams params;
+        params.numObjects = 12;
+        params.requestsPerProcessor = 25;
+        const workload::Workload load =
+            workload::generate(profile, tree, params, rng);
+        const net::RootedTree rooted(tree, tree.defaultRoot());
+        const auto placement = core::nibblePlacement(tree, load);
+        const auto actual = core::computeLoad(rooted, placement);
+        const auto minima = core::analyticLowerBound(rooted, load);
+        for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
+          ++checked;
+          if (actual.edgeLoad(e) == minima.edgeMinima.edgeLoad(e)) ++optimal;
+        }
+        // Per-object: load never exceeds the write contention κ_x.
+        for (workload::ObjectId x = 0; x < load.numObjects(); ++x) {
+          if (load.objectWrites(x) == 0) continue;
+          core::LoadMap one(tree.edgeCount());
+          core::accumulateObjectLoad(
+              rooted, placement.objects[static_cast<std::size_t>(x)], one);
+          for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
+            maxKappaShare = std::max(
+                maxKappaShare,
+                static_cast<double>(one.edgeLoad(e)) /
+                    static_cast<double>(load.objectWrites(x)));
+          }
+        }
+      }
+      allOptimal &= (checked == optimal);
+      table.addRow({net::topologyFamilyName(family),
+                    workload::profileName(profile), std::to_string(checked),
+                    std::to_string(optimal),
+                    util::formatDouble(maxKappaShare, 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nall edges at the analytic minimum: "
+            << (allOptimal ? "yes (Theorem 3.1 confirmed)" : "NO — BUG")
+            << "\n(per-object load/kappa <= 1 confirms the kappa_x bound)\n";
+  return allOptimal ? 0 : 1;
+}

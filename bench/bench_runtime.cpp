@@ -1,0 +1,101 @@
+// Experiment E3 (Theorem 4.3 runtime): sequential running time of the
+// extended-nibble strategy, scaling |X|, |V|, height(T) and degree(T)
+// independently. The theorem claims
+// O(|X| · |P ∪ B| · height(T) · log(degree(T))).
+#include <benchmark/benchmark.h>
+
+#include "hbn/core/extended_nibble.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/generators.h"
+
+namespace {
+
+using namespace hbn;
+
+workload::Workload makeLoad(const net::Tree& tree, int numObjects,
+                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  workload::GenParams params;
+  params.numObjects = numObjects;
+  params.requestsPerProcessor = 16;
+  params.readFraction = 0.5;
+  return workload::generateUniform(tree, params, rng);
+}
+
+// --- Scale |X| at fixed topology.
+void BM_ScaleObjects(benchmark::State& state) {
+  const net::Tree tree = net::makeKaryTree(4, 3);  // 85 nodes
+  const auto load =
+      makeLoad(tree, static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extendedNibble(tree, load));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ScaleObjects)->RangeMultiplier(2)->Range(8, 128)->Complexity(
+    benchmark::oN);
+
+// --- Scale |V| at fixed height (wider k-ary trees).
+void BM_ScaleNodes(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  const net::Tree tree = net::makeKaryTree(arity, 2);
+  const auto load = makeLoad(tree, 16, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extendedNibble(tree, load));
+  }
+  state.SetComplexityN(tree.nodeCount());
+}
+BENCHMARK(BM_ScaleNodes)->DenseRange(4, 20, 4)->Complexity(benchmark::oN);
+
+// --- Scale height at roughly fixed node count (caterpillars).
+void BM_ScaleHeight(benchmark::State& state) {
+  const int buses = static_cast<int>(state.range(0));
+  const int procsPerBus = std::max(1, 64 / buses);
+  const net::Tree tree = net::makeCaterpillar(buses, procsPerBus);
+  const auto load = makeLoad(tree, 16, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extendedNibble(tree, load));
+  }
+  state.SetComplexityN(buses);
+}
+BENCHMARK(BM_ScaleHeight)->RangeMultiplier(2)->Range(4, 64);
+
+// --- Scale degree at fixed size (stars).
+void BM_ScaleDegree(benchmark::State& state) {
+  const net::Tree tree = net::makeStar(static_cast<int>(state.range(0)));
+  const auto load = makeLoad(tree, 16, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extendedNibble(tree, load));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ScaleDegree)->RangeMultiplier(2)->Range(8, 256);
+
+// --- The nibble step alone is linear per object (paper §3.1).
+void BM_NibbleOnly(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  const net::Tree tree = net::makeKaryTree(arity, 2);
+  const auto load = makeLoad(tree, 8, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::nibblePlacement(tree, load));
+  }
+  state.SetComplexityN(tree.nodeCount());
+}
+BENCHMARK(BM_NibbleOnly)->DenseRange(4, 20, 4)->Complexity(benchmark::oN);
+
+// --- Thread scaling of the per-object steps (result is bit-identical).
+void BM_ThreadScaling(benchmark::State& state) {
+  const net::Tree tree = net::makeKaryTree(4, 4);  // 341 nodes
+  const auto load = makeLoad(tree, 256, 6);
+  core::ExtendedNibbleOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extendedNibble(tree, load, options));
+  }
+}
+BENCHMARK(BM_ThreadScaling)->RangeMultiplier(2)->Range(1, 8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

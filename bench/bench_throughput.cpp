@@ -1,0 +1,82 @@
+// Experiment E7 (congestion predicts throughput, cf. [8]): deliver the
+// message set of several placement strategies through the store-and-
+// forward simulator and correlate congestion with makespan.
+#include <iostream>
+
+#include "hbn/baseline/heuristics.h"
+#include "hbn/core/extended_nibble.h"
+#include "hbn/net/generators.h"
+#include "hbn/sim/simulator.h"
+#include "hbn/util/rng.h"
+#include "hbn/util/stats.h"
+#include "hbn/util/table.h"
+#include "hbn/workload/generators.h"
+
+int main() {
+  using namespace hbn;
+  constexpr std::uint64_t kSeed = 7;
+  std::cout << "E7 — congestion vs simulated makespan across strategies "
+               "(store-and-forward delivery of the full message set)\nseed="
+            << kSeed << "\n\n";
+
+  util::Table table({"strategy", "mean congestion", "mean makespan",
+                     "mean dilation", "makespan/congestion"});
+  util::Rng master(kSeed);
+
+  struct StrategyRow {
+    const char* name;
+    util::Accumulator congestion;
+    util::Accumulator makespan;
+    util::Accumulator dilation;
+  };
+  StrategyRow rows[] = {{"extended-nibble", {}, {}, {}},
+                        {"greedy single copy", {}, {}, {}},
+                        {"weighted median", {}, {}, {}},
+                        {"random single copy", {}, {}, {}},
+                        {"full replication", {}, {}, {}}};
+  std::vector<double> allCongestion;
+  std::vector<double> allMakespan;
+
+  for (int trial = 0; trial < 8; ++trial) {
+    util::Rng rng = master.split();
+    const net::Tree tree = net::makeClusterNetwork(4, 5);
+    const net::RootedTree rooted(tree, tree.defaultRoot());
+    workload::GenParams params;
+    params.numObjects = 10;
+    params.requestsPerProcessor = 30;
+    params.readFraction = 0.75;
+    const workload::Workload load =
+        workload::generateClustered(tree, params, rng);
+
+    core::Placement placements[5] = {
+        core::computeExtendedNibblePlacement(tree, load),
+        baseline::bestSingleCopy(tree, load),
+        baseline::weightedMedian(tree, load),
+        baseline::randomSingleCopy(tree, load, rng),
+        baseline::fullReplication(tree, load)};
+    for (int s = 0; s < 5; ++s) {
+      const sim::SimResult result =
+          sim::simulatePlacement(rooted, load, placements[s]);
+      rows[s].congestion.add(result.congestion);
+      rows[s].makespan.add(static_cast<double>(result.makespan));
+      rows[s].dilation.add(static_cast<double>(result.dilation));
+      allCongestion.push_back(result.congestion);
+      allMakespan.push_back(static_cast<double>(result.makespan));
+    }
+  }
+  for (auto& row : rows) {
+    table.addRow({row.name, util::formatDouble(row.congestion.mean(), 1),
+                  util::formatDouble(row.makespan.mean(), 1),
+                  util::formatDouble(row.dilation.mean(), 1),
+                  util::formatDouble(
+                      row.makespan.mean() / row.congestion.mean(), 3)});
+  }
+  table.print(std::cout);
+  const double correlation = util::pearson(allCongestion, allMakespan);
+  std::cout << "\nPearson correlation (congestion, makespan) = "
+            << util::formatDouble(correlation, 4)
+            << (correlation > 0.9 ? "  (congestion predicts throughput)"
+                                  : "")
+            << "\n";
+  return 0;
+}

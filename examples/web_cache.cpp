@@ -1,0 +1,69 @@
+// Web-cache scenario: WWW pages (the paper's third motivating object
+// class) with Zipf popularity on a provider's distribution tree.
+// Compares the extended-nibble placement against the classic baselines
+// and shows where each strategy breaks down.
+#include <iostream>
+
+#include "hbn/baseline/heuristics.h"
+#include "hbn/core/extended_nibble.h"
+#include "hbn/core/load.h"
+#include "hbn/core/lower_bound.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/util/stats.h"
+#include "hbn/util/table.h"
+#include "hbn/workload/generators.h"
+
+int main() {
+  using namespace hbn;
+  util::Rng rng(1999);
+
+  // A content provider's distribution hierarchy: 4-ary, three levels of
+  // switches, fat-tree bandwidths (higher levels are faster).
+  net::BandwidthModel bw;
+  bw.fatTree = true;
+  const net::Tree tree = net::makeKaryTree(4, 3, bw);
+  std::cout << "Distribution tree: " << tree.processorCount()
+            << " edge caches, " << tree.busCount() << " switches\n\n";
+
+  // Pages: Zipf-popular, mostly read, occasionally updated at the origin.
+  workload::GenParams params;
+  params.numObjects = 64;
+  params.requestsPerProcessor = 50;
+  params.readFraction = 0.95;
+  params.zipfAlpha = 1.0;
+  const workload::Workload pages = workload::generateZipf(tree, params, rng);
+
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  const double lb = core::analyticLowerBound(rooted, pages).congestion;
+
+  util::Table table({"strategy", "congestion", "vs lower bound",
+                     "total load", "copies"});
+  auto report = [&](const char* name, const core::Placement& placement) {
+    const core::LoadMap loads = core::computeLoad(rooted, placement);
+    long copies = 0;
+    for (const auto& object : placement.objects) {
+      copies += static_cast<long>(object.locations().size());
+    }
+    table.addRow({name, util::formatDouble(loads.congestion(tree), 1),
+                  util::formatDouble(loads.congestion(tree) / lb, 2),
+                  std::to_string(loads.totalLoad()), std::to_string(copies)});
+  };
+
+  report("extended-nibble",
+         core::computeExtendedNibblePlacement(tree, pages));
+  report("greedy single copy", baseline::bestSingleCopy(tree, pages));
+  report("weighted median", baseline::weightedMedian(tree, pages));
+  report("random single copy",
+         baseline::randomSingleCopy(tree, pages, rng));
+  report("full replication", baseline::fullReplication(tree, pages));
+
+  table.print(std::cout);
+  std::cout << "\nRead-heavy Zipf traffic rewards replication of hot pages "
+               "near their readers;\nsingle-copy placements melt the "
+               "switch above the chosen cache, while full\nreplication "
+               "pays update broadcasts on every page write. The "
+               "extended-nibble\nplacement replicates exactly where read "
+               "volume justifies the write cost.\n";
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "hbn/baseline/exact.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "hbn/core/load.h"
+#include "hbn/core/lower_bound.h"
+
+namespace hbn::baseline {
+namespace {
+
+using core::LoadMap;
+using core::ObjectPlacement;
+using workload::Count;
+using workload::ObjectId;
+
+// One candidate copy set for an object, with its precomputed edge loads.
+struct Option {
+  std::vector<net::NodeId> locations;
+  std::vector<Count> edgeLoad;
+};
+
+// Enumerates all non-empty subsets of `procs` with size <= maxCopies.
+void enumerateSubsets(std::span<const net::NodeId> procs, int maxCopies,
+                      std::vector<std::vector<net::NodeId>>& out) {
+  std::vector<net::NodeId> current;
+  auto recurse = [&](auto&& self, std::size_t start) -> void {
+    if (!current.empty()) out.push_back(current);
+    if (static_cast<int>(current.size()) == maxCopies) return;
+    for (std::size_t i = start; i < procs.size(); ++i) {
+      current.push_back(procs[i]);
+      self(self, i + 1);
+      current.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+}
+
+}  // namespace
+
+ExactResult solveExact(const net::Tree& tree, const workload::Workload& load,
+                       const ExactOptions& options) {
+  if (options.maxCopiesPerObject < 1) {
+    throw std::invalid_argument("solveExact: maxCopiesPerObject >= 1");
+  }
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  const auto numEdges = static_cast<std::size_t>(tree.edgeCount());
+  const auto numObjects = static_cast<std::size_t>(load.numObjects());
+
+  // Candidate copy sets (shared across objects — the options differ only
+  // in their load vectors).
+  std::vector<std::vector<net::NodeId>> subsets;
+  enumerateSubsets(tree.processors(), options.maxCopiesPerObject, subsets);
+  if (subsets.size() > 4096) {
+    throw std::invalid_argument(
+        "solveExact: candidate space too large; shrink the tree or "
+        "maxCopiesPerObject");
+  }
+
+  // Per-object options with cached load vectors.
+  std::vector<std::vector<Option>> optionsPerObject(numObjects);
+  for (ObjectId x = 0; x < load.numObjects(); ++x) {
+    auto& opts = optionsPerObject[static_cast<std::size_t>(x)];
+    opts.reserve(subsets.size());
+    for (const auto& subset : subsets) {
+      Option opt;
+      opt.locations = subset;
+      const ObjectPlacement placed =
+          core::makeNearestPlacement(tree, load, x, subset);
+      LoadMap lm(tree.edgeCount());
+      core::accumulateObjectLoad(rooted, placed, lm);
+      opt.edgeLoad.assign(lm.edgeLoads().begin(), lm.edgeLoads().end());
+      opts.push_back(std::move(opt));
+    }
+    // Options with smaller worst-edge load first: finds good incumbents
+    // early and tightens pruning.
+    std::stable_sort(opts.begin(), opts.end(),
+                     [](const Option& a, const Option& b) {
+                       const Count ma =
+                           *std::max_element(a.edgeLoad.begin(),
+                                             a.edgeLoad.end());
+                       const Count mb =
+                           *std::max_element(b.edgeLoad.begin(),
+                                             b.edgeLoad.end());
+                       return ma < mb;
+                     });
+  }
+
+  // Suffix per-edge lower bounds: suffix[k][e] = Σ_{x >= k} min-load(e,x).
+  // An edge can never carry less, whatever the remaining choices.
+  std::vector<std::vector<Count>> suffix(numObjects + 1,
+                                         std::vector<Count>(numEdges, 0));
+  {
+    const net::RootedTree lbRooted(tree, tree.defaultRoot());
+    for (ObjectId x = load.numObjects() - 1; x >= 0; --x) {
+      workload::Workload single(1, load.numNodes());
+      for (net::NodeId v = 0; v < load.numNodes(); ++v) {
+        if (load.reads(x, v) > 0) single.addReads(0, v, load.reads(x, v));
+        if (load.writes(x, v) > 0) single.addWrites(0, v, load.writes(x, v));
+      }
+      const core::LowerBound lb = core::analyticLowerBound(lbRooted, single);
+      for (std::size_t e = 0; e < numEdges; ++e) {
+        suffix[static_cast<std::size_t>(x)][e] =
+            suffix[static_cast<std::size_t>(x) + 1][e] +
+            lb.edgeMinima.edgeLoad(static_cast<net::EdgeId>(e));
+      }
+    }
+  }
+
+  // Relative congestion of (edge loads + optional bus view).
+  auto congestionOf = [&](std::span<const Count> edgeLoad) {
+    double best = 0.0;
+    for (std::size_t e = 0; e < numEdges; ++e) {
+      best = std::max(best,
+                      static_cast<double>(edgeLoad[e]) /
+                          tree.edgeBandwidth(static_cast<net::EdgeId>(e)));
+    }
+    for (const net::NodeId b : tree.buses()) {
+      Count sum = 0;
+      for (const net::HalfEdge& he : tree.neighbors(b)) {
+        sum += edgeLoad[static_cast<std::size_t>(he.edge)];
+      }
+      best = std::max(best, static_cast<double>(sum) / 2.0 /
+                                tree.busBandwidth(b));
+    }
+    return best;
+  };
+
+  ExactResult result;
+  result.congestion = std::numeric_limits<double>::infinity();
+  std::vector<int> choice(numObjects, 0);
+  std::vector<int> bestChoice(numObjects, 0);
+  std::vector<Count> running(numEdges, 0);
+  std::vector<Count> bound(numEdges, 0);
+  bool budgetExhausted = false;
+
+  auto dfs = [&](auto&& self, std::size_t idx) -> void {
+    if (budgetExhausted) return;
+    ++result.nodesExplored;
+    if (options.nodeBudget > 0 && result.nodesExplored > options.nodeBudget) {
+      budgetExhausted = true;
+      return;
+    }
+    // Prune: even with per-edge minima for the remaining objects the
+    // congestion cannot drop below this.
+    for (std::size_t e = 0; e < numEdges; ++e) {
+      bound[e] = running[e] + suffix[idx][e];
+    }
+    if (congestionOf(bound) >= result.congestion) return;
+    if (idx == numObjects) {
+      result.congestion = congestionOf(running);
+      bestChoice = choice;
+      return;
+    }
+    for (std::size_t o = 0; o < optionsPerObject[idx].size(); ++o) {
+      const Option& opt = optionsPerObject[idx][o];
+      for (std::size_t e = 0; e < numEdges; ++e) running[e] += opt.edgeLoad[e];
+      choice[idx] = static_cast<int>(o);
+      self(self, idx + 1);
+      for (std::size_t e = 0; e < numEdges; ++e) running[e] -= opt.edgeLoad[e];
+    }
+  };
+  dfs(dfs, 0);
+
+  result.provedOptimal = !budgetExhausted;
+  result.placement.objects.resize(numObjects);
+  for (ObjectId x = 0; x < load.numObjects(); ++x) {
+    const Option& opt = optionsPerObject[static_cast<std::size_t>(x)]
+                                        [static_cast<std::size_t>(
+                                            bestChoice[static_cast<std::size_t>(
+                                                x)])];
+    result.placement.objects[static_cast<std::size_t>(x)] =
+        core::makeNearestPlacement(tree, load, x, opt.locations);
+  }
+  return result;
+}
+
+}  // namespace hbn::baseline

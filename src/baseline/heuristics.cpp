@@ -1,0 +1,218 @@
+#include "hbn/baseline/heuristics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "hbn/core/load.h"
+
+namespace hbn::baseline {
+namespace {
+
+using core::Copy;
+using core::LoadMap;
+using core::ObjectPlacement;
+using workload::Count;
+using workload::ObjectId;
+
+// Congestion of `edgeLoads` plus derived bus loads (shared by greedy and
+// local search, which maintain running loads incrementally).
+double congestionOf(const net::Tree& tree, const LoadMap& loads) {
+  return loads.congestion(tree);
+}
+
+}  // namespace
+
+Placement bestSingleCopy(const net::Tree& tree,
+                         const workload::Workload& load) {
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  const auto procs = tree.processors();
+
+  // Heaviest objects first: they dominate congestion and should pick their
+  // spots before the light ones fill in.
+  std::vector<ObjectId> order(static_cast<std::size_t>(load.numObjects()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](ObjectId a, ObjectId b) {
+    return load.objectTotal(a) > load.objectTotal(b);
+  });
+
+  Placement placement;
+  placement.objects.resize(static_cast<std::size_t>(load.numObjects()));
+  LoadMap running(tree.edgeCount());
+  for (const ObjectId x : order) {
+    double bestCongestion = 0.0;
+    ObjectPlacement bestObject;
+    bool first = true;
+    for (const net::NodeId p : procs) {
+      const net::NodeId locations[] = {p};
+      ObjectPlacement candidate =
+          core::makeNearestPlacement(tree, load, x, locations);
+      LoadMap trial = running;
+      core::accumulateObjectLoad(rooted, candidate, trial);
+      const double congestion = congestionOf(tree, trial);
+      if (first || congestion < bestCongestion) {
+        first = false;
+        bestCongestion = congestion;
+        bestObject = std::move(candidate);
+      }
+    }
+    core::accumulateObjectLoad(rooted, bestObject, running);
+    placement.objects[static_cast<std::size_t>(x)] = std::move(bestObject);
+  }
+  return placement;
+}
+
+Placement weightedMedian(const net::Tree& tree,
+                         const workload::Workload& load) {
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  Placement placement;
+  placement.objects.reserve(static_cast<std::size_t>(load.numObjects()));
+  const auto order = rooted.preorder();
+  std::vector<Count> sub(static_cast<std::size_t>(tree.nodeCount()));
+
+  for (ObjectId x = 0; x < load.numObjects(); ++x) {
+    // Total communication load of placing the single copy at node u is
+    // Σ_v h(v) · dist(v, u); minimised at a weighted median. Compute the
+    // classic two-pass subtree aggregation, then pick the best PROCESSOR
+    // (inner nodes may not store).
+    const Count total = load.objectTotal(x);
+    if (total == 0) {
+      const net::NodeId locations[] = {tree.processors().front()};
+      placement.objects.push_back(
+          core::makeNearestPlacement(tree, load, x, locations));
+      continue;
+    }
+    for (net::NodeId v = 0; v < tree.nodeCount(); ++v) {
+      sub[static_cast<std::size_t>(v)] = load.total(x, v);
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const net::NodeId p = rooted.parent(*it);
+      if (p != net::kInvalidNode) {
+        sub[static_cast<std::size_t>(p)] += sub[static_cast<std::size_t>(*it)];
+      }
+    }
+    // cost(root) then cost(child) = cost(parent) + total - 2*sub(child).
+    std::vector<Count> cost(static_cast<std::size_t>(tree.nodeCount()), 0);
+    Count rootCost = 0;
+    for (net::NodeId v = 0; v < tree.nodeCount(); ++v) {
+      rootCost += load.total(x, v) * rooted.depth(v);
+    }
+    cost[static_cast<std::size_t>(rooted.root())] = rootCost;
+    for (const net::NodeId v : order) {
+      if (v == rooted.root()) continue;
+      cost[static_cast<std::size_t>(v)] =
+          cost[static_cast<std::size_t>(rooted.parent(v))] + total -
+          2 * sub[static_cast<std::size_t>(v)];
+    }
+    net::NodeId best = tree.processors().front();
+    for (const net::NodeId p : tree.processors()) {
+      if (cost[static_cast<std::size_t>(p)] <
+          cost[static_cast<std::size_t>(best)]) {
+        best = p;
+      }
+    }
+    const net::NodeId locations[] = {best};
+    placement.objects.push_back(
+        core::makeNearestPlacement(tree, load, x, locations));
+  }
+  return placement;
+}
+
+Placement randomSingleCopy(const net::Tree& tree,
+                           const workload::Workload& load, util::Rng& rng) {
+  const auto procs = tree.processors();
+  Placement placement;
+  placement.objects.reserve(static_cast<std::size_t>(load.numObjects()));
+  for (ObjectId x = 0; x < load.numObjects(); ++x) {
+    const net::NodeId locations[] = {procs[static_cast<std::size_t>(
+        rng.nextBelow(static_cast<std::uint64_t>(procs.size())))]};
+    placement.objects.push_back(
+        core::makeNearestPlacement(tree, load, x, locations));
+  }
+  return placement;
+}
+
+Placement fullReplication(const net::Tree& tree,
+                          const workload::Workload& load) {
+  std::vector<net::NodeId> everywhere(tree.processors().begin(),
+                                      tree.processors().end());
+  Placement placement;
+  placement.objects.reserve(static_cast<std::size_t>(load.numObjects()));
+  for (ObjectId x = 0; x < load.numObjects(); ++x) {
+    placement.objects.push_back(
+        core::makeNearestPlacement(tree, load, x, everywhere));
+  }
+  return placement;
+}
+
+Placement localSearch(const net::Tree& tree, const workload::Workload& load,
+                      const Placement& initial, util::Rng& rng,
+                      const LocalSearchOptions& options) {
+  if (initial.numObjects() != load.numObjects()) {
+    throw std::invalid_argument("localSearch: placement/workload mismatch");
+  }
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  const auto procs = tree.processors();
+
+  // Current state: per-object location sets (leaf-only) with nearest
+  // assignment; rebuilt object loads cached for delta evaluation.
+  std::vector<std::vector<net::NodeId>> locations(
+      static_cast<std::size_t>(load.numObjects()));
+  for (ObjectId x = 0; x < load.numObjects(); ++x) {
+    locations[static_cast<std::size_t>(x)] =
+        initial.objects[static_cast<std::size_t>(x)].locations();
+    for (const net::NodeId v : locations[static_cast<std::size_t>(x)]) {
+      if (!tree.isProcessor(v)) {
+        throw std::invalid_argument("localSearch: initial not leaf-only");
+      }
+    }
+  }
+
+  auto buildPlacement = [&] {
+    Placement p;
+    p.objects.reserve(locations.size());
+    for (ObjectId x = 0; x < load.numObjects(); ++x) {
+      p.objects.push_back(core::makeNearestPlacement(
+          tree, load, x, locations[static_cast<std::size_t>(x)]));
+    }
+    return p;
+  };
+
+  Placement current = buildPlacement();
+  double best = core::evaluateCongestion(rooted, current);
+
+  for (int iter = 0; iter < options.maxIterations; ++iter) {
+    bool improved = false;
+    for (int prop = 0; prop < options.proposalsPerIteration; ++prop) {
+      const auto x = static_cast<std::size_t>(
+          rng.nextBelow(static_cast<std::uint64_t>(load.numObjects())));
+      auto proposal = locations;
+      const net::NodeId leaf = procs[static_cast<std::size_t>(
+          rng.nextBelow(static_cast<std::uint64_t>(procs.size())))];
+      auto& locs = proposal[x];
+      const auto it = std::find(locs.begin(), locs.end(), leaf);
+      if (it != locs.end()) {
+        if (locs.size() == 1) continue;  // must keep at least one copy
+        locs.erase(it);
+      } else {
+        locs.push_back(leaf);
+        std::sort(locs.begin(), locs.end());
+      }
+      // Evaluate the proposal.
+      std::swap(locations, proposal);
+      const Placement candidate = buildPlacement();
+      const double congestion = core::evaluateCongestion(rooted, candidate);
+      if (congestion < best) {
+        best = congestion;
+        current = candidate;
+        improved = true;
+      } else {
+        std::swap(locations, proposal);  // revert
+      }
+    }
+    if (!improved) break;
+  }
+  return current;
+}
+
+}  // namespace hbn::baseline

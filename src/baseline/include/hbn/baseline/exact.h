@@ -1,0 +1,50 @@
+// Exact (branch-and-bound) congestion minimisation for small instances.
+//
+// The decision problem is NP-complete (Theorem 2.1), so exhaustive search
+// is only feasible on small trees; the solver enumerates, per object, all
+// copy sets of up to `maxCopiesPerObject` processors with nearest-copy
+// request assignment, and prunes with the analytic per-edge lower bound
+// (the remaining objects can never push an edge below
+// Σ min(h_below, h_above, κ_x)).
+//
+// Model note: references are fixed to the nearest copy, which is optimal
+// for single-copy sets (any other reference only lengthens paths) and in
+// particular exact for the all-write instances of the NP-hardness gadget.
+// With redundant copy sets a cleverer read routing could in principle
+// shave congestion, so for maxCopiesPerObject > 1 the result is exact
+// within the canonical nearest-assignment model (and always an upper
+// bound on the unrestricted optimum as well as a valid placement).
+#pragma once
+
+#include <cstdint>
+
+#include "hbn/core/placement.h"
+#include "hbn/net/tree.h"
+#include "hbn/workload/workload.h"
+
+namespace hbn::baseline {
+
+/// Search configuration.
+struct ExactOptions {
+  /// Maximum copies per object (1 = non-redundant; the NP-proof's case).
+  int maxCopiesPerObject = 1;
+  /// Abort after this many search nodes (0 = unlimited). When hit, the
+  /// result carries the best placement found with `provedOptimal=false`.
+  std::int64_t nodeBudget = 50'000'000;
+};
+
+/// Solver output.
+struct ExactResult {
+  core::Placement placement;
+  double congestion = 0.0;
+  bool provedOptimal = false;
+  std::int64_t nodesExplored = 0;
+};
+
+/// Runs the branch-and-bound search. Throws std::invalid_argument for
+/// infeasible search spaces (e.g. more candidate sets than memory allows).
+[[nodiscard]] ExactResult solveExact(const net::Tree& tree,
+                                     const workload::Workload& load,
+                                     const ExactOptions& options = {});
+
+}  // namespace hbn::baseline

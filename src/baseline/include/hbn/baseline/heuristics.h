@@ -1,0 +1,62 @@
+// Baseline placement strategies for the comparison experiments (E7/E9).
+//
+// These are the strawmen the paper's congestion-centric approach is
+// motivated against:
+//
+//   * bestSingleCopy   — congestion-aware greedy: each object gets one
+//                        copy on the leaf minimising the running
+//                        congestion (objects in decreasing traffic order),
+//   * weightedMedian   — classic total-communication-load optimisation:
+//                        one copy at the object's weighted tree median
+//                        (minimises Σ load but may congest single edges),
+//   * randomSingleCopy — one copy on a uniformly random leaf,
+//   * fullReplication  — a copy on every processor (reads free, writes
+//                        broadcast everywhere),
+//   * localSearch      — hill-climbing over copy sets starting from any
+//                        placement (used to tighten upper bounds on small
+//                        instances).
+//
+// All outputs are leaf-only placements with nearest-copy assignment.
+#pragma once
+
+#include "hbn/core/placement.h"
+#include "hbn/net/tree.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/workload.h"
+
+namespace hbn::baseline {
+
+using core::Placement;
+
+/// Greedy congestion-aware single-copy placement.
+[[nodiscard]] Placement bestSingleCopy(const net::Tree& tree,
+                                       const workload::Workload& load);
+
+/// One copy per object at its weighted median (minimises total load).
+[[nodiscard]] Placement weightedMedian(const net::Tree& tree,
+                                       const workload::Workload& load);
+
+/// One copy per object on a uniformly random processor.
+[[nodiscard]] Placement randomSingleCopy(const net::Tree& tree,
+                                         const workload::Workload& load,
+                                         util::Rng& rng);
+
+/// A copy of every object on every processor.
+[[nodiscard]] Placement fullReplication(const net::Tree& tree,
+                                        const workload::Workload& load);
+
+/// Options for the local-search improver.
+struct LocalSearchOptions {
+  int maxIterations = 2000;
+  /// Random restarts of the object/leaf proposal per iteration.
+  int proposalsPerIteration = 8;
+};
+
+/// Hill-climbs `initial` by adding/removing/moving copies (keeping at
+/// least one per object); returns the best placement found.
+[[nodiscard]] Placement localSearch(const net::Tree& tree,
+                                    const workload::Workload& load,
+                                    const Placement& initial, util::Rng& rng,
+                                    const LocalSearchOptions& options = {});
+
+}  // namespace hbn::baseline

@@ -1,0 +1,199 @@
+#include "hbn/core/deletion.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace hbn::core {
+namespace {
+
+// Working state for one node's copy during deletion.
+struct WorkingCopy {
+  net::NodeId node = net::kInvalidNode;
+  int depth = 0;  // depth below the copy-subtree root
+  std::vector<RequestShare> served;
+  Count total = 0;
+  bool deleted = false;
+};
+
+// Splits `copy` into pieces each serving between kappa and 2*kappa
+// requests, appending them to `out` at the same location. Individual
+// request shares may be divided between pieces (writes are assigned
+// before reads within a share; any split is valid for the analysis).
+void splitCopy(const WorkingCopy& copy, Count kappa,
+               std::vector<Copy>& out, DeletionStats* stats) {
+  const Count s = copy.total;
+  const Count cap = 2 * kappa;
+  if (kappa <= 0 || s <= cap) {
+    Copy c;
+    c.location = copy.node;
+    c.served = copy.served;
+    out.push_back(std::move(c));
+    return;
+  }
+  const Count pieces = (s + cap - 1) / cap;  // ceil(s / 2κ)
+  // Per-piece targets: base or base+1, summing to s; every target lies in
+  // [κ, 2κ] because ceil(s/2κ) <= s/κ for s > 2κ.
+  const Count base = s / pieces;
+  const Count extra = s % pieces;
+
+  std::size_t shareIdx = 0;
+  RequestShare pending{};  // remainder of the share currently being consumed
+  bool pendingValid = false;
+  for (Count p = 0; p < pieces; ++p) {
+    Copy piece;
+    piece.location = copy.node;
+    Count want = base + (p < extra ? 1 : 0);
+    while (want > 0) {
+      if (!pendingValid) {
+        pending = copy.served[shareIdx++];
+        pendingValid = true;
+      }
+      RequestShare take{pending.origin, 0, 0};
+      // Consume writes first, then reads.
+      const Count takeWrites = std::min(pending.writes, want);
+      take.writes = takeWrites;
+      pending.writes -= takeWrites;
+      want -= takeWrites;
+      const Count takeReads = std::min(pending.reads, want);
+      take.reads = takeReads;
+      pending.reads -= takeReads;
+      want -= takeReads;
+      if (take.total() > 0) piece.served.push_back(take);
+      if (pending.total() == 0) pendingValid = false;
+    }
+    out.push_back(std::move(piece));
+  }
+  if (stats != nullptr) {
+    stats->copiesCreatedBySplit += static_cast<int>(pieces) - 1;
+  }
+}
+
+}  // namespace
+
+ObjectPlacement deleteRarelyUsedCopies(const net::Tree& tree,
+                                       const ObjectPlacement& placement,
+                                       Count kappa, net::NodeId root,
+                                       DeletionStats* stats) {
+  if (placement.copies.empty()) {
+    throw std::invalid_argument("deleteRarelyUsedCopies: no copies");
+  }
+  const auto n = static_cast<std::size_t>(tree.nodeCount());
+
+  // Index copies by node; require at most one per node (nibble output).
+  std::vector<int> copyAt(n, -1);
+  std::vector<WorkingCopy> work(placement.copies.size());
+  for (std::size_t i = 0; i < placement.copies.size(); ++i) {
+    const Copy& c = placement.copies[i];
+    if (copyAt[static_cast<std::size_t>(c.location)] != -1) {
+      throw std::invalid_argument(
+          "deleteRarelyUsedCopies: multiple copies on one node");
+    }
+    copyAt[static_cast<std::size_t>(c.location)] = static_cast<int>(i);
+    work[i].node = c.location;
+    work[i].served = c.served;
+    work[i].total = c.servedTotal();
+  }
+  if (copyAt[static_cast<std::size_t>(root)] == -1) {
+    throw std::invalid_argument("deleteRarelyUsedCopies: root holds no copy");
+  }
+
+  // BFS from the root to get parents and copy-subtree depths.
+  std::vector<net::NodeId> parent(n, net::kInvalidNode);
+  std::vector<int> depth(n, -1);
+  std::vector<net::NodeId> order{root};
+  depth[static_cast<std::size_t>(root)] = 0;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const net::NodeId v = order[head];
+    for (const net::HalfEdge& he : tree.neighbors(v)) {
+      if (depth[static_cast<std::size_t>(he.to)] < 0) {
+        depth[static_cast<std::size_t>(he.to)] =
+            depth[static_cast<std::size_t>(v)] + 1;
+        parent[static_cast<std::size_t>(he.to)] = v;
+        order.push_back(he.to);
+      }
+    }
+  }
+  for (WorkingCopy& c : work) {
+    c.depth = depth[static_cast<std::size_t>(c.node)];
+  }
+
+  // Bottom-up rounds: deepest copies first (= level 0 of the rooted copy
+  // subtree T(x)); the root is examined last.
+  std::vector<int> byDepth(work.size());
+  for (std::size_t i = 0; i < work.size(); ++i) byDepth[i] = static_cast<int>(i);
+  std::sort(byDepth.begin(), byDepth.end(), [&](int a, int b) {
+    if (work[static_cast<std::size_t>(a)].depth !=
+        work[static_cast<std::size_t>(b)].depth) {
+      return work[static_cast<std::size_t>(a)].depth >
+             work[static_cast<std::size_t>(b)].depth;
+    }
+    return work[static_cast<std::size_t>(a)].node <
+           work[static_cast<std::size_t>(b)].node;
+  });
+
+  int alive = static_cast<int>(work.size());
+  for (const int idx : byDepth) {
+    WorkingCopy& c = work[static_cast<std::size_t>(idx)];
+    const bool rarelyUsed = c.total < kappa || c.total == 0;
+    if (!rarelyUsed) continue;
+    if (c.node == root) {
+      // The root's requests go to the nearest surviving copy, if any.
+      if (alive == 1) continue;  // last copy always stays
+      // BFS from the root for the closest surviving copy.
+      std::vector<char> seen(n, 0);
+      std::vector<net::NodeId> queue{root};
+      seen[static_cast<std::size_t>(root)] = 1;
+      int target = -1;
+      for (std::size_t head = 0; head < queue.size() && target < 0; ++head) {
+        const net::NodeId v = queue[head];
+        const int cv = copyAt[static_cast<std::size_t>(v)];
+        if (cv >= 0 && cv != idx && !work[static_cast<std::size_t>(cv)].deleted) {
+          target = cv;
+          break;
+        }
+        for (const net::HalfEdge& he : tree.neighbors(v)) {
+          if (!seen[static_cast<std::size_t>(he.to)]) {
+            seen[static_cast<std::size_t>(he.to)] = 1;
+            queue.push_back(he.to);
+          }
+        }
+      }
+      if (target < 0) continue;  // defensive: nothing to merge into
+      WorkingCopy& t = work[static_cast<std::size_t>(target)];
+      t.served.insert(t.served.end(), c.served.begin(), c.served.end());
+      t.total += c.total;
+      c.deleted = true;
+      --alive;
+    } else {
+      // Hand requests to the copy on the nearest ancestor holding one
+      // (for valid nibble input this is the direct parent, which — being
+      // shallower — has not been examined yet).
+      net::NodeId u = parent[static_cast<std::size_t>(c.node)];
+      while (u != net::kInvalidNode &&
+             (copyAt[static_cast<std::size_t>(u)] < 0 ||
+              work[static_cast<std::size_t>(
+                       copyAt[static_cast<std::size_t>(u)])]
+                  .deleted)) {
+        u = parent[static_cast<std::size_t>(u)];
+      }
+      if (u == net::kInvalidNode) continue;  // defensive
+      WorkingCopy& t =
+          work[static_cast<std::size_t>(copyAt[static_cast<std::size_t>(u)])];
+      t.served.insert(t.served.end(), c.served.begin(), c.served.end());
+      t.total += c.total;
+      c.deleted = true;
+      --alive;
+    }
+    if (stats != nullptr) ++stats->copiesDeleted;
+  }
+
+  // Assemble survivors, splitting over-full copies (Observation 3.2).
+  ObjectPlacement result;
+  for (const WorkingCopy& c : work) {
+    if (!c.deleted) splitCopy(c, kappa, result.copies, stats);
+  }
+  return result;
+}
+
+}  // namespace hbn::core

@@ -1,0 +1,127 @@
+#include "hbn/core/extended_nibble.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace hbn::core {
+namespace {
+
+// Runs fn(x) for every object id in [0, numObjects) on `threads` workers.
+// Work is split into contiguous stripes; each worker writes only to its
+// own objects' preallocated slots, so no synchronisation is needed and
+// the result is identical to the sequential loop.
+template <typename Fn>
+void parallelForObjects(int numObjects, int threads, Fn&& fn) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::clamp(threads, 1, numObjects);
+  if (threads <= 1) {
+    for (ObjectId x = 0; x < numObjects; ++x) fn(x);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    const ObjectId begin = static_cast<ObjectId>(
+        static_cast<long>(numObjects) * t / threads);
+    const ObjectId end = static_cast<ObjectId>(
+        static_cast<long>(numObjects) * (t + 1) / threads);
+    workers.emplace_back([begin, end, &fn] {
+      for (ObjectId x = begin; x < end; ++x) fn(x);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace
+
+ExtendedNibbleResult extendedNibble(const net::Tree& tree,
+                                    const workload::Workload& load,
+                                    const ExtendedNibbleOptions& options) {
+  load.validateProcessorOnly(tree);
+  ExtendedNibbleResult result;
+  result.report.maxWriteContention = load.maxWriteContention();
+
+  const net::NodeId root = options.mappingRoot == net::kInvalidNode
+                               ? tree.defaultRoot()
+                               : options.mappingRoot;
+  const net::RootedTree rooted(tree, root);
+
+  // --- Step 1: nibble. Objects are independent; stripe them over the
+  // configured worker threads (bit-identical to the sequential loop).
+  result.gravityCenters.resize(static_cast<std::size_t>(load.numObjects()));
+  result.nibble.objects.resize(static_cast<std::size_t>(load.numObjects()));
+  parallelForObjects(load.numObjects(), options.threads, [&](ObjectId x) {
+    NibbleObjectResult one = nibbleObject(tree, load, x);
+    result.gravityCenters[static_cast<std::size_t>(x)] = one.gravityCenter;
+    result.nibble.objects[static_cast<std::size_t>(x)] =
+        std::move(one.placement);
+  });
+  result.report.congestionNibble = evaluateCongestion(rooted, result.nibble);
+
+  // --- Step 2: deletion (only for objects that still use inner nodes;
+  // leaf-only objects are frozen from here on). Per-object deletion stats
+  // are accumulated per worker and merged to keep the report exact.
+  result.modified.objects.resize(result.nibble.objects.size());
+  std::vector<Count> kappa(static_cast<std::size_t>(load.numObjects()));
+  std::vector<DeletionStats> perObjectStats(
+      static_cast<std::size_t>(load.numObjects()));
+  parallelForObjects(load.numObjects(), options.threads, [&](ObjectId x) {
+    kappa[static_cast<std::size_t>(x)] = load.objectWrites(x);
+    const ObjectPlacement& nib =
+        result.nibble.objects[static_cast<std::size_t>(x)];
+    if (!options.runDeletion || nib.isLeafOnly(tree)) {
+      result.modified.objects[static_cast<std::size_t>(x)] = nib;
+      return;
+    }
+    result.modified.objects[static_cast<std::size_t>(x)] =
+        deleteRarelyUsedCopies(
+            tree, nib, kappa[static_cast<std::size_t>(x)],
+            result.gravityCenters[static_cast<std::size_t>(x)],
+            &perObjectStats[static_cast<std::size_t>(x)]);
+  });
+  for (const DeletionStats& stats : perObjectStats) {
+    result.report.deletion.copiesDeleted += stats.copiesDeleted;
+    result.report.deletion.copiesCreatedBySplit += stats.copiesCreatedBySplit;
+  }
+  result.report.congestionModified =
+      evaluateCongestion(rooted, result.modified);
+
+  // --- Step 3: mapping. Objects still holding inner-node copies
+  // participate; everything else is frozen.
+  std::vector<char> participates(static_cast<std::size_t>(load.numObjects()),
+                                 0);
+  for (ObjectId x = 0; x < load.numObjects(); ++x) {
+    const bool leafOnly =
+        result.modified.objects[static_cast<std::size_t>(x)].isLeafOnly(tree);
+    participates[static_cast<std::size_t>(x)] = leafOnly ? 0 : 1;
+    if (leafOnly) {
+      ++result.report.frozenObjects;
+    } else {
+      ++result.report.participatingObjects;
+    }
+  }
+  MappingOptions mapOptions;
+  mapOptions.accFactor = options.accFactor;
+  mapOptions.forceWhenStuck = true;  // records violations instead of aborting
+  result.final =
+      mapCopiesToLeaves(rooted, result.modified.objects, kappa, participates,
+                        &result.report.mapping, mapOptions);
+  result.report.congestionFinal = evaluateCongestion(rooted, result.final);
+
+  if (!result.final.isLeafOnly(tree)) {
+    throw std::logic_error("extendedNibble: final placement not leaf-only");
+  }
+  return result;
+}
+
+Placement computeExtendedNibblePlacement(const net::Tree& tree,
+                                         const workload::Workload& load,
+                                         const ExtendedNibbleOptions& options) {
+  return extendedNibble(tree, load, options).final;
+}
+
+}  // namespace hbn::core

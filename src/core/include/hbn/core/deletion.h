@@ -1,0 +1,44 @@
+// Step 2 — the deletion algorithm (Figure 4): removing rarely used copies.
+//
+// Given an object's nibble placement (a connected copy subtree rooted at
+// the gravity centre) and its write contention κ_x, the copy subtree is
+// processed bottom-up; a copy serving fewer than κ_x requests is deleted
+// and its requests are handed to the copy on the parent node (the deleted
+// root's requests go to the nearest surviving copy). Afterwards, copies
+// serving more than 2κ_x requests are split into co-located copies each
+// serving between κ_x and 2κ_x requests.
+//
+// Observation 3.2: every surviving copy serves s(c) ∈ [κ_x, 2κ_x] (for
+// κ_x > 0), per-edge loads grow by at most κ_x inside the copy subtree,
+// and the placement stays per-edge optimal up to a factor of 2.
+//
+// In addition to the paper's rule we also delete copies that serve zero
+// requests (relevant only for read-only objects, κ_x = 0, whose inner-node
+// copies serve nobody): removing a zero-served copy changes no path load
+// and can only shrink Steiner trees. This makes read-only objects
+// leaf-only after step 2, which is exactly the case the paper's analysis
+// excuses from the mapping step ("the extended-nibble strategy does not
+// change their placement").
+#pragma once
+
+#include "hbn/core/placement.h"
+#include "hbn/net/tree.h"
+
+namespace hbn::core {
+
+/// Statistics reported by the deletion step.
+struct DeletionStats {
+  int copiesDeleted = 0;
+  int copiesCreatedBySplit = 0;
+};
+
+/// Runs the deletion algorithm on one object's placement.
+///
+/// `placement` must have at most one copy per node forming a connected
+/// subtree containing `root` (the nibble output); `kappa` is the object's
+/// write contention κ_x. Returns the modified placement.
+[[nodiscard]] ObjectPlacement deleteRarelyUsedCopies(
+    const net::Tree& tree, const ObjectPlacement& placement, Count kappa,
+    net::NodeId root, DeletionStats* stats = nullptr);
+
+}  // namespace hbn::core

@@ -1,0 +1,75 @@
+// The extended-nibble strategy (paper §3): the full three-step pipeline.
+//
+//   Step 1  nibble placement (copies may sit on buses)        — nibble.h
+//   Step 2  deletion of rarely used copies                    — deletion.h
+//   Step 3  mapping of inner-node copies to leaves            — mapping.h
+//
+// Objects whose placement is already leaf-only (after step 2) are frozen —
+// the paper's analysis relies on the strategy "not changing their
+// placement" — but their requests still contribute to the basic loads
+// steering step 3. Theorem 4.3: the final congestion is at most 7 · C_opt,
+// computed in sequential time O(|X|·|P∪B|·height(T)·log(degree(T))).
+#pragma once
+
+#include <vector>
+
+#include "hbn/core/deletion.h"
+#include "hbn/core/load.h"
+#include "hbn/core/mapping.h"
+#include "hbn/core/nibble.h"
+#include "hbn/core/placement.h"
+#include "hbn/net/tree.h"
+#include "hbn/workload/workload.h"
+
+namespace hbn::core {
+
+/// Pipeline configuration; defaults reproduce the paper exactly.
+/// The non-default settings exist for the E10 ablation experiments.
+struct ExtendedNibbleOptions {
+  /// Run step 2 (deletion). Skipping it voids the 7-factor guarantee and
+  /// can make the mapping step exceed its acceptable loads.
+  bool runDeletion = true;
+  /// Step 3 acceptable-load multiplier (the paper proves factor 2 correct).
+  Count accFactor = 2;
+  /// Root used by the mapping step; kInvalidNode = tree.defaultRoot().
+  net::NodeId mappingRoot = net::kInvalidNode;
+  /// Worker threads for steps 1 and 2, which are independent per object
+  /// (the paper pipelines them for the same reason). The result is
+  /// bit-identical for any thread count; 0 = hardware concurrency.
+  int threads = 1;
+};
+
+/// Per-step instrumentation of one extended-nibble run.
+struct ExtendedNibbleReport {
+  double congestionNibble = 0.0;    ///< after step 1 (bus measure)
+  double congestionModified = 0.0;  ///< after step 2
+  double congestionFinal = 0.0;     ///< after step 3 (the deliverable)
+  Count maxWriteContention = 0;     ///< κ_max over all objects
+  DeletionStats deletion;
+  MappingStats mapping;
+  int participatingObjects = 0;  ///< objects entering step 3
+  int frozenObjects = 0;         ///< leaf-only objects left untouched
+};
+
+/// Full result: the placements after each step plus the report.
+struct ExtendedNibbleResult {
+  Placement nibble;    ///< step 1 (may use inner nodes)
+  Placement modified;  ///< step 2 (may use inner nodes)
+  Placement final;     ///< step 3 — leaf-only, the strategy's output
+  std::vector<net::NodeId> gravityCenters;  ///< per object
+  ExtendedNibbleReport report;
+};
+
+/// Runs the extended-nibble strategy on `tree` under `load`.
+/// `load` must only have frequencies on processors
+/// (Workload::validateProcessorOnly).
+[[nodiscard]] ExtendedNibbleResult extendedNibble(
+    const net::Tree& tree, const workload::Workload& load,
+    const ExtendedNibbleOptions& options = {});
+
+/// Convenience: just the final leaf-only placement.
+[[nodiscard]] Placement computeExtendedNibblePlacement(
+    const net::Tree& tree, const workload::Workload& load,
+    const ExtendedNibbleOptions& options = {});
+
+}  // namespace hbn::core

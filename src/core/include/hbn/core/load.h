@@ -1,0 +1,72 @@
+// Load and congestion evaluation for hierarchical bus networks.
+//
+// Semantics (paper §1.1):
+//   * each read served by copy c loads every edge on the origin→c path by 1,
+//   * each write served by copy c loads the origin→c path by 1 AND every
+//     edge of the Steiner tree spanning the object's copy locations by 1
+//     (an edge lying on both is charged twice: update message + broadcast),
+//   * the load of a bus is half the sum of its incident edge loads,
+//   * relative load divides by bandwidth; congestion is the maximum
+//     relative load over all edges and buses.
+//
+// All absolute loads are exact integers (Count); only relative loads are
+// doubles.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hbn/core/placement.h"
+#include "hbn/net/rooted.h"
+
+namespace hbn::core {
+
+/// Absolute per-edge loads plus derived congestion queries.
+class LoadMap {
+ public:
+  explicit LoadMap(int edgeCount)
+      : edgeLoad_(static_cast<std::size_t>(edgeCount), 0) {}
+
+  [[nodiscard]] Count edgeLoad(net::EdgeId e) const {
+    return edgeLoad_.at(static_cast<std::size_t>(e));
+  }
+  [[nodiscard]] std::span<const Count> edgeLoads() const noexcept {
+    return edgeLoad_;
+  }
+  void addEdgeLoad(net::EdgeId e, Count amount) {
+    edgeLoad_.at(static_cast<std::size_t>(e)) += amount;
+  }
+
+  /// Bus load: half the sum of incident edge loads (exact, may be x.5).
+  [[nodiscard]] double busLoad(const net::Tree& tree, net::NodeId bus) const;
+
+  /// Max load/bandwidth over edges only.
+  [[nodiscard]] double edgeCongestion(const net::Tree& tree) const;
+  /// Max load/bandwidth over buses only.
+  [[nodiscard]] double busCongestion(const net::Tree& tree) const;
+  /// The paper's congestion: max over edges and buses.
+  [[nodiscard]] double congestion(const net::Tree& tree) const;
+
+  /// Sum over edges of load (total communication load; the quantity the
+  /// paper's introduction contrasts congestion with).
+  [[nodiscard]] Count totalLoad() const noexcept;
+
+ private:
+  std::vector<Count> edgeLoad_;
+};
+
+/// Evaluates the exact load of `placement` on `tree`.
+/// `rooted` must be a rooted view of the same tree (used for LCA paths and
+/// Steiner computation; the root choice does not affect the result).
+[[nodiscard]] LoadMap computeLoad(const net::RootedTree& rooted,
+                                  const Placement& placement);
+
+/// Per-object variant; adds object `x`'s load contribution onto `loads`.
+void accumulateObjectLoad(const net::RootedTree& rooted,
+                          const ObjectPlacement& object, LoadMap& loads);
+
+/// Convenience: congestion of `placement` on `tree`.
+[[nodiscard]] double evaluateCongestion(const net::RootedTree& rooted,
+                                        const Placement& placement);
+
+}  // namespace hbn::core

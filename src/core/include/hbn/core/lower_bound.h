@@ -1,0 +1,67 @@
+// Congestion lower bounds for the static placement problem.
+//
+// C_opt is NP-hard to compute (Theorem 2.1), so the approximation-ratio
+// experiments report measured congestion divided by a certified lower
+// bound. Two bounds are provided:
+//
+//   * The nibble bound: the nibble placement minimises the load on every
+//     edge simultaneously among ALL placements, including leaf-only ones
+//     (for each edge, min(h_A, h_B, κ_x) per object is unavoidable, and
+//     both sides of every edge contain a potential storage leaf). Hence
+//     the congestion of the nibble placement — evaluated with the bus
+//     measure — lower-bounds C_opt.
+//
+//   * The per-edge analytic bound: Σ_x min(h_A(x), h_B(x), κ_x) per edge,
+//     and the corresponding half-sums per bus. This equals the nibble
+//     bound by Theorem 3.1 and is computed independently as a
+//     cross-check (and without constructing placements, so it is cheap
+//     enough for the biggest sweeps).
+#pragma once
+
+#include "hbn/core/load.h"
+#include "hbn/net/rooted.h"
+#include "hbn/workload/workload.h"
+
+namespace hbn::core {
+
+/// Lower-bound results.
+struct LowerBound {
+  /// Congestion lower bound (max over edges and buses of relative load).
+  double congestion = 0.0;
+  /// The underlying per-edge minimum loads.
+  LoadMap edgeMinima;
+};
+
+/// Computes the analytic per-edge lower bound Σ_x min(h_A, h_B, κ_x).
+/// O(|X| · |V|).
+[[nodiscard]] LowerBound analyticLowerBound(const net::RootedTree& rooted,
+                                            const workload::Workload& load);
+
+/// Computes the nibble-placement lower bound by building the nibble
+/// placement and evaluating it (O(|X| · |V| log |V|)); equal to the
+/// analytic bound by Theorem 3.1.
+[[nodiscard]] double nibbleLowerBound(const net::Tree& tree,
+                                      const workload::Workload& load);
+
+/// Per-object lower bound from the paper's τ_max analysis (§4, proof of
+/// Theorem 4.3): for every object, ANY leaf-only placement either uses at
+/// least two copies — then some unit-bandwidth leaf switch carries the
+/// full write contention κ_x — or one copy on some leaf l, whose switch
+/// carries all h_x − h_x(l) remote requests. Hence
+///
+///     C_opt >= max_x min(κ_x, h_x − max_l h_x(l)).
+///
+/// Requires the paper's bandwidth model (unit leaf switches,
+/// tree.usesUnitLeafEdges()); returns 0 otherwise.
+[[nodiscard]] double objectLowerBound(const net::Tree& tree,
+                                      const workload::Workload& load);
+
+/// max(analytic per-edge bound, per-object bound) — the bound the
+/// 7-approximation experiments normalise by. Note the per-edge bound
+/// alone can be a factor 7+ away from C_opt on fat-tree bandwidths, where
+/// fast inner switches hide κ_max; the per-object bound restores the
+/// paper's argument.
+[[nodiscard]] double combinedLowerBound(const net::RootedTree& rooted,
+                                        const workload::Workload& load);
+
+}  // namespace hbn::core

@@ -1,0 +1,79 @@
+// Step 3 — the mapping algorithm (Figures 5 and 6): moving the remaining
+// inner-node copies to leaves.
+//
+// The tree is rooted at a designated bus. Each undirected edge becomes an
+// upward and a downward directed edge. For every directed edge ē the
+// algorithm maintains
+//
+//   L_b(ē)    — basic load: requests of the modified nibble placement whose
+//               copy→requester path uses ē,
+//   L_acc(ē)  — acceptable forwarding load, initially 2·L_b(ē),
+//   L_map(ē)  — forwarding load already committed; moving a copy c along ē
+//               adds s(c) + κ_x(c), which is at most
+//               τ_max = max_c { s(c) + κ_x(c) }.
+//
+// Upwards phase (Figure 5), leaves towards the root: every node pushes
+// copies to its parent while L_map(ē+) + τ_max ≤ L_acc(ē+), then the
+// slack δ = L_acc(ē+) − L_map(ē+) is subtracted from both directions of
+// the parent edge. Downwards phase (Figure 6), root towards the leaves:
+// every inner node sends each copy along a free child edge
+// (L_map(ē) + s(c) + κ_x(c) ≤ L_acc(ē) + τ_max); Lemma 4.1 proves a free
+// edge always exists. Afterwards every mapped copy sits on a leaf.
+//
+// Note on the downwards loop bounds: the paper's listing iterates levels
+// height(T)-1 … 1, which never visits the root (level height(T)); the
+// analysis ("after the downwards phase all copies have been mapped to leaf
+// nodes") requires the root's copies to move as well, so this
+// implementation processes all inner nodes top-down starting at the root.
+//
+// Free-edge search uses a per-node max-slack heap, giving the paper's
+// O(log degree(v)) per downward move.
+#pragma once
+
+#include <vector>
+
+#include "hbn/core/placement.h"
+#include "hbn/net/rooted.h"
+
+namespace hbn::core {
+
+/// Options for the mapping step (ablation hooks).
+struct MappingOptions {
+  /// Initial acceptable-load multiplier: L_acc = accFactor · L_b.
+  /// The paper uses 2; other values break the guarantee (E10 probes this).
+  Count accFactor = 2;
+  /// When true, a copy with no free child edge is forced along the
+  /// maximum-slack edge instead of aborting; forcedMoves counts how often.
+  /// With the paper's parameters Lemma 4.1 guarantees forcedMoves == 0;
+  /// ablations (accFactor != 2 or skipped deletion) may need the escape
+  /// hatch.
+  bool forceWhenStuck = true;
+};
+
+/// Instrumentation of a mapping run.
+struct MappingStats {
+  Count tauMax = 0;
+  int participatingCopies = 0;
+  int upMoves = 0;
+  int downMoves = 0;
+  /// Moves that violated the free-edge condition (0 for the real algorithm).
+  int forcedMoves = 0;
+};
+
+/// Runs the mapping algorithm.
+///
+/// `objects` holds the modified nibble placement of every object (step 2
+/// output, or step 1 output for frozen objects); `kappa[x]` is κ_x;
+/// `participates[x]` selects the objects whose copies join the move sets
+/// M(v) (objects already leaf-only stay frozen — their requests still
+/// count towards the basic loads). `rooted` must be rooted at a bus
+/// (tree.defaultRoot()).
+///
+/// Returns the final placement: participating objects' copies are all on
+/// leaves; frozen objects are unchanged.
+[[nodiscard]] Placement mapCopiesToLeaves(
+    const net::RootedTree& rooted, const std::vector<ObjectPlacement>& objects,
+    const std::vector<Count>& kappa, const std::vector<char>& participates,
+    MappingStats* stats = nullptr, const MappingOptions& options = {});
+
+}  // namespace hbn::core

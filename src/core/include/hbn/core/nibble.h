@@ -1,0 +1,51 @@
+// Step 1 — the nibble strategy (Maggs, Meyer auf der Heide, Vöcking,
+// Westermann, FOCS'97 [10]), re-implemented as the paper's substrate.
+//
+// For each object x, rooted at the centre of gravity g(T) of the access
+// weights h(v) = h_r(v,x) + h_w(v,x):
+//
+//     a node v gets a copy of x  iff  v = g(T) or h(T(v)) > w(T),
+//
+// where T(v) is the subtree below v and w(T) the total write frequency.
+// Every requesting node is served by its nearest copy. The placement may
+// use inner (bus) nodes; Theorem 3.1 states that it simultaneously
+// minimises the load on every edge, that the copy set is a connected
+// subtree, and that per-object edge loads never exceed the write
+// contention κ_x (and equal κ_x inside the copy subtree).
+//
+// Runs in O(|V|) per object as in the paper (no LCA tables needed).
+#pragma once
+
+#include <vector>
+
+#include "hbn/core/placement.h"
+#include "hbn/net/tree.h"
+#include "hbn/workload/workload.h"
+
+namespace hbn::core {
+
+/// Nibble output for one object.
+struct NibbleObjectResult {
+  ObjectPlacement placement;           ///< copies + nearest-copy ledgers
+  net::NodeId gravityCenter = net::kInvalidNode;
+};
+
+/// Weighted centre of gravity: a node whose removal splits the tree into
+/// components each carrying at most half of the total weight. For zero
+/// total weight returns the first processor. Deterministic (descends into
+/// the unique too-heavy component; tie-stable).
+/// `weights` must have tree.nodeCount() non-negative entries.
+[[nodiscard]] net::NodeId centerOfGravity(const net::Tree& tree,
+                                          std::span<const Count> weights);
+
+/// Computes the nibble placement of object `x`. An object with no
+/// accesses at all receives a single copy on the first processor.
+[[nodiscard]] NibbleObjectResult nibbleObject(const net::Tree& tree,
+                                              const workload::Workload& load,
+                                              ObjectId x);
+
+/// Nibble placement of every object.
+[[nodiscard]] Placement nibblePlacement(const net::Tree& tree,
+                                        const workload::Workload& load);
+
+}  // namespace hbn::core

@@ -1,0 +1,83 @@
+// Placement model: copy sets with explicit request ledgers.
+//
+// A placement assigns every shared object a set of copies. A copy is a
+// (location, ledger) pair: the ledger lists, per requesting node, how many
+// of that node's reads and writes this copy serves. Ledgers — rather than
+// a plain "reference copy per processor" map — are required because the
+// deletion algorithm's splitting step may divide one processor's requests
+// between several co-located copies (Observation 3.2), and the mapping
+// algorithm moves copies (not processors' assignments) to leaves.
+//
+// The classic c(P,x) reference-copy model is the special case of one share
+// per requesting processor; makeNearestPlacement constructs it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hbn/net/rooted.h"
+#include "hbn/net/tree.h"
+#include "hbn/workload/workload.h"
+
+namespace hbn::core {
+
+using workload::Count;
+using workload::ObjectId;
+
+/// Portion of one node's requests served by a particular copy.
+struct RequestShare {
+  net::NodeId origin = net::kInvalidNode;
+  Count reads = 0;
+  Count writes = 0;
+
+  [[nodiscard]] Count total() const noexcept { return reads + writes; }
+};
+
+/// One copy of a shared object: where it lives and which requests it serves.
+struct Copy {
+  net::NodeId location = net::kInvalidNode;
+  std::vector<RequestShare> served;
+
+  /// s(c): number of requests served by this copy.
+  [[nodiscard]] Count servedTotal() const noexcept;
+};
+
+/// All copies of one object.
+struct ObjectPlacement {
+  std::vector<Copy> copies;
+
+  /// Distinct copy locations, sorted ascending.
+  [[nodiscard]] std::vector<net::NodeId> locations() const;
+
+  /// Sum of requests served across copies.
+  [[nodiscard]] Count servedTotal() const noexcept;
+
+  /// True when every copy lies on a processor of `tree`.
+  [[nodiscard]] bool isLeafOnly(const net::Tree& tree) const;
+};
+
+/// Placement of all objects (index = ObjectId).
+struct Placement {
+  std::vector<ObjectPlacement> objects;
+
+  [[nodiscard]] int numObjects() const noexcept {
+    return static_cast<int>(objects.size());
+  }
+  [[nodiscard]] bool isLeafOnly(const net::Tree& tree) const;
+};
+
+/// Builds the placement of object `x` with copies exactly at `locations`,
+/// each requesting node assigned to its nearest copy (ties broken toward
+/// the smaller node id). This realises the paper's reference-copy model
+/// c(P,x) = closest copy. `locations` must be non-empty.
+[[nodiscard]] ObjectPlacement makeNearestPlacement(
+    const net::Tree& tree, const workload::Workload& load, ObjectId x,
+    std::span<const net::NodeId> locations);
+
+/// Checks that `placement` serves exactly the requests of `load`:
+/// per object, the ledger sums per origin equal the workload frequencies.
+/// Throws std::logic_error describing the first mismatch.
+void validateCoversWorkload(const Placement& placement,
+                            const workload::Workload& load);
+
+}  // namespace hbn::core

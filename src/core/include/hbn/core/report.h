@@ -1,0 +1,45 @@
+// Human-readable reporting of placements and load maps.
+//
+// Used by the CLI tool and examples; also handy when debugging strategy
+// behaviour ("where did the copies go, and which switch is hot?").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hbn/core/extended_nibble.h"
+#include "hbn/core/load.h"
+#include "hbn/core/placement.h"
+#include "hbn/net/rooted.h"
+
+namespace hbn::core {
+
+/// Summary statistics of a placement.
+struct PlacementSummary {
+  int objects = 0;
+  long totalCopies = 0;        ///< distinct (object, location) pairs
+  int minCopies = 0;           ///< fewest locations of any object
+  int maxCopies = 0;           ///< most locations of any object
+  double meanCopies = 0.0;
+  long replicatedObjects = 0;  ///< objects with more than one location
+};
+
+/// Computes copy-count statistics of `placement`.
+[[nodiscard]] PlacementSummary summarize(const Placement& placement);
+
+/// Prints per-object copy locations ("object 3 -> {1, 5, 9}").
+void printPlacement(const Placement& placement, std::ostream& os);
+
+/// Prints the `top` most relatively-loaded edges and buses with their
+/// absolute loads, bandwidths and relative loads.
+void printHotspots(const net::Tree& tree, const LoadMap& loads, int top,
+                   std::ostream& os);
+
+/// Prints the three-step congestion progression and the step statistics
+/// of an extended-nibble run.
+void printReport(const ExtendedNibbleReport& report, std::ostream& os);
+
+/// Convenience: renders printPlacement to a string.
+[[nodiscard]] std::string placementToString(const Placement& placement);
+
+}  // namespace hbn::core

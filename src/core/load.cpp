@@ -1,0 +1,80 @@
+#include "hbn/core/load.h"
+
+#include <algorithm>
+
+#include "hbn/net/steiner.h"
+
+namespace hbn::core {
+
+double LoadMap::busLoad(const net::Tree& tree, net::NodeId bus) const {
+  Count sum = 0;
+  for (const net::HalfEdge& he : tree.neighbors(bus)) {
+    sum += edgeLoad_[static_cast<std::size_t>(he.edge)];
+  }
+  return static_cast<double>(sum) / 2.0;
+}
+
+double LoadMap::edgeCongestion(const net::Tree& tree) const {
+  double best = 0.0;
+  for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
+    best = std::max(best, static_cast<double>(
+                              edgeLoad_[static_cast<std::size_t>(e)]) /
+                              tree.edgeBandwidth(e));
+  }
+  return best;
+}
+
+double LoadMap::busCongestion(const net::Tree& tree) const {
+  double best = 0.0;
+  for (const net::NodeId b : tree.buses()) {
+    best = std::max(best, busLoad(tree, b) / tree.busBandwidth(b));
+  }
+  return best;
+}
+
+double LoadMap::congestion(const net::Tree& tree) const {
+  return std::max(edgeCongestion(tree), busCongestion(tree));
+}
+
+Count LoadMap::totalLoad() const noexcept {
+  Count sum = 0;
+  for (const Count l : edgeLoad_) sum += l;
+  return sum;
+}
+
+void accumulateObjectLoad(const net::RootedTree& rooted,
+                          const ObjectPlacement& object, LoadMap& loads) {
+  Count kappa = 0;  // write contention of this object (from the ledger)
+  for (const Copy& c : object.copies) {
+    for (const RequestShare& share : c.served) {
+      kappa += share.writes;
+      const Count amount = share.total();
+      if (amount > 0 && share.origin != c.location) {
+        rooted.forEachPathEdge(share.origin, c.location, [&](net::EdgeId e) {
+          loads.addEdgeLoad(e, amount);
+        });
+      }
+    }
+  }
+  if (kappa > 0) {
+    const auto locs = object.locations();
+    const auto steiner = net::steinerEdges(rooted, locs);
+    for (const net::EdgeId e : steiner) loads.addEdgeLoad(e, kappa);
+  }
+}
+
+LoadMap computeLoad(const net::RootedTree& rooted,
+                    const Placement& placement) {
+  LoadMap loads(rooted.tree().edgeCount());
+  for (const ObjectPlacement& object : placement.objects) {
+    accumulateObjectLoad(rooted, object, loads);
+  }
+  return loads;
+}
+
+double evaluateCongestion(const net::RootedTree& rooted,
+                          const Placement& placement) {
+  return computeLoad(rooted, placement).congestion(rooted.tree());
+}
+
+}  // namespace hbn::core

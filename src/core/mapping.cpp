@@ -1,0 +1,201 @@
+#include "hbn/core/mapping.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace hbn::core {
+namespace {
+
+// Directed edge ids: 2e = upward direction of edge e (deeper endpoint to
+// parent), 2e+1 = downward direction.
+[[nodiscard]] std::size_t upId(net::EdgeId e) {
+  return static_cast<std::size_t>(2 * e);
+}
+[[nodiscard]] std::size_t downId(net::EdgeId e) {
+  return static_cast<std::size_t>(2 * e + 1);
+}
+
+// A movable copy: references the source object/copy plus cached costs.
+struct Token {
+  ObjectId object = 0;
+  int copyIdx = 0;
+  Count served = 0;
+  Count kappa = 0;
+
+  [[nodiscard]] Count cost() const noexcept { return served + kappa; }
+};
+
+}  // namespace
+
+Placement mapCopiesToLeaves(const net::RootedTree& rooted,
+                            const std::vector<ObjectPlacement>& objects,
+                            const std::vector<Count>& kappa,
+                            const std::vector<char>& participates,
+                            MappingStats* stats,
+                            const MappingOptions& options) {
+  const net::Tree& tree = rooted.tree();
+  const auto n = static_cast<std::size_t>(tree.nodeCount());
+  if (objects.size() != kappa.size() || objects.size() != participates.size()) {
+    throw std::invalid_argument("mapCopiesToLeaves: input size mismatch");
+  }
+
+  MappingStats localStats;
+  MappingStats& st = stats != nullptr ? *stats : localStats;
+  st = MappingStats{};
+
+  // --- Basic loads L_b per directed edge (all objects, frozen included).
+  const auto directedCount = static_cast<std::size_t>(2 * tree.edgeCount());
+  std::vector<Count> lb(directedCount, 0);
+  for (const ObjectPlacement& object : objects) {
+    for (const Copy& c : object.copies) {
+      for (const RequestShare& share : c.served) {
+        const Count amount = share.total();
+        if (amount == 0 || share.origin == c.location) continue;
+        // Directed path copy(u) -> requester(o): edges from u to the LCA
+        // are traversed child->parent (upward), the rest parent->child.
+        const net::NodeId u = c.location;
+        const net::NodeId o = share.origin;
+        const net::NodeId a = rooted.lca(u, o);
+        for (net::NodeId v = u; v != a; v = rooted.parent(v)) {
+          lb[upId(rooted.parentEdge(v))] += amount;
+        }
+        for (net::NodeId v = o; v != a; v = rooted.parent(v)) {
+          lb[downId(rooted.parentEdge(v))] += amount;
+        }
+      }
+    }
+  }
+
+  // --- Acceptable and mapping loads.
+  std::vector<Count> lacc(directedCount);
+  for (std::size_t d = 0; d < directedCount; ++d) {
+    lacc[d] = options.accFactor * lb[d];
+  }
+  std::vector<Count> lmap(directedCount, 0);
+
+  // --- Move sets M(v) and τ_max over participating copies.
+  Placement result;
+  result.objects = objects;  // ledgers move with the tokens; locations updated
+  std::vector<std::vector<Token>> moveSet(n);
+  Count tauMax = 0;
+  for (std::size_t x = 0; x < objects.size(); ++x) {
+    if (!participates[x]) continue;
+    const auto& copies = objects[x].copies;
+    for (std::size_t i = 0; i < copies.size(); ++i) {
+      Token token;
+      token.object = static_cast<ObjectId>(x);
+      token.copyIdx = static_cast<int>(i);
+      token.served = copies[i].servedTotal();
+      token.kappa = kappa[x];
+      tauMax = std::max(tauMax, token.cost());
+      moveSet[static_cast<std::size_t>(copies[i].location)].push_back(token);
+      ++st.participatingCopies;
+    }
+  }
+  st.tauMax = tauMax;
+  if (st.participatingCopies == 0) return result;
+
+  // Nodes ordered by depth (shallow first).
+  std::vector<net::NodeId> byDepth(rooted.preorder().begin(),
+                                   rooted.preorder().end());
+  std::stable_sort(byDepth.begin(), byDepth.end(),
+                   [&](net::NodeId a, net::NodeId b) {
+                     return rooted.depth(a) < rooted.depth(b);
+                   });
+
+  // --- Upwards phase (Figure 5): levels 0 .. height-1, i.e. deepest nodes
+  // first; the root (level height) has no parent edge and is skipped.
+  for (auto it = byDepth.rbegin(); it != byDepth.rend(); ++it) {
+    const net::NodeId v = *it;
+    if (v == rooted.root()) continue;
+    const net::EdgeId pe = rooted.parentEdge(v);
+    const std::size_t eUp = upId(pe);
+    const std::size_t eDown = downId(pe);
+    auto& mv = moveSet[static_cast<std::size_t>(v)];
+    while (!mv.empty() && lmap[eUp] + tauMax <= lacc[eUp]) {
+      const Token token = mv.back();
+      mv.pop_back();
+      lmap[eUp] += token.cost();
+      moveSet[static_cast<std::size_t>(rooted.parent(v))].push_back(token);
+      ++st.upMoves;
+    }
+    const Count delta = lacc[eUp] - lmap[eUp];
+    lacc[eUp] -= delta;  // now L_acc(ē+) == L_map(ē+)
+    lacc[eDown] -= delta;
+  }
+
+  // --- Downwards phase (Figure 6): inner nodes top-down; every copy takes
+  // a free child edge. Max-slack heap per node with lazy invalidation.
+  for (const net::NodeId v : byDepth) {
+    if (tree.isProcessor(v)) continue;
+    auto& mv = moveSet[static_cast<std::size_t>(v)];
+    if (mv.empty()) continue;
+
+    struct HeapEntry {
+      Count slack;
+      net::NodeId child;
+      bool operator<(const HeapEntry& other) const {
+        if (slack != other.slack) return slack < other.slack;
+        return child > other.child;  // deterministic tie-break
+      }
+    };
+    auto slackOf = [&](net::NodeId child) {
+      const std::size_t d = downId(rooted.parentEdge(child));
+      return lacc[d] + tauMax - lmap[d];
+    };
+    std::priority_queue<HeapEntry> heap;
+    for (const net::NodeId child : rooted.children(v)) {
+      heap.push(HeapEntry{slackOf(child), child});
+    }
+
+    for (const Token& token : mv) {
+      // Pop stale entries until the top reflects current slack.
+      net::NodeId chosen = net::kInvalidNode;
+      while (!heap.empty()) {
+        const HeapEntry top = heap.top();
+        if (top.slack != slackOf(top.child)) {
+          heap.pop();
+          heap.push(HeapEntry{slackOf(top.child), top.child});
+          continue;
+        }
+        chosen = top.child;
+        break;
+      }
+      if (chosen == net::kInvalidNode) {
+        throw std::logic_error("mapCopiesToLeaves: inner node with no child");
+      }
+      const bool free = slackOf(chosen) >= token.cost();
+      if (!free) {
+        if (!options.forceWhenStuck) {
+          throw std::logic_error(
+              "mapCopiesToLeaves: no free child edge (Lemma 4.1 violated)");
+        }
+        ++st.forcedMoves;
+      }
+      const std::size_t d = downId(rooted.parentEdge(chosen));
+      lmap[d] += token.cost();
+      heap.push(HeapEntry{slackOf(chosen), chosen});
+      moveSet[static_cast<std::size_t>(chosen)].push_back(token);
+      ++st.downMoves;
+    }
+    mv.clear();
+  }
+
+  // --- Record final locations.
+  for (net::NodeId v = 0; v < tree.nodeCount(); ++v) {
+    for (const Token& token : moveSet[static_cast<std::size_t>(v)]) {
+      if (!tree.isProcessor(v)) {
+        throw std::logic_error(
+            "mapCopiesToLeaves: copy stranded on an inner node");
+      }
+      result.objects[static_cast<std::size_t>(token.object)]
+          .copies[static_cast<std::size_t>(token.copyIdx)]
+          .location = v;
+    }
+  }
+  return result;
+}
+
+}  // namespace hbn::core

@@ -1,0 +1,128 @@
+#include "hbn/core/placement.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace hbn::core {
+
+Count Copy::servedTotal() const noexcept {
+  Count total = 0;
+  for (const RequestShare& share : served) total += share.total();
+  return total;
+}
+
+std::vector<net::NodeId> ObjectPlacement::locations() const {
+  std::vector<net::NodeId> locs;
+  locs.reserve(copies.size());
+  for (const Copy& c : copies) locs.push_back(c.location);
+  std::sort(locs.begin(), locs.end());
+  locs.erase(std::unique(locs.begin(), locs.end()), locs.end());
+  return locs;
+}
+
+Count ObjectPlacement::servedTotal() const noexcept {
+  Count total = 0;
+  for (const Copy& c : copies) total += c.servedTotal();
+  return total;
+}
+
+bool ObjectPlacement::isLeafOnly(const net::Tree& tree) const {
+  for (const Copy& c : copies) {
+    if (!tree.isProcessor(c.location)) return false;
+  }
+  return true;
+}
+
+bool Placement::isLeafOnly(const net::Tree& tree) const {
+  for (const ObjectPlacement& obj : objects) {
+    if (!obj.isLeafOnly(tree)) return false;
+  }
+  return true;
+}
+
+ObjectPlacement makeNearestPlacement(const net::Tree& tree,
+                                     const workload::Workload& load,
+                                     ObjectId x,
+                                     std::span<const net::NodeId> locations) {
+  if (locations.empty()) {
+    throw std::invalid_argument("makeNearestPlacement: empty copy set");
+  }
+  const auto n = static_cast<std::size_t>(tree.nodeCount());
+
+  // Multi-source BFS; sources enqueued in ascending id order so that ties
+  // resolve toward the smaller copy id deterministically.
+  std::vector<net::NodeId> sources(locations.begin(), locations.end());
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+
+  std::vector<int> nearest(n, -1);  // index into `sources`
+  std::vector<net::NodeId> queue;
+  queue.reserve(n);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const net::NodeId s = sources[i];
+    if (s < 0 || s >= tree.nodeCount()) {
+      throw std::out_of_range("makeNearestPlacement: location out of range");
+    }
+    nearest[static_cast<std::size_t>(s)] = static_cast<int>(i);
+    queue.push_back(s);
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const net::NodeId v = queue[head];
+    for (const net::HalfEdge& he : tree.neighbors(v)) {
+      if (nearest[static_cast<std::size_t>(he.to)] < 0) {
+        nearest[static_cast<std::size_t>(he.to)] =
+            nearest[static_cast<std::size_t>(v)];
+        queue.push_back(he.to);
+      }
+    }
+  }
+
+  ObjectPlacement placement;
+  placement.copies.resize(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    placement.copies[i].location = sources[i];
+  }
+  for (net::NodeId v = 0; v < tree.nodeCount(); ++v) {
+    const Count r = load.reads(x, v);
+    const Count w = load.writes(x, v);
+    if (r == 0 && w == 0) continue;
+    const int idx = nearest[static_cast<std::size_t>(v)];
+    placement.copies[static_cast<std::size_t>(idx)].served.push_back(
+        RequestShare{v, r, w});
+  }
+  return placement;
+}
+
+void validateCoversWorkload(const Placement& placement,
+                            const workload::Workload& load) {
+  if (placement.numObjects() != load.numObjects()) {
+    throw std::logic_error("placement/workload object count mismatch");
+  }
+  std::vector<Count> reads(static_cast<std::size_t>(load.numNodes()));
+  std::vector<Count> writes(static_cast<std::size_t>(load.numNodes()));
+  for (ObjectId x = 0; x < load.numObjects(); ++x) {
+    std::fill(reads.begin(), reads.end(), 0);
+    std::fill(writes.begin(), writes.end(), 0);
+    for (const Copy& c : placement.objects[static_cast<std::size_t>(x)].copies) {
+      for (const RequestShare& share : c.served) {
+        if (share.reads < 0 || share.writes < 0) {
+          throw std::logic_error("negative share for object " +
+                                 std::to_string(x));
+        }
+        reads[static_cast<std::size_t>(share.origin)] += share.reads;
+        writes[static_cast<std::size_t>(share.origin)] += share.writes;
+      }
+    }
+    for (net::NodeId v = 0; v < load.numNodes(); ++v) {
+      if (reads[static_cast<std::size_t>(v)] != load.reads(x, v) ||
+          writes[static_cast<std::size_t>(v)] != load.writes(x, v)) {
+        throw std::logic_error(
+            "placement does not cover workload for object " +
+            std::to_string(x) + " at node " + std::to_string(v));
+      }
+    }
+  }
+}
+
+}  // namespace hbn::core

@@ -1,0 +1,101 @@
+#include "hbn/core/report.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace hbn::core {
+
+PlacementSummary summarize(const Placement& placement) {
+  PlacementSummary summary;
+  summary.objects = placement.numObjects();
+  bool first = true;
+  for (const ObjectPlacement& object : placement.objects) {
+    const auto count = static_cast<int>(object.locations().size());
+    summary.totalCopies += count;
+    if (count > 1) ++summary.replicatedObjects;
+    if (first) {
+      summary.minCopies = summary.maxCopies = count;
+      first = false;
+    } else {
+      summary.minCopies = std::min(summary.minCopies, count);
+      summary.maxCopies = std::max(summary.maxCopies, count);
+    }
+  }
+  if (summary.objects > 0) {
+    summary.meanCopies = static_cast<double>(summary.totalCopies) /
+                         static_cast<double>(summary.objects);
+  }
+  return summary;
+}
+
+void printPlacement(const Placement& placement, std::ostream& os) {
+  for (int x = 0; x < placement.numObjects(); ++x) {
+    os << "object " << x << " -> {";
+    bool first = true;
+    for (const net::NodeId v :
+         placement.objects[static_cast<std::size_t>(x)].locations()) {
+      os << (first ? "" : ", ") << v;
+      first = false;
+    }
+    os << "}\n";
+  }
+}
+
+void printHotspots(const net::Tree& tree, const LoadMap& loads, int top,
+                   std::ostream& os) {
+  struct Entry {
+    std::string name;
+    double load;
+    double bandwidth;
+    double relative;
+  };
+  std::vector<Entry> entries;
+  for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
+    const net::Edge& ed = tree.edge(e);
+    const auto load = static_cast<double>(loads.edgeLoad(e));
+    entries.push_back({"edge " + std::to_string(e) + " (" +
+                           std::to_string(ed.u) + "-" + std::to_string(ed.v) +
+                           ")",
+                       load, ed.bandwidth, load / ed.bandwidth});
+  }
+  for (const net::NodeId b : tree.buses()) {
+    const double load = loads.busLoad(tree, b);
+    entries.push_back({"bus " + std::to_string(b), load, tree.busBandwidth(b),
+                       load / tree.busBandwidth(b)});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.relative > b.relative;
+                   });
+  const auto limit = std::min<std::size_t>(entries.size(),
+                                           static_cast<std::size_t>(top));
+  for (std::size_t i = 0; i < limit; ++i) {
+    os << entries[i].name << ": load " << entries[i].load << " / bw "
+       << entries[i].bandwidth << " = " << entries[i].relative << "\n";
+  }
+}
+
+void printReport(const ExtendedNibbleReport& report, std::ostream& os) {
+  os << "congestion: nibble " << report.congestionNibble << " -> deletion "
+     << report.congestionModified << " -> final " << report.congestionFinal
+     << "\n";
+  os << "kappa_max " << report.maxWriteContention << ", tau_max "
+     << report.mapping.tauMax << "\n";
+  os << "objects: " << report.participatingObjects << " mapped, "
+     << report.frozenObjects << " frozen\n";
+  os << "deletion: " << report.deletion.copiesDeleted << " deleted, "
+     << report.deletion.copiesCreatedBySplit << " created by splits\n";
+  os << "mapping: " << report.mapping.upMoves << " up moves, "
+     << report.mapping.downMoves << " down moves, "
+     << report.mapping.forcedMoves << " forced\n";
+}
+
+std::string placementToString(const Placement& placement) {
+  std::ostringstream oss;
+  printPlacement(placement, oss);
+  return oss.str();
+}
+
+}  // namespace hbn::core

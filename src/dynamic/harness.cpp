@@ -1,0 +1,86 @@
+#include "hbn/dynamic/harness.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hbn/core/lower_bound.h"
+
+namespace hbn::dynamic {
+
+std::vector<Request> sequenceFromWorkload(const workload::Workload& load,
+                                          util::Rng& rng) {
+  std::vector<Request> requests;
+  for (ObjectId x = 0; x < load.numObjects(); ++x) {
+    for (net::NodeId v = 0; v < load.numNodes(); ++v) {
+      for (Count i = 0; i < load.reads(x, v); ++i) {
+        requests.push_back(Request{x, v, false});
+      }
+      for (Count i = 0; i < load.writes(x, v); ++i) {
+        requests.push_back(Request{x, v, true});
+      }
+    }
+  }
+  rng.shuffle(requests);
+  return requests;
+}
+
+std::vector<Request> makePingPongSequence(const net::Tree& tree,
+                                          int numObjects, int roundsPerObject,
+                                          Count readsPerBurst,
+                                          util::Rng& rng) {
+  if (numObjects < 1 || roundsPerObject < 1 || readsPerBurst < 1) {
+    throw std::invalid_argument("makePingPongSequence: positive sizes");
+  }
+  const auto procs = tree.processors();
+  if (procs.size() < 2) {
+    throw std::invalid_argument("makePingPongSequence: need >= 2 processors");
+  }
+  std::vector<Request> requests;
+  for (ObjectId x = 0; x < numObjects; ++x) {
+    // Two fixed "camps" per object: readers at one random processor,
+    // writer at another.
+    const net::NodeId reader = procs[static_cast<std::size_t>(
+        rng.nextBelow(static_cast<std::uint64_t>(procs.size())))];
+    net::NodeId writer = reader;
+    while (writer == reader) {
+      writer = procs[static_cast<std::size_t>(
+          rng.nextBelow(static_cast<std::uint64_t>(procs.size())))];
+    }
+    for (int round = 0; round < roundsPerObject; ++round) {
+      for (Count i = 0; i < readsPerBurst; ++i) {
+        requests.push_back(Request{x, reader, false});
+      }
+      requests.push_back(Request{x, writer, true});
+    }
+  }
+  return requests;
+}
+
+CompetitiveResult runCompetitive(const net::RootedTree& rooted,
+                                 int numObjects,
+                                 const std::vector<Request>& requests,
+                                 const OnlineOptions& options) {
+  const net::Tree& tree = rooted.tree();
+  OnlineTreeStrategy strategy(rooted, numObjects, tree.processors().front(),
+                              options);
+  workload::Workload aggregated(numObjects, tree.nodeCount());
+  for (const Request& request : requests) {
+    strategy.serve(request);
+    if (request.isWrite) {
+      aggregated.addWrites(request.object, request.origin, 1);
+    } else {
+      aggregated.addReads(request.object, request.origin, 1);
+    }
+  }
+  CompetitiveResult result;
+  result.onlineCongestion = strategy.loads().congestion(tree);
+  result.offlineLowerBound =
+      core::analyticLowerBound(rooted, aggregated).congestion;
+  result.ratio =
+      result.onlineCongestion / std::max(result.offlineLowerBound, 1.0);
+  result.replications = strategy.replications();
+  result.invalidations = strategy.invalidations();
+  return result;
+}
+
+}  // namespace hbn::dynamic

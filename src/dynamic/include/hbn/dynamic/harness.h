@@ -1,0 +1,45 @@
+// Competitive-ratio harness for the online strategy.
+//
+// Builds online request sequences (randomised interleavings of a static
+// workload, or adversarial read/write alternations), runs them through
+// OnlineTreeStrategy, and compares the realised congestion against the
+// offline benchmark: the analytic congestion lower bound of the
+// aggregated frequencies (a lower bound even on the optimal *static*
+// placement, hence on any offline strategy that must keep at least one
+// copy).
+#pragma once
+
+#include <vector>
+
+#include "hbn/dynamic/online_strategy.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/workload.h"
+
+namespace hbn::dynamic {
+
+/// Flattens a static workload into a uniformly shuffled request sequence.
+[[nodiscard]] std::vector<Request> sequenceFromWorkload(
+    const workload::Workload& load, util::Rng& rng);
+
+/// Adversarial sequence: alternating read bursts from one subtree and
+/// writes from another, designed to force replicate/invalidate churn.
+[[nodiscard]] std::vector<Request> makePingPongSequence(
+    const net::Tree& tree, int numObjects, int roundsPerObject,
+    Count readsPerBurst, util::Rng& rng);
+
+/// Outcome of one competitive run.
+struct CompetitiveResult {
+  double onlineCongestion = 0.0;
+  double offlineLowerBound = 0.0;
+  /// onlineCongestion / max(offlineLowerBound, 1); the headline number.
+  double ratio = 0.0;
+  Count replications = 0;
+  Count invalidations = 0;
+};
+
+/// Runs `requests` online and evaluates against the offline bound.
+[[nodiscard]] CompetitiveResult runCompetitive(
+    const net::RootedTree& rooted, int numObjects,
+    const std::vector<Request>& requests, const OnlineOptions& options = {});
+
+}  // namespace hbn::dynamic

@@ -1,0 +1,100 @@
+// Dynamic (online) data management on trees — extension module.
+//
+// The paper's related work (§1.3) points to the dynamic tree strategy of
+// [10], which achieves competitive ratio 3 for congestion on trees by
+// maintaining, per object, a connected copy subtree that grows towards
+// readers and shrinks on writes, steered by per-edge counters. The exact
+// FOCS'97 pseudocode is not reproduced in this paper, so this module
+// implements the canonical counter scheme it describes:
+//
+//   * the copy set of object x is always a connected subtree T(x);
+//   * a READ from v is served by the copy at the entry point of v into
+//     T(x) (load: the v→entry path). Every edge on that path accrues a
+//     read counter; an edge adjacent to T(x) whose counter reaches the
+//     replication threshold D gets the copy set extended across it
+//     (load: +1 object migration on that edge), cascading towards v;
+//   * a WRITE from v updates all copies (load: v→entry path plus the
+//     Steiner tree of T(x), as in the static model) and then contracts
+//     the copy set to the single entry-point node, resetting all counters
+//     of x (writes invalidate remote replicas).
+//
+// With D = 1 this mirrors the classic replicate-on-read /
+// invalidate-on-write policy whose tree competitiveness is O(1); the E-
+// series harness measures the realised congestion ratio against the
+// offline static optimum (extended-nibble / analytic LB on the aggregated
+// frequencies).
+#pragma once
+
+#include <vector>
+
+#include "hbn/core/load.h"
+#include "hbn/net/rooted.h"
+#include "hbn/workload/workload.h"
+
+namespace hbn::dynamic {
+
+using core::Count;
+using workload::ObjectId;
+
+/// Strategy knobs.
+struct OnlineOptions {
+  /// Reads across an edge needed before the copy set expands over it.
+  Count replicationThreshold = 2;
+  /// Whether writes contract the copy set to the writer-side entry node.
+  bool contractOnWrite = true;
+};
+
+/// One online request.
+struct Request {
+  ObjectId object = 0;
+  net::NodeId origin = net::kInvalidNode;
+  bool isWrite = false;
+};
+
+/// Executes requests online, maintaining per-object copy subtrees and
+/// accumulating the exact communication load of services, updates and
+/// migrations.
+class OnlineTreeStrategy {
+ public:
+  /// Copies start on `initialLocation` (one copy per object); pass a
+  /// processor, e.g. tree.processors().front().
+  OnlineTreeStrategy(const net::RootedTree& rooted, int numObjects,
+                     net::NodeId initialLocation,
+                     const OnlineOptions& options = {});
+
+  /// Serves one request, updating loads and the copy set.
+  void serve(const Request& request);
+
+  /// Loads accumulated so far (service + update + migration traffic).
+  [[nodiscard]] const core::LoadMap& loads() const noexcept { return loads_; }
+
+  /// Current copy locations of `x`, ascending.
+  [[nodiscard]] std::vector<net::NodeId> copySet(ObjectId x) const;
+
+  /// Total number of replications performed (copy-set extensions).
+  [[nodiscard]] Count replications() const noexcept { return replications_; }
+  /// Total number of copy deletions from write contractions.
+  [[nodiscard]] Count invalidations() const noexcept {
+    return invalidations_;
+  }
+
+ private:
+  struct ObjectState {
+    std::vector<char> hasCopy;        // per node
+    std::vector<Count> readCounter;   // per edge
+    int copyCount = 0;
+  };
+
+  /// Entry point of `v` into the copy subtree of `state` (nearest copy).
+  [[nodiscard]] net::NodeId entryPoint(const ObjectState& state,
+                                       net::NodeId v) const;
+
+  const net::RootedTree* rooted_;
+  OnlineOptions options_;
+  std::vector<ObjectState> objects_;
+  core::LoadMap loads_;
+  Count replications_ = 0;
+  Count invalidations_ = 0;
+};
+
+}  // namespace hbn::dynamic

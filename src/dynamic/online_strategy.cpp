@@ -1,0 +1,152 @@
+#include "hbn/dynamic/online_strategy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hbn/net/steiner.h"
+
+namespace hbn::dynamic {
+
+OnlineTreeStrategy::OnlineTreeStrategy(const net::RootedTree& rooted,
+                                       int numObjects,
+                                       net::NodeId initialLocation,
+                                       const OnlineOptions& options)
+    : rooted_(&rooted),
+      options_(options),
+      loads_(rooted.tree().edgeCount()) {
+  if (numObjects < 1) {
+    throw std::invalid_argument("OnlineTreeStrategy: numObjects >= 1");
+  }
+  if (options.replicationThreshold < 1) {
+    throw std::invalid_argument(
+        "OnlineTreeStrategy: replicationThreshold >= 1");
+  }
+  const auto n = static_cast<std::size_t>(rooted.tree().nodeCount());
+  const auto e = static_cast<std::size_t>(rooted.tree().edgeCount());
+  if (initialLocation < 0 ||
+      initialLocation >= rooted.tree().nodeCount()) {
+    throw std::out_of_range("OnlineTreeStrategy: initial location");
+  }
+  objects_.resize(static_cast<std::size_t>(numObjects));
+  for (auto& state : objects_) {
+    state.hasCopy.assign(n, 0);
+    state.readCounter.assign(e, 0);
+    state.hasCopy[static_cast<std::size_t>(initialLocation)] = 1;
+    state.copyCount = 1;
+  }
+}
+
+net::NodeId OnlineTreeStrategy::entryPoint(const ObjectState& state,
+                                           net::NodeId v) const {
+  // BFS from v until the first copy node: the copy set is connected, so
+  // this is the unique entry point.
+  if (state.hasCopy[static_cast<std::size_t>(v)]) return v;
+  const net::Tree& tree = rooted_->tree();
+  std::vector<char> seen(static_cast<std::size_t>(tree.nodeCount()), 0);
+  std::vector<net::NodeId> queue{v};
+  seen[static_cast<std::size_t>(v)] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const net::NodeId u = queue[head];
+    if (state.hasCopy[static_cast<std::size_t>(u)]) return u;
+    for (const net::HalfEdge& he : tree.neighbors(u)) {
+      if (!seen[static_cast<std::size_t>(he.to)]) {
+        seen[static_cast<std::size_t>(he.to)] = 1;
+        queue.push_back(he.to);
+      }
+    }
+  }
+  throw std::logic_error("entryPoint: copy set empty");
+}
+
+void OnlineTreeStrategy::serve(const Request& request) {
+  if (request.object < 0 ||
+      request.object >= static_cast<ObjectId>(objects_.size())) {
+    throw std::out_of_range("serve: object id");
+  }
+  const net::Tree& tree = rooted_->tree();
+  ObjectState& state = objects_[static_cast<std::size_t>(request.object)];
+  const net::NodeId origin = request.origin;
+  const net::NodeId entry = entryPoint(state, origin);
+
+  if (!request.isWrite) {
+    // Service load on the origin→entry path; bump counters; replicate
+    // across saturated edges adjacent to the copy set, cascading toward
+    // the reader.
+    const auto pathNodes = rooted_->pathNodes(entry, origin);
+    for (std::size_t i = 1; i < pathNodes.size(); ++i) {
+      // Edge between pathNodes[i-1] (closer to entry) and pathNodes[i].
+      net::EdgeId edge = net::kInvalidEdge;
+      for (const net::HalfEdge& he : tree.neighbors(pathNodes[i - 1])) {
+        if (he.to == pathNodes[i]) {
+          edge = he.edge;
+          break;
+        }
+      }
+      loads_.addEdgeLoad(edge, 1);
+      ++state.readCounter[static_cast<std::size_t>(edge)];
+    }
+    // Cascade replication from the entry outwards while thresholds hold.
+    for (std::size_t i = 1; i < pathNodes.size(); ++i) {
+      const net::NodeId from = pathNodes[i - 1];
+      const net::NodeId to = pathNodes[i];
+      if (!state.hasCopy[static_cast<std::size_t>(from)]) break;
+      if (state.hasCopy[static_cast<std::size_t>(to)]) continue;
+      net::EdgeId edge = net::kInvalidEdge;
+      for (const net::HalfEdge& he : tree.neighbors(from)) {
+        if (he.to == to) {
+          edge = he.edge;
+          break;
+        }
+      }
+      if (state.readCounter[static_cast<std::size_t>(edge)] <
+          options_.replicationThreshold) {
+        break;
+      }
+      // Replicate across: one object migration message.
+      loads_.addEdgeLoad(edge, 1);
+      state.hasCopy[static_cast<std::size_t>(to)] = 1;
+      ++state.copyCount;
+      ++replications_;
+      state.readCounter[static_cast<std::size_t>(edge)] = 0;
+    }
+    return;
+  }
+
+  // WRITE: origin→entry path plus broadcast over the copy subtree.
+  if (origin != entry) {
+    rooted_->forEachPathEdge(origin, entry,
+                             [&](net::EdgeId e) { loads_.addEdgeLoad(e, 1); });
+  }
+  if (state.copyCount > 1) {
+    std::vector<net::NodeId> locations;
+    for (net::NodeId v = 0; v < tree.nodeCount(); ++v) {
+      if (state.hasCopy[static_cast<std::size_t>(v)]) {
+        locations.push_back(v);
+      }
+    }
+    const auto steiner = net::steinerEdges(*rooted_, locations);
+    for (const net::EdgeId e : steiner) loads_.addEdgeLoad(e, 1);
+    if (options_.contractOnWrite) {
+      // Invalidate every replica except the writer-side entry copy.
+      for (const net::NodeId v : locations) {
+        if (v != entry) {
+          state.hasCopy[static_cast<std::size_t>(v)] = 0;
+          ++invalidations_;
+        }
+      }
+      state.copyCount = 1;
+      std::fill(state.readCounter.begin(), state.readCounter.end(), 0);
+    }
+  }
+}
+
+std::vector<net::NodeId> OnlineTreeStrategy::copySet(ObjectId x) const {
+  const ObjectState& state = objects_.at(static_cast<std::size_t>(x));
+  std::vector<net::NodeId> locations;
+  for (net::NodeId v = 0; v < rooted_->tree().nodeCount(); ++v) {
+    if (state.hasCopy[static_cast<std::size_t>(v)]) locations.push_back(v);
+  }
+  return locations;
+}
+
+}  // namespace hbn::dynamic

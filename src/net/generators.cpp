@@ -1,0 +1,208 @@
+#include "hbn/net/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hbn::net {
+namespace {
+
+// Fat-tree profile: bandwidth proportional to the number of processors in
+// the subtree hanging below, clamped to >= 1.
+double fatBandwidth(const BandwidthModel& bw, double base, int leavesBelow) {
+  if (!bw.fatTree) return base;
+  return std::max(1.0, base * static_cast<double>(leavesBelow));
+}
+
+}  // namespace
+
+Tree makeKaryTree(int arity, int height, const BandwidthModel& bw) {
+  if (height < 1) throw std::invalid_argument("makeKaryTree: height >= 1");
+  if (arity < 2) throw std::invalid_argument("makeKaryTree: arity >= 2");
+  TreeBuilder builder;
+  // Leaves below a bus at bus-depth d (root is d=0, bus height is `height`):
+  // arity^(height - d).
+  auto leavesBelow = [&](int busDepth) {
+    double count = 1.0;
+    for (int i = 0; i < height - busDepth; ++i) {
+      count *= static_cast<double>(arity);
+    }
+    return static_cast<int>(count);
+  };
+
+  struct Frame {
+    NodeId bus;
+    int depth;
+  };
+  const NodeId root =
+      builder.addBus(fatBandwidth(bw, bw.bus, leavesBelow(0)));
+  std::vector<Frame> frontier{{root, 0}};
+  while (!frontier.empty()) {
+    const Frame f = frontier.back();
+    frontier.pop_back();
+    if (f.depth == height - 1) {
+      for (int i = 0; i < arity; ++i) {
+        const NodeId p = builder.addProcessor();
+        builder.connect(f.bus, p, bw.leafEdge);
+      }
+    } else {
+      for (int i = 0; i < arity; ++i) {
+        const NodeId child = builder.addBus(
+            fatBandwidth(bw, bw.bus, leavesBelow(f.depth + 1)));
+        builder.connect(
+            f.bus, child,
+            fatBandwidth(bw, bw.innerEdge, leavesBelow(f.depth + 1)));
+        frontier.push_back({child, f.depth + 1});
+      }
+    }
+  }
+  return builder.build();
+}
+
+Tree makeStar(int numProcessors, double busBandwidth) {
+  if (numProcessors < 1) {
+    throw std::invalid_argument("makeStar: need at least one processor");
+  }
+  TreeBuilder builder;
+  const NodeId bus = builder.addBus(busBandwidth);
+  for (int i = 0; i < numProcessors; ++i) {
+    const NodeId p = builder.addProcessor();
+    builder.connect(bus, p, 1.0);
+  }
+  return builder.build();
+}
+
+Tree makeCaterpillar(int busCount, int procsPerBus, const BandwidthModel& bw) {
+  if (busCount < 1 || procsPerBus < 1) {
+    throw std::invalid_argument("makeCaterpillar: positive sizes required");
+  }
+  TreeBuilder builder;
+  std::vector<NodeId> buses;
+  buses.reserve(static_cast<std::size_t>(busCount));
+  for (int i = 0; i < busCount; ++i) {
+    const int below = procsPerBus * (busCount - i);
+    buses.push_back(builder.addBus(fatBandwidth(bw, bw.bus, below)));
+    if (i > 0) {
+      builder.connect(buses[static_cast<std::size_t>(i - 1)],
+                      buses[static_cast<std::size_t>(i)],
+                      fatBandwidth(bw, bw.innerEdge,
+                                   procsPerBus * (busCount - i)));
+    }
+    for (int j = 0; j < procsPerBus; ++j) {
+      const NodeId p = builder.addProcessor();
+      builder.connect(buses.back(), p, bw.leafEdge);
+    }
+  }
+  return builder.build();
+}
+
+Tree makeRandomTree(int numProcessors, int busCount, util::Rng& rng,
+                    const BandwidthModel& bw) {
+  if (busCount < 1) throw std::invalid_argument("makeRandomTree: busCount >= 1");
+  if (numProcessors < busCount) {
+    // Each bus needs at least one incident leaf/child so no bus is a leaf.
+    numProcessors = busCount;
+  }
+  TreeBuilder builder;
+  std::vector<NodeId> buses;
+  buses.reserve(static_cast<std::size_t>(busCount));
+  for (int i = 0; i < busCount; ++i) {
+    buses.push_back(builder.addBus(bw.bus));
+    if (i > 0) {
+      // Random recursive tree: attach to a uniformly random earlier bus.
+      const auto j = static_cast<std::size_t>(
+          rng.nextBelow(static_cast<std::uint64_t>(i)));
+      builder.connect(buses[j], buses.back(), bw.innerEdge);
+    }
+  }
+  // Guarantee every degree-1 bus (a chain end) gets a processor: first give
+  // one processor to every bus, then spread the rest uniformly.
+  int remaining = numProcessors;
+  for (const NodeId b : buses) {
+    const NodeId p = builder.addProcessor();
+    builder.connect(b, p, bw.leafEdge);
+    --remaining;
+  }
+  while (remaining-- > 0) {
+    const auto j = static_cast<std::size_t>(
+        rng.nextBelow(static_cast<std::uint64_t>(busCount)));
+    const NodeId p = builder.addProcessor();
+    builder.connect(buses[j], p, bw.leafEdge);
+  }
+  return builder.build();
+}
+
+Tree makeClusterNetwork(int clusters, int procsPerCluster,
+                        const BandwidthModel& bw) {
+  if (clusters < 1 || procsPerCluster < 1) {
+    throw std::invalid_argument("makeClusterNetwork: positive sizes required");
+  }
+  TreeBuilder builder;
+  const NodeId root = builder.addBus(
+      fatBandwidth(bw, bw.bus, clusters * procsPerCluster));
+  for (int c = 0; c < clusters; ++c) {
+    const NodeId cluster =
+        builder.addBus(fatBandwidth(bw, bw.bus, procsPerCluster));
+    builder.connect(root, cluster,
+                    fatBandwidth(bw, bw.innerEdge, procsPerCluster));
+    for (int p = 0; p < procsPerCluster; ++p) {
+      const NodeId proc = builder.addProcessor();
+      builder.connect(cluster, proc, bw.leafEdge);
+    }
+  }
+  return builder.build();
+}
+
+const char* topologyFamilyName(TopologyFamily f) noexcept {
+  switch (f) {
+    case TopologyFamily::kary:
+      return "kary";
+    case TopologyFamily::star:
+      return "star";
+    case TopologyFamily::caterpillar:
+      return "caterpillar";
+    case TopologyFamily::random:
+      return "random";
+    case TopologyFamily::cluster:
+      return "cluster";
+  }
+  return "?";
+}
+
+Tree makeFamilyMember(TopologyFamily family, int targetProcessors,
+                      util::Rng& rng, const BandwidthModel& bw) {
+  targetProcessors = std::max(2, targetProcessors);
+  switch (family) {
+    case TopologyFamily::kary: {
+      // Pick arity 4 and the height that gets closest to the target.
+      const int arity = 4;
+      int height = 1;
+      int leaves = arity;
+      while (leaves * arity <= targetProcessors) {
+        leaves *= arity;
+        ++height;
+      }
+      return makeKaryTree(arity, height, bw);
+    }
+    case TopologyFamily::star:
+      return makeStar(targetProcessors, bw.bus);
+    case TopologyFamily::caterpillar: {
+      const int perBus = 3;
+      const int buses = std::max(1, targetProcessors / perBus);
+      return makeCaterpillar(buses, perBus, bw);
+    }
+    case TopologyFamily::random: {
+      const int buses = std::max(1, targetProcessors / 4);
+      return makeRandomTree(targetProcessors, buses, rng, bw);
+    }
+    case TopologyFamily::cluster: {
+      const int clusters =
+          std::max(1, static_cast<int>(std::sqrt(targetProcessors)));
+      const int per = std::max(1, targetProcessors / clusters);
+      return makeClusterNetwork(clusters, per, bw);
+    }
+  }
+  throw std::invalid_argument("makeFamilyMember: unknown family");
+}
+
+}  // namespace hbn::net

@@ -1,0 +1,71 @@
+// Topology generators for hierarchical bus networks.
+//
+// These produce the network families used across tests and experiments:
+// balanced k-ary hierarchies (the canonical SCI-switch layout), stars
+// (single shared bus; the NP-hardness gadget's shape), caterpillars
+// (a backbone bus chain, the worst case for height-dependent bounds),
+// random bus hierarchies, and two-level "cluster" networks modelling a
+// NOW built from ringlets.
+#pragma once
+
+#include <vector>
+
+#include "hbn/net/tree.h"
+#include "hbn/util/rng.h"
+
+namespace hbn::net {
+
+/// Bandwidth assignment policy for generated topologies.
+struct BandwidthModel {
+  /// Bandwidth of processor-bus switch edges. The paper fixes this to 1.
+  double leafEdge = 1.0;
+  /// Bandwidth of bus-bus switch edges.
+  double innerEdge = 1.0;
+  /// Bandwidth of every bus.
+  double bus = 1.0;
+  /// When true, inner-edge and bus bandwidths scale with the number of
+  /// processors below them (a "fat-tree" profile, common for hierarchical
+  /// bus systems where higher-level buses are faster).
+  bool fatTree = false;
+};
+
+/// Complete `arity`-ary bus hierarchy of the given bus height; processors
+/// hang off every lowest-level bus. height >= 1; arity >= 2 for height > 1.
+/// With height = 1 this is a star: one bus and `arity` processors.
+[[nodiscard]] Tree makeKaryTree(int arity, int height,
+                                const BandwidthModel& bw = {});
+
+/// Single bus with `numProcessors` processors (4-ary star with
+/// numProcessors = 4 is the NP-hardness gadget topology of Figure 3).
+[[nodiscard]] Tree makeStar(int numProcessors, double busBandwidth = 1.0);
+
+/// Chain of `busCount` buses; `procsPerBus` processors hang off each bus.
+[[nodiscard]] Tree makeCaterpillar(int busCount, int procsPerBus,
+                                   const BandwidthModel& bw = {});
+
+/// Random bus hierarchy: a random recursive tree of `busCount` buses, with
+/// `numProcessors` processors attached to uniformly random buses. Every
+/// bus is guaranteed at least one child (processors are added to childless
+/// buses first so the tree is valid).
+[[nodiscard]] Tree makeRandomTree(int numProcessors, int busCount,
+                                  util::Rng& rng,
+                                  const BandwidthModel& bw = {});
+
+/// Two-level cluster network: `clusters` level-1 buses under one root bus,
+/// each cluster holding `procsPerCluster` processors — the "NOW of SCI
+/// ringlets" shape from the paper's introduction.
+[[nodiscard]] Tree makeClusterNetwork(int clusters, int procsPerCluster,
+                                      const BandwidthModel& bw = {});
+
+/// Names for reporting; the experiment tables key rows by these.
+enum class TopologyFamily { kary, star, caterpillar, random, cluster };
+
+[[nodiscard]] const char* topologyFamilyName(TopologyFamily f) noexcept;
+
+/// Uniform construction interface used by the benchmark sweeps: builds a
+/// member of `family` with roughly `targetProcessors` processors.
+[[nodiscard]] Tree makeFamilyMember(TopologyFamily family,
+                                    int targetProcessors, util::Rng& rng,
+                                    const BandwidthModel& bw = {});
+
+}  // namespace hbn::net

@@ -1,0 +1,98 @@
+// Rooted view over a Tree: parents, depths, traversal orders, LCA and
+// tree-path enumeration.
+//
+// Both the nibble strategy (rooted at an object's centre of gravity) and
+// the mapping algorithm (rooted at a designated bus) operate on rooted
+// views; load evaluation enumerates paths via LCA.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hbn/net/tree.h"
+
+namespace hbn::net {
+
+/// Immutable rooted orientation of a Tree.
+///
+/// Construction is O(n log n) (binary-lifting tables for LCA); all queries
+/// are O(1) or O(path length).
+class RootedTree {
+ public:
+  RootedTree(const Tree& tree, NodeId root);
+
+  [[nodiscard]] const Tree& tree() const noexcept { return *tree_; }
+  [[nodiscard]] NodeId root() const noexcept { return root_; }
+
+  /// Parent of `v`; kInvalidNode for the root.
+  [[nodiscard]] NodeId parent(NodeId v) const {
+    return parent_[static_cast<std::size_t>(v)];
+  }
+  /// Edge connecting `v` to its parent; kInvalidEdge for the root.
+  [[nodiscard]] EdgeId parentEdge(NodeId v) const {
+    return parentEdge_[static_cast<std::size_t>(v)];
+  }
+  /// Edge distance from the root.
+  [[nodiscard]] int depth(NodeId v) const {
+    return depth_[static_cast<std::size_t>(v)];
+  }
+  /// Height of the whole rooted tree (max depth).
+  [[nodiscard]] int height() const noexcept { return height_; }
+  /// The paper's level numbering: root at level height(), leaves of the
+  /// deepest branch at level 0. level(v) = height() - depth(v).
+  [[nodiscard]] int level(NodeId v) const { return height_ - depth(v); }
+
+  /// Children of `v` in rooted orientation.
+  [[nodiscard]] std::span<const NodeId> children(NodeId v) const {
+    return {children_.data() + childStart_[static_cast<std::size_t>(v)],
+            static_cast<std::size_t>(
+                childStart_[static_cast<std::size_t>(v) + 1] -
+                childStart_[static_cast<std::size_t>(v)])};
+  }
+
+  /// Nodes in preorder (root first; every parent precedes its children).
+  [[nodiscard]] std::span<const NodeId> preorder() const noexcept {
+    return preorder_;
+  }
+
+  /// Lowest common ancestor of u and v.
+  [[nodiscard]] NodeId lca(NodeId u, NodeId v) const;
+
+  /// Number of edges on the unique u-v path.
+  [[nodiscard]] int distance(NodeId u, NodeId v) const;
+
+  /// True when `ancestor` lies on the path from `v` to the root
+  /// (inclusive of v itself).
+  [[nodiscard]] bool isAncestorOf(NodeId ancestor, NodeId v) const;
+
+  /// Invokes `fn(EdgeId)` for every edge on the unique u-v path, in order
+  /// from u up to lca(u,v) and then down to v.
+  template <typename Fn>
+  void forEachPathEdge(NodeId u, NodeId v, Fn&& fn) const {
+    const NodeId a = lca(u, v);
+    for (NodeId x = u; x != a; x = parent(x)) fn(parentEdge(x));
+    // Collect the descent side so edges are emitted top-down toward v.
+    pathScratch_.clear();
+    for (NodeId x = v; x != a; x = parent(x)) pathScratch_.push_back(parentEdge(x));
+    for (auto it = pathScratch_.rbegin(); it != pathScratch_.rend(); ++it) fn(*it);
+  }
+
+  /// The nodes of the u-v path, inclusive of both endpoints.
+  [[nodiscard]] std::vector<NodeId> pathNodes(NodeId u, NodeId v) const;
+
+ private:
+  const Tree* tree_;
+  NodeId root_;
+  int height_ = 0;
+  std::vector<NodeId> parent_;
+  std::vector<EdgeId> parentEdge_;
+  std::vector<int> depth_;
+  std::vector<NodeId> preorder_;
+  std::vector<NodeId> children_;
+  std::vector<int> childStart_;
+  // up_[k][v] = 2^k-th ancestor of v (root saturates to root).
+  std::vector<std::vector<NodeId>> up_;
+  mutable std::vector<EdgeId> pathScratch_;
+};
+
+}  // namespace hbn::net

@@ -1,0 +1,35 @@
+// Text and Graphviz serialisation for hierarchical bus networks.
+//
+// The text format is line-oriented and round-trips exactly:
+//
+//   hbn-tree v1
+//   node <id> processor
+//   node <id> bus <bandwidth>
+//   edge <u> <v> <bandwidth>
+//
+// Node ids must be dense 0..n-1 and appear in ascending order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "hbn/net/tree.h"
+
+namespace hbn::net {
+
+/// Writes the round-trippable text representation of `tree`.
+void writeText(const Tree& tree, std::ostream& os);
+
+/// Convenience wrapper for writeText.
+[[nodiscard]] std::string toText(const Tree& tree);
+
+/// Parses the text representation; throws std::invalid_argument on any
+/// syntax or structural error.
+[[nodiscard]] Tree parseText(std::string_view text);
+
+/// Emits a Graphviz DOT rendering (processors as boxes, buses as ellipses,
+/// bandwidths as labels) for documentation and debugging.
+[[nodiscard]] std::string toDot(const Tree& tree);
+
+}  // namespace hbn::net

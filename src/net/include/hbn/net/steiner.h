@@ -1,0 +1,27 @@
+// Minimal spanning (Steiner) subtrees of terminal sets within a tree.
+//
+// Write requests charge every edge of the Steiner tree connecting the copy
+// set P_x, so load evaluation needs this repeatedly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hbn/net/rooted.h"
+
+namespace hbn::net {
+
+/// Returns the edge ids of the minimal subtree of `rooted.tree()` spanning
+/// `terminals`. Duplicated terminals are allowed; for fewer than two
+/// distinct terminals the result is empty. O(n) in the tree size.
+[[nodiscard]] std::vector<EdgeId> steinerEdges(
+    const RootedTree& rooted, std::span<const NodeId> terminals);
+
+/// Like steinerEdges but adds `weight` onto `edgeLoad[e]` for each Steiner
+/// edge instead of materialising the edge list. `edgeLoad` must have
+/// tree.edgeCount() entries.
+void addSteinerLoad(const RootedTree& rooted,
+                    std::span<const NodeId> terminals, double weight,
+                    std::span<double> edgeLoad);
+
+}  // namespace hbn::net

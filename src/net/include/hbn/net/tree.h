@@ -1,0 +1,170 @@
+// Hierarchical bus network model: a weighted tree T = (P ∪ B, E, b).
+//
+// Following the paper (Meyer auf der Heide, Räcke, Westermann, SPAA 2000):
+//   * leaves are processors P — the only nodes that can store data copies,
+//   * inner nodes are buses B,
+//   * edges are switches,
+//   * b assigns bandwidths to buses and to edges (switches).
+//
+// Structural invariants enforced by TreeBuilder::build():
+//   * the graph is a tree (connected, |E| = |V| - 1),
+//   * every processor has degree exactly 1 (a processor hangs off one bus),
+//   * every edge connects processor-bus or bus-bus (never two processors),
+//   * every degree-<=1 bus is rejected for trees with more than one node
+//     (a leaf must be a processor),
+//   * all bandwidths are >= 1.
+//
+// The paper additionally assumes that processor-bus switch edges have
+// bandwidth exactly 1 ("the slowest part of the system"); that assumption
+// is required by the 7-approximation guarantee, and can be checked with
+// Tree::usesUnitLeafEdges().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hbn::net {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// Role of a tree node: leaf processor or inner bus.
+enum class NodeKind : std::uint8_t { processor, bus };
+
+/// Adjacency entry: the neighbour and the id of the connecting edge.
+struct HalfEdge {
+  NodeId to = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+};
+
+/// Undirected switch edge with bandwidth.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  double bandwidth = 1.0;
+};
+
+class Tree;
+
+/// Incremental construction of a Tree; build() validates all invariants.
+class TreeBuilder {
+ public:
+  /// Adds a leaf processor node and returns its id.
+  NodeId addProcessor();
+
+  /// Adds a bus (inner) node with the given bandwidth (must be >= 1).
+  NodeId addBus(double bandwidth = 1.0);
+
+  /// Connects two existing nodes with a switch of the given bandwidth.
+  EdgeId connect(NodeId u, NodeId v, double bandwidth = 1.0);
+
+  [[nodiscard]] int nodeCount() const noexcept {
+    return static_cast<int>(kinds_.size());
+  }
+
+  /// Validates the structure and produces an immutable Tree.
+  /// Throws std::invalid_argument describing the first violated invariant.
+  [[nodiscard]] Tree build() const;
+
+ private:
+  std::vector<NodeKind> kinds_;
+  std::vector<double> busBandwidth_;
+  std::vector<Edge> edges_;
+};
+
+/// Immutable, validated hierarchical bus network.
+class Tree {
+ public:
+  [[nodiscard]] int nodeCount() const noexcept {
+    return static_cast<int>(kinds_.size());
+  }
+  [[nodiscard]] int edgeCount() const noexcept {
+    return static_cast<int>(edges_.size());
+  }
+  [[nodiscard]] int processorCount() const noexcept {
+    return static_cast<int>(processors_.size());
+  }
+  [[nodiscard]] int busCount() const noexcept {
+    return static_cast<int>(buses_.size());
+  }
+
+  [[nodiscard]] NodeKind kind(NodeId v) const { return kinds_[check(v)]; }
+  [[nodiscard]] bool isProcessor(NodeId v) const {
+    return kind(v) == NodeKind::processor;
+  }
+  [[nodiscard]] bool isBus(NodeId v) const { return kind(v) == NodeKind::bus; }
+
+  /// Bandwidth of bus `v`; requires isBus(v).
+  [[nodiscard]] double busBandwidth(NodeId v) const;
+
+  /// Bandwidth of edge `e`.
+  [[nodiscard]] double edgeBandwidth(EdgeId e) const {
+    return edges_[checkEdge(e)].bandwidth;
+  }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    return edges_[checkEdge(e)];
+  }
+
+  /// The endpoint of `e` that is not `v`; requires that `v` is an endpoint.
+  [[nodiscard]] NodeId otherEnd(EdgeId e, NodeId v) const;
+
+  [[nodiscard]] std::span<const HalfEdge> neighbors(NodeId v) const {
+    check(v);
+    return {adjacency_.data() + adjStart_[v],
+            static_cast<std::size_t>(adjStart_[v + 1] - adjStart_[v])};
+  }
+
+  [[nodiscard]] int degree(NodeId v) const {
+    check(v);
+    return adjStart_[v + 1] - adjStart_[v];
+  }
+
+  /// Maximum degree over all nodes (the paper's degree(T)).
+  [[nodiscard]] int maxDegree() const noexcept { return maxDegree_; }
+
+  /// All processor (leaf) node ids, ascending.
+  [[nodiscard]] std::span<const NodeId> processors() const noexcept {
+    return processors_;
+  }
+  /// All bus (inner) node ids, ascending.
+  [[nodiscard]] std::span<const NodeId> buses() const noexcept {
+    return buses_;
+  }
+
+  /// Eccentricity-based height when rooted at `root` (edges on the longest
+  /// root-to-node path). O(n).
+  [[nodiscard]] int heightFrom(NodeId root) const;
+
+  /// True when every processor-bus switch edge has bandwidth exactly 1,
+  /// the bandwidth model assumed by the paper's approximation analysis.
+  [[nodiscard]] bool usesUnitLeafEdges() const;
+
+  /// An arbitrary-but-deterministic bus to use as the global root for the
+  /// mapping algorithm; the unique node of single-node trees otherwise.
+  [[nodiscard]] NodeId defaultRoot() const;
+
+ private:
+  friend class TreeBuilder;
+  Tree() = default;
+
+  NodeId check(NodeId v) const;
+  EdgeId checkEdge(EdgeId e) const;
+
+  std::vector<NodeKind> kinds_;
+  std::vector<double> busBandwidth_;
+  std::vector<Edge> edges_;
+  // CSR adjacency.
+  std::vector<HalfEdge> adjacency_;
+  std::vector<int> adjStart_;
+  std::vector<NodeId> processors_;
+  std::vector<NodeId> buses_;
+  int maxDegree_ = 0;
+};
+
+}  // namespace hbn::net

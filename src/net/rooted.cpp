@@ -1,0 +1,125 @@
+#include "hbn/net/rooted.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hbn::net {
+
+RootedTree::RootedTree(const Tree& tree, NodeId root)
+    : tree_(&tree), root_(root) {
+  const int n = tree.nodeCount();
+  if (root < 0 || root >= n) {
+    throw std::out_of_range("RootedTree: root out of range");
+  }
+  parent_.assign(static_cast<std::size_t>(n), kInvalidNode);
+  parentEdge_.assign(static_cast<std::size_t>(n), kInvalidEdge);
+  depth_.assign(static_cast<std::size_t>(n), 0);
+  preorder_.reserve(static_cast<std::size_t>(n));
+
+  // Iterative DFS producing a preorder in which parents precede children.
+  std::vector<NodeId> stack{root};
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  seen[static_cast<std::size_t>(root)] = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    preorder_.push_back(v);
+    for (const HalfEdge& he : tree.neighbors(v)) {
+      if (!seen[static_cast<std::size_t>(he.to)]) {
+        seen[static_cast<std::size_t>(he.to)] = 1;
+        parent_[static_cast<std::size_t>(he.to)] = v;
+        parentEdge_[static_cast<std::size_t>(he.to)] = he.edge;
+        depth_[static_cast<std::size_t>(he.to)] =
+            depth_[static_cast<std::size_t>(v)] + 1;
+        stack.push_back(he.to);
+      }
+    }
+  }
+  height_ = *std::max_element(depth_.begin(), depth_.end());
+
+  // Child lists in CSR form.
+  childStart_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent_[static_cast<std::size_t>(v)] != kInvalidNode) {
+      ++childStart_[static_cast<std::size_t>(
+                        parent_[static_cast<std::size_t>(v)]) +
+                    1];
+    }
+  }
+  for (std::size_t i = 1; i < childStart_.size(); ++i) {
+    childStart_[i] += childStart_[i - 1];
+  }
+  children_.resize(static_cast<std::size_t>(n) - 1 + (n == 0 ? 1 : 0));
+  children_.resize(static_cast<std::size_t>(std::max(0, n - 1)));
+  std::vector<int> cursor(childStart_.begin(), childStart_.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId p = parent_[static_cast<std::size_t>(v)];
+    if (p != kInvalidNode) {
+      children_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(p)]++)] = v;
+    }
+  }
+
+  // Binary lifting tables.
+  int levels = 1;
+  while ((1 << levels) < std::max(1, n)) ++levels;
+  up_.assign(static_cast<std::size_t>(levels),
+             std::vector<NodeId>(static_cast<std::size_t>(n)));
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId p = parent_[static_cast<std::size_t>(v)];
+    up_[0][static_cast<std::size_t>(v)] = (p == kInvalidNode) ? v : p;
+  }
+  for (int k = 1; k < levels; ++k) {
+    for (NodeId v = 0; v < n; ++v) {
+      up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)] =
+          up_[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(
+              up_[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(v)])];
+    }
+  }
+}
+
+NodeId RootedTree::lca(NodeId u, NodeId v) const {
+  if (depth(u) < depth(v)) std::swap(u, v);
+  int diff = depth(u) - depth(v);
+  for (std::size_t k = 0; diff != 0; ++k, diff >>= 1) {
+    if (diff & 1) u = up_[k][static_cast<std::size_t>(u)];
+  }
+  if (u == v) return u;
+  for (int k = static_cast<int>(up_.size()) - 1; k >= 0; --k) {
+    const NodeId nu = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(u)];
+    const NodeId nv = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)];
+    if (nu != nv) {
+      u = nu;
+      v = nv;
+    }
+  }
+  return up_[0][static_cast<std::size_t>(u)];
+}
+
+int RootedTree::distance(NodeId u, NodeId v) const {
+  const NodeId a = lca(u, v);
+  return depth(u) + depth(v) - 2 * depth(a);
+}
+
+bool RootedTree::isAncestorOf(NodeId ancestor, NodeId v) const {
+  // Walk v up by the depth difference and compare.
+  int diff = depth(v) - depth(ancestor);
+  if (diff < 0) return false;
+  NodeId x = v;
+  for (std::size_t k = 0; diff != 0; ++k, diff >>= 1) {
+    if (diff & 1) x = up_[k][static_cast<std::size_t>(x)];
+  }
+  return x == ancestor;
+}
+
+std::vector<NodeId> RootedTree::pathNodes(NodeId u, NodeId v) const {
+  const NodeId a = lca(u, v);
+  std::vector<NodeId> upSide;
+  for (NodeId x = u; x != a; x = parent(x)) upSide.push_back(x);
+  upSide.push_back(a);
+  std::vector<NodeId> downSide;
+  for (NodeId x = v; x != a; x = parent(x)) downSide.push_back(x);
+  upSide.insert(upSide.end(), downSide.rbegin(), downSide.rend());
+  return upSide;
+}
+
+}  // namespace hbn::net

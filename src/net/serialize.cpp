@@ -1,0 +1,101 @@
+#include "hbn/net/serialize.h"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hbn::net {
+
+void writeText(const Tree& tree, std::ostream& os) {
+  os << "hbn-tree v1\n";
+  for (NodeId v = 0; v < tree.nodeCount(); ++v) {
+    if (tree.isProcessor(v)) {
+      os << "node " << v << " processor\n";
+    } else {
+      os << "node " << v << " bus " << tree.busBandwidth(v) << '\n';
+    }
+  }
+  for (EdgeId e = 0; e < tree.edgeCount(); ++e) {
+    const Edge& ed = tree.edge(e);
+    os << "edge " << ed.u << ' ' << ed.v << ' ' << ed.bandwidth << '\n';
+  }
+}
+
+std::string toText(const Tree& tree) {
+  std::ostringstream oss;
+  writeText(tree, oss);
+  return oss.str();
+}
+
+Tree parseText(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != "hbn-tree v1") {
+    throw std::invalid_argument("parseText: missing 'hbn-tree v1' header");
+  }
+  TreeBuilder builder;
+  NodeId expectedId = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls{line};
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "node") {
+      NodeId id = kInvalidNode;
+      std::string kind;
+      if (!(ls >> id >> kind)) {
+        throw std::invalid_argument("parseText: malformed node line");
+      }
+      if (id != expectedId) {
+        throw std::invalid_argument("parseText: node ids must be dense 0..n-1");
+      }
+      ++expectedId;
+      if (kind == "processor") {
+        builder.addProcessor();
+      } else if (kind == "bus") {
+        double bandwidth = 1.0;
+        if (!(ls >> bandwidth)) {
+          throw std::invalid_argument("parseText: bus line missing bandwidth");
+        }
+        builder.addBus(bandwidth);
+      } else {
+        throw std::invalid_argument("parseText: unknown node kind '" + kind +
+                                    "'");
+      }
+    } else if (keyword == "edge") {
+      NodeId u = kInvalidNode;
+      NodeId v = kInvalidNode;
+      double bandwidth = 1.0;
+      if (!(ls >> u >> v >> bandwidth)) {
+        throw std::invalid_argument("parseText: malformed edge line");
+      }
+      builder.connect(u, v, bandwidth);
+    } else {
+      throw std::invalid_argument("parseText: unknown keyword '" + keyword +
+                                  "'");
+    }
+  }
+  return builder.build();
+}
+
+std::string toDot(const Tree& tree) {
+  std::ostringstream os;
+  os << "graph hbn {\n";
+  for (NodeId v = 0; v < tree.nodeCount(); ++v) {
+    if (tree.isProcessor(v)) {
+      os << "  n" << v << " [shape=box,label=\"P" << v << "\"];\n";
+    } else {
+      os << "  n" << v << " [shape=ellipse,label=\"B" << v << " bw="
+         << tree.busBandwidth(v) << "\"];\n";
+    }
+  }
+  for (EdgeId e = 0; e < tree.edgeCount(); ++e) {
+    const Edge& ed = tree.edge(e);
+    os << "  n" << ed.u << " -- n" << ed.v << " [label=\"" << ed.bandwidth
+       << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hbn::net

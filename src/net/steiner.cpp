@@ -1,0 +1,68 @@
+#include "hbn/net/steiner.h"
+
+#include <stdexcept>
+
+namespace hbn::net {
+namespace {
+
+// Shared implementation: visits every Steiner edge once.
+template <typename Fn>
+void forEachSteinerEdge(const RootedTree& rooted,
+                        std::span<const NodeId> terminals, Fn&& fn) {
+  if (terminals.size() < 2) return;
+  const Tree& tree = rooted.tree();
+  const auto n = static_cast<std::size_t>(tree.nodeCount());
+
+  // Count terminals per node (duplicates collapse onto the node).
+  std::vector<int> mark(n, 0);
+  int distinct = 0;
+  for (NodeId t : terminals) {
+    if (t < 0 || t >= tree.nodeCount()) {
+      throw std::out_of_range("steinerEdges: terminal out of range");
+    }
+    if (mark[static_cast<std::size_t>(t)] == 0) ++distinct;
+    mark[static_cast<std::size_t>(t)] = 1;
+  }
+  if (distinct < 2) return;
+
+  // Post-order accumulation of terminal counts; the parent edge of v
+  // belongs to the Steiner tree iff the subtree below it separates the
+  // terminal set (0 < count(v) < distinct).
+  const auto order = rooted.preorder();
+  std::vector<int> count(n, 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    count[static_cast<std::size_t>(v)] += mark[static_cast<std::size_t>(v)];
+    const NodeId p = rooted.parent(v);
+    if (p != kInvalidNode) {
+      count[static_cast<std::size_t>(p)] += count[static_cast<std::size_t>(v)];
+    }
+    if (p != kInvalidNode && count[static_cast<std::size_t>(v)] > 0 &&
+        count[static_cast<std::size_t>(v)] < distinct) {
+      fn(rooted.parentEdge(v));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<EdgeId> steinerEdges(const RootedTree& rooted,
+                                 std::span<const NodeId> terminals) {
+  std::vector<EdgeId> edges;
+  forEachSteinerEdge(rooted, terminals,
+                     [&](EdgeId e) { edges.push_back(e); });
+  return edges;
+}
+
+void addSteinerLoad(const RootedTree& rooted,
+                    std::span<const NodeId> terminals, double weight,
+                    std::span<double> edgeLoad) {
+  if (edgeLoad.size() != static_cast<std::size_t>(rooted.tree().edgeCount())) {
+    throw std::invalid_argument("addSteinerLoad: edgeLoad size mismatch");
+  }
+  forEachSteinerEdge(rooted, terminals, [&](EdgeId e) {
+    edgeLoad[static_cast<std::size_t>(e)] += weight;
+  });
+}
+
+}  // namespace hbn::net

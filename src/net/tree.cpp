@@ -1,0 +1,183 @@
+#include "hbn/net/tree.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace hbn::net {
+
+NodeId TreeBuilder::addProcessor() {
+  kinds_.push_back(NodeKind::processor);
+  busBandwidth_.push_back(1.0);
+  return static_cast<NodeId>(kinds_.size() - 1);
+}
+
+NodeId TreeBuilder::addBus(double bandwidth) {
+  if (bandwidth < 1.0) {
+    throw std::invalid_argument("bus bandwidth must be >= 1");
+  }
+  kinds_.push_back(NodeKind::bus);
+  busBandwidth_.push_back(bandwidth);
+  return static_cast<NodeId>(kinds_.size() - 1);
+}
+
+EdgeId TreeBuilder::connect(NodeId u, NodeId v, double bandwidth) {
+  const auto n = static_cast<NodeId>(kinds_.size());
+  if (u < 0 || u >= n || v < 0 || v >= n) {
+    throw std::invalid_argument("connect: node id out of range");
+  }
+  if (u == v) throw std::invalid_argument("connect: self loop");
+  if (bandwidth < 1.0) {
+    throw std::invalid_argument("edge bandwidth must be >= 1");
+  }
+  if (kinds_[static_cast<std::size_t>(u)] == NodeKind::processor &&
+      kinds_[static_cast<std::size_t>(v)] == NodeKind::processor) {
+    throw std::invalid_argument("connect: processor-processor edge");
+  }
+  edges_.push_back(Edge{u, v, bandwidth});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+Tree TreeBuilder::build() const {
+  const auto n = static_cast<int>(kinds_.size());
+  if (n == 0) throw std::invalid_argument("build: empty tree");
+  if (static_cast<int>(edges_.size()) != n - 1) {
+    throw std::invalid_argument("build: a tree on n nodes needs n-1 edges");
+  }
+
+  std::vector<int> degree(static_cast<std::size_t>(n), 0);
+  for (const Edge& e : edges_) {
+    ++degree[static_cast<std::size_t>(e.u)];
+    ++degree[static_cast<std::size_t>(e.v)];
+  }
+
+  Tree t;
+  t.kinds_ = kinds_;
+  t.busBandwidth_ = busBandwidth_;
+  t.edges_ = edges_;
+
+  // CSR adjacency.
+  t.adjStart_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int v = 0; v < n; ++v) {
+    t.adjStart_[static_cast<std::size_t>(v) + 1] =
+        t.adjStart_[static_cast<std::size_t>(v)] +
+        degree[static_cast<std::size_t>(v)];
+  }
+  t.adjacency_.resize(edges_.size() * 2);
+  std::vector<int> cursor(t.adjStart_.begin(), t.adjStart_.end() - 1);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    const auto id = static_cast<EdgeId>(i);
+    t.adjacency_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(e.u)]++)] = HalfEdge{e.v, id};
+    t.adjacency_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(e.v)]++)] = HalfEdge{e.u, id};
+  }
+
+  // Connectivity check via DFS from node 0 (with n-1 edges this also
+  // certifies acyclicity).
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::vector<NodeId> stack{0};
+  seen[0] = 1;
+  int reached = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const HalfEdge& he : t.neighbors(v)) {
+      if (!seen[static_cast<std::size_t>(he.to)]) {
+        seen[static_cast<std::size_t>(he.to)] = 1;
+        ++reached;
+        stack.push_back(he.to);
+      }
+    }
+  }
+  if (reached != n) throw std::invalid_argument("build: tree not connected");
+
+  for (int v = 0; v < n; ++v) {
+    const auto kind = kinds_[static_cast<std::size_t>(v)];
+    const int deg = degree[static_cast<std::size_t>(v)];
+    if (kind == NodeKind::processor && deg > 1) {
+      throw std::invalid_argument("build: processor with degree > 1");
+    }
+    if (n > 1 && kind == NodeKind::processor && deg == 0) {
+      throw std::invalid_argument("build: disconnected processor");
+    }
+    if (n > 1 && kind == NodeKind::bus && deg <= 1) {
+      // A leaf of the tree must be a processor; a bus that only dangles
+      // carries no traffic and violates the model.
+      throw std::invalid_argument("build: bus must be an inner node");
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (t.kinds_[static_cast<std::size_t>(v)] == NodeKind::processor) {
+      t.processors_.push_back(v);
+    } else {
+      t.buses_.push_back(v);
+    }
+  }
+  t.maxDegree_ = *std::max_element(degree.begin(), degree.end());
+  return t;
+}
+
+NodeId Tree::check(NodeId v) const {
+  if (v < 0 || v >= nodeCount()) {
+    throw std::out_of_range("Tree: node id out of range");
+  }
+  return v;
+}
+
+EdgeId Tree::checkEdge(EdgeId e) const {
+  if (e < 0 || e >= edgeCount()) {
+    throw std::out_of_range("Tree: edge id out of range");
+  }
+  return e;
+}
+
+double Tree::busBandwidth(NodeId v) const {
+  check(v);
+  if (!isBus(v)) throw std::invalid_argument("busBandwidth: not a bus");
+  return busBandwidth_[static_cast<std::size_t>(v)];
+}
+
+NodeId Tree::otherEnd(EdgeId e, NodeId v) const {
+  const Edge& ed = edge(e);
+  if (ed.u == v) return ed.v;
+  if (ed.v == v) return ed.u;
+  throw std::invalid_argument("otherEnd: node not an endpoint");
+}
+
+int Tree::heightFrom(NodeId root) const {
+  check(root);
+  std::vector<int> depth(static_cast<std::size_t>(nodeCount()), -1);
+  std::vector<NodeId> queue{root};
+  depth[static_cast<std::size_t>(root)] = 0;
+  int best = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId v = queue[head];
+    for (const HalfEdge& he : neighbors(v)) {
+      if (depth[static_cast<std::size_t>(he.to)] < 0) {
+        depth[static_cast<std::size_t>(he.to)] =
+            depth[static_cast<std::size_t>(v)] + 1;
+        best = std::max(best, depth[static_cast<std::size_t>(he.to)]);
+        queue.push_back(he.to);
+      }
+    }
+  }
+  return best;
+}
+
+bool Tree::usesUnitLeafEdges() const {
+  for (const Edge& e : edges_) {
+    const bool leafEdge = isProcessor(e.u) || isProcessor(e.v);
+    if (leafEdge && e.bandwidth != 1.0) return false;
+  }
+  return true;
+}
+
+NodeId Tree::defaultRoot() const {
+  if (!buses_.empty()) return buses_.front();
+  return 0;
+}
+
+}  // namespace hbn::net

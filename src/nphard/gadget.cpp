@@ -1,0 +1,77 @@
+#include "hbn/nphard/gadget.h"
+
+#include <stdexcept>
+
+#include "hbn/net/generators.h"
+
+namespace hbn::nphard {
+
+Gadget encodePartition(const PartitionInstance& instance) {
+  const auto n = static_cast<int>(instance.items.size());
+  if (n == 0) throw std::invalid_argument("encodePartition: empty instance");
+  const Weight k = instance.half();  // throws if total is odd
+  if (k <= 0) throw std::invalid_argument("encodePartition: zero total");
+
+  // Bus bandwidth "sufficiently large such that the load on the edges is
+  // dominating": the total load over all edges is below 2 * (number of
+  // requests) * 2 hops; half of that divided by 4k can never exceed the
+  // edge congestion when the bus bandwidth is at least that ratio.
+  const double busBandwidth = static_cast<double>(16 * k + 8);
+
+  Gadget gadget{net::makeStar(4, busBandwidth),
+                workload::Workload(n + 1, 5), k};
+
+  // h_w(v, x_i) = k_i for all four leaves.
+  for (int i = 0; i < n; ++i) {
+    for (const net::NodeId v :
+         {gadget.a(), gadget.b(), gadget.s(), gadget.sBar()}) {
+      gadget.load.addWrites(i, v, instance.items[static_cast<std::size_t>(i)]);
+    }
+  }
+  // h_w(a, y) = 4k+1, h_w(b, y) = 2k.
+  gadget.load.addWrites(n, gadget.a(), 4 * k + 1);
+  gadget.load.addWrites(n, gadget.b(), 2 * k);
+  return gadget;
+}
+
+core::Placement witnessPlacement(const Gadget& gadget,
+                                 const std::vector<int>& subset) {
+  const int n = gadget.load.numObjects() - 1;
+  std::vector<char> inSubset(static_cast<std::size_t>(n), 0);
+  for (const int i : subset) {
+    if (i < 0 || i >= n) {
+      throw std::invalid_argument("witnessPlacement: index out of range");
+    }
+    inSubset[static_cast<std::size_t>(i)] = 1;
+  }
+  core::Placement placement;
+  placement.objects.reserve(static_cast<std::size_t>(n) + 1);
+  for (int i = 0; i < n; ++i) {
+    const net::NodeId where =
+        inSubset[static_cast<std::size_t>(i)] ? gadget.s() : gadget.sBar();
+    const net::NodeId locations[] = {where};
+    placement.objects.push_back(
+        core::makeNearestPlacement(gadget.tree, gadget.load, i, locations));
+  }
+  const net::NodeId yLoc[] = {gadget.a()};
+  placement.objects.push_back(core::makeNearestPlacement(
+      gadget.tree, gadget.load, gadget.yObject(), yLoc));
+  return placement;
+}
+
+std::vector<int> decodeSubset(const Gadget& gadget,
+                              const core::Placement& placement) {
+  const int n = gadget.load.numObjects() - 1;
+  std::vector<int> subset;
+  for (int i = 0; i < n; ++i) {
+    const auto locs =
+        placement.objects[static_cast<std::size_t>(i)].locations();
+    if (locs.size() != 1) {
+      throw std::invalid_argument("decodeSubset: redundant placement");
+    }
+    if (locs[0] == gadget.s()) subset.push_back(i);
+  }
+  return subset;
+}
+
+}  // namespace hbn::nphard

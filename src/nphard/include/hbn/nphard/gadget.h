@@ -1,0 +1,57 @@
+// The Theorem 2.1 reduction gadget (Figure 3).
+//
+// A PARTITION instance k_1..k_n with Σ k_i = 2k is encoded as a static
+// placement problem on the 4-ary height-1 tree with processors a, b, s, s̄
+// hanging off one bus:
+//
+//   h_w(a, y)   = 4k + 1,      h_w(b, y) = 2k,
+//   h_w(v, x_i) = k_i          for every leaf v and every i,
+//
+// all edges have bandwidth 1, the bus bandwidth is large enough that edge
+// loads dominate. The paper proves: a placement of congestion ≤ 4k exists
+// iff the PARTITION instance is solvable.
+#pragma once
+
+#include "hbn/core/placement.h"
+#include "hbn/net/tree.h"
+#include "hbn/nphard/partition.h"
+#include "hbn/workload/workload.h"
+
+namespace hbn::nphard {
+
+/// The encoded placement problem.
+struct Gadget {
+  net::Tree tree;            ///< star: bus 0, processors a=1, b=2, s=3, s̄=4
+  workload::Workload load;   ///< objects x_1..x_n (ids 0..n-1) and y (id n)
+  Weight k = 0;              ///< half of Σ k_i — the congestion threshold 4k
+
+  /// Node ids in the paper's labelling.
+  [[nodiscard]] net::NodeId a() const noexcept { return 1; }
+  [[nodiscard]] net::NodeId b() const noexcept { return 2; }
+  [[nodiscard]] net::NodeId s() const noexcept { return 3; }
+  [[nodiscard]] net::NodeId sBar() const noexcept { return 4; }
+  /// Object id of y (the x_i use ids 0..n-1).
+  [[nodiscard]] workload::ObjectId yObject() const {
+    return load.numObjects() - 1;
+  }
+  /// The decision threshold 4k.
+  [[nodiscard]] Weight threshold() const noexcept { return 4 * k; }
+};
+
+/// Encodes `instance` (which must have an even, positive total) into the
+/// gadget placement problem.
+[[nodiscard]] Gadget encodePartition(const PartitionInstance& instance);
+
+/// Builds the placement the sufficiency direction of the proof describes:
+/// x_i on s for i ∈ subset, on s̄ otherwise, and y on a. The caller is
+/// responsible for `subset` being a perfect partition if congestion 4k is
+/// expected.
+[[nodiscard]] core::Placement witnessPlacement(
+    const Gadget& gadget, const std::vector<int>& subset);
+
+/// Decodes a single-copy-per-object placement back into a subset
+/// (indices of objects placed on s). Throws if the placement is redundant.
+[[nodiscard]] std::vector<int> decodeSubset(const Gadget& gadget,
+                                            const core::Placement& placement);
+
+}  // namespace hbn::nphard

@@ -1,0 +1,47 @@
+// PARTITION — the NP-complete source problem of the paper's reduction
+// (Theorem 2.1, via Garey & Johnson).
+//
+// Input: integers k_1..k_n with Σ k_i = 2k. Question: is there a subset
+// S with Σ_{i∈S} k_i = k?
+//
+// The pseudo-polynomial dynamic program below decides instances exactly
+// (O(n·k) time/space), which lets the E2 experiment check the reduction's
+// iff-statement on instances with known answers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hbn/util/rng.h"
+
+namespace hbn::nphard {
+
+using Weight = std::int64_t;
+
+/// A PARTITION instance; total() must be even for a solution to exist.
+struct PartitionInstance {
+  std::vector<Weight> items;
+
+  [[nodiscard]] Weight total() const;
+  /// k = total()/2, the target subset sum (total must be even).
+  [[nodiscard]] Weight half() const;
+};
+
+/// Decides PARTITION by subset-sum DP. Returns the witness subset
+/// (indices, ascending) when a perfect partition exists, std::nullopt
+/// otherwise. Items must be positive.
+[[nodiscard]] std::optional<std::vector<int>> solvePartition(
+    const PartitionInstance& instance);
+
+/// Generates a YES-instance: draws a subset summing to `target` and fills
+/// the complement with items that also sum to `target`.
+[[nodiscard]] PartitionInstance makeYesInstance(int numItems, Weight target,
+                                                util::Rng& rng);
+
+/// Generates (by rejection) an instance with NO perfect partition and even
+/// total. Throws after too many attempts (only plausible for tiny sizes).
+[[nodiscard]] PartitionInstance makeNoInstance(int numItems, Weight maxItem,
+                                               util::Rng& rng);
+
+}  // namespace hbn::nphard

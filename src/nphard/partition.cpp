@@ -1,0 +1,115 @@
+#include "hbn/nphard/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hbn::nphard {
+
+Weight PartitionInstance::total() const {
+  Weight sum = 0;
+  for (const Weight k : items) sum += k;
+  return sum;
+}
+
+Weight PartitionInstance::half() const {
+  const Weight sum = total();
+  if (sum % 2 != 0) {
+    throw std::invalid_argument("PartitionInstance: odd total has no half");
+  }
+  return sum / 2;
+}
+
+std::optional<std::vector<int>> solvePartition(
+    const PartitionInstance& instance) {
+  for (const Weight k : instance.items) {
+    if (k <= 0) {
+      throw std::invalid_argument("solvePartition: items must be positive");
+    }
+  }
+  const Weight sum = instance.total();
+  if (sum % 2 != 0) return std::nullopt;
+  const Weight target = sum / 2;
+  if (target == 0) return std::vector<int>{};  // empty instance
+
+  // reach[s] = index of the last item used to first reach sum s (-1 = not
+  // reachable, -2 = reachable with no items).
+  std::vector<int> reach(static_cast<std::size_t>(target) + 1, -1);
+  reach[0] = -2;
+  for (int i = 0; i < static_cast<int>(instance.items.size()); ++i) {
+    const Weight w = instance.items[static_cast<std::size_t>(i)];
+    for (Weight s = target; s >= w; --s) {
+      if (reach[static_cast<std::size_t>(s)] == -1 &&
+          reach[static_cast<std::size_t>(s - w)] != -1 &&
+          reach[static_cast<std::size_t>(s - w)] != i) {
+        reach[static_cast<std::size_t>(s)] = i;
+      }
+    }
+  }
+  if (reach[static_cast<std::size_t>(target)] == -1) return std::nullopt;
+
+  // Reconstruct the witness.
+  std::vector<int> subset;
+  Weight s = target;
+  while (s > 0) {
+    const int i = reach[static_cast<std::size_t>(s)];
+    subset.push_back(i);
+    s -= instance.items[static_cast<std::size_t>(i)];
+  }
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+PartitionInstance makeYesInstance(int numItems, Weight target,
+                                  util::Rng& rng) {
+  if (numItems < 2 || target < numItems / 2 + 1) {
+    throw std::invalid_argument("makeYesInstance: parameters too small");
+  }
+  // Split items between the two halves, then draw random compositions of
+  // `target` for each half (positive parts).
+  auto compose = [&](int parts, Weight sum) {
+    std::vector<Weight> result(static_cast<std::size_t>(parts), 1);
+    Weight remaining = sum - parts;
+    for (int i = 0; i < parts - 1 && remaining > 0; ++i) {
+      const Weight give = static_cast<Weight>(
+          rng.nextBelow(static_cast<std::uint64_t>(remaining) + 1));
+      result[static_cast<std::size_t>(i)] += give;
+      remaining -= give;
+    }
+    result.back() += remaining;
+    return result;
+  };
+  const int left = numItems / 2;
+  const int right = numItems - left;
+  PartitionInstance instance;
+  for (const Weight w : compose(left, target)) instance.items.push_back(w);
+  for (const Weight w : compose(right, target)) instance.items.push_back(w);
+  rng.shuffle(instance.items);
+  return instance;
+}
+
+PartitionInstance makeNoInstance(int numItems, Weight maxItem,
+                                 util::Rng& rng) {
+  if (numItems < 1 || maxItem < 2) {
+    throw std::invalid_argument("makeNoInstance: parameters too small");
+  }
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    PartitionInstance instance;
+    Weight sum = 0;
+    for (int i = 0; i < numItems; ++i) {
+      const Weight w = 1 + static_cast<Weight>(rng.nextBelow(
+                               static_cast<std::uint64_t>(maxItem)));
+      instance.items.push_back(w);
+      sum += w;
+    }
+    if (sum % 2 != 0) {
+      // Make the total even by bumping one item.
+      instance.items.back() += 1;
+      if (instance.items.back() > maxItem) instance.items.back() -= 2;
+      if (instance.items.back() <= 0) continue;
+    }
+    if (!solvePartition(instance).has_value()) return instance;
+  }
+  throw std::runtime_error("makeNoInstance: rejection sampling failed");
+}
+
+}  // namespace hbn::nphard

@@ -1,0 +1,118 @@
+// SCI-style hierarchical ring networks (paper §1, Figures 1 and 2).
+//
+// Large SCI systems are built from small unidirectional ringlets joined by
+// switches into a tree of rings. Because every SCI transaction is a
+// request-response pair, a transaction between two stations of a ringlet
+// effectively travels the whole way around it — so, for load purposes, a
+// ringlet behaves like a bus shared by all its stations. This module
+// models the ring topology explicitly, provides the ring→bus transform
+// (Figure 1 → Figure 2), and accounts transaction loads on both views so
+// the equivalence can be verified numerically (experiment E6).
+//
+// Topology model:
+//   * rings form a tree; every non-root ring is attached to its parent
+//     ring by one switch (the switch is a station on both rings),
+//   * processors are stations on exactly one ring,
+//   * bandwidths: each ring has a bandwidth (its link speed — all segments
+//     of a ringlet run at the same speed) and each switch a bandwidth;
+//     processor network adapters have bandwidth 1 (the paper's
+//     "slowest part" assumption).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hbn/net/tree.h"
+#include "hbn/util/rng.h"
+
+namespace hbn::sci {
+
+using RingId = std::int32_t;
+using ProcId = std::int32_t;
+inline constexpr RingId kInvalidRing = -1;
+
+/// One ringlet.
+struct Ring {
+  RingId parent = kInvalidRing;   ///< kInvalidRing for the root ring
+  double bandwidth = 1.0;         ///< ring link bandwidth
+  double uplinkBandwidth = 1.0;   ///< switch to the parent ring
+  std::vector<ProcId> processors; ///< stations on this ring
+  std::vector<RingId> children;   ///< rings attached below
+};
+
+/// A validated hierarchical ring network.
+class RingNetwork {
+ public:
+  [[nodiscard]] int ringCount() const noexcept {
+    return static_cast<int>(rings_.size());
+  }
+  [[nodiscard]] int processorCount() const noexcept { return procCount_; }
+  [[nodiscard]] const Ring& ring(RingId r) const {
+    return rings_.at(static_cast<std::size_t>(r));
+  }
+  [[nodiscard]] RingId ringOf(ProcId p) const {
+    return procRing_.at(static_cast<std::size_t>(p));
+  }
+  [[nodiscard]] RingId rootRing() const noexcept { return 0; }
+  /// Edge distance of `r` from the root ring.
+  [[nodiscard]] int ringDepth(RingId r) const {
+    return ringDepth_.at(static_cast<std::size_t>(r));
+  }
+
+ private:
+  friend class RingNetworkBuilder;
+  std::vector<Ring> rings_;
+  std::vector<RingId> procRing_;
+  std::vector<int> ringDepth_;
+  int procCount_ = 0;
+};
+
+/// Incremental construction; the first ring added is the root.
+class RingNetworkBuilder {
+ public:
+  /// Adds a ring. parent == kInvalidRing only for the first ring.
+  RingId addRing(RingId parent, double ringBandwidth = 1.0,
+                 double uplinkBandwidth = 1.0);
+  /// Adds a processor station to `ring`.
+  ProcId addProcessor(RingId ring);
+  /// Validates and freezes the network. Every ring must carry at least
+  /// one station (processor or child switch).
+  [[nodiscard]] RingNetwork build() const;
+
+ private:
+  std::vector<Ring> rings_;
+  std::vector<RingId> procRing_;
+};
+
+/// The bus-network view of a ring network (Figure 2): ring -> bus,
+/// switch -> bus-bus edge, processor adapter -> leaf edge.
+struct BusView {
+  net::Tree tree;
+  /// Bus node of each ring.
+  std::vector<net::NodeId> ringBus;
+  /// Leaf node of each processor.
+  std::vector<net::NodeId> processorNode;
+  /// Edge of each processor's adapter.
+  std::vector<net::EdgeId> adapterEdge;
+  /// Uplink switch edge of each non-root ring (kInvalidEdge for the root).
+  std::vector<net::EdgeId> uplinkEdge;
+};
+
+/// Builds the corresponding hierarchical bus network.
+[[nodiscard]] BusView toBusNetwork(const RingNetwork& network);
+
+/// Generates a balanced hierarchy: `depth` levels of rings with
+/// `branching` child rings below each, and `procsPerRing` processors on
+/// every leaf-level ring (plus one on each inner ring so that every ring
+/// has local stations, like Figure 1's ring of rings).
+[[nodiscard]] RingNetwork makeBalancedRingHierarchy(int branching, int depth,
+                                                    int procsPerRing,
+                                                    double ringBandwidth = 1.0,
+                                                    double switchBandwidth = 1.0);
+
+/// Random hierarchy of `rings` rings with `processors` processors spread
+/// uniformly.
+[[nodiscard]] RingNetwork makeRandomRingHierarchy(int rings, int processors,
+                                                  util::Rng& rng);
+
+}  // namespace hbn::sci

@@ -1,0 +1,61 @@
+// Transaction accounting on hierarchical ring networks.
+//
+// A request-response transaction between processors u and v occupies every
+// ring on the (unique) ring-tree path between their rings once — the
+// request-response pair travels the whole way around each unidirectional
+// ringlet — crosses every switch between consecutive rings once, and
+// passes both endpoint adapters once.
+//
+// The congestion of a transaction multiset is
+//
+//   max( occupancy(R)/bw(R),  crossings(S)/bw(S),  adapterLoad(P)/1 )
+//
+// over all rings R, switches S and processors P. Experiment E6 verifies
+// that this equals the hierarchical-bus congestion of the same message set
+// on the Figure-2 tree (the paper's modelling claim).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hbn/sci/ring_network.h"
+
+namespace hbn::sci {
+
+using Count = std::int64_t;
+
+/// Accumulates transaction loads on a ring network.
+class TransactionAccounting {
+ public:
+  explicit TransactionAccounting(const RingNetwork& network);
+
+  /// Accounts `amount` transactions between processors u and v.
+  /// Transactions with u == v are local and load nothing.
+  void addTransactions(ProcId u, ProcId v, Count amount);
+
+  [[nodiscard]] Count ringOccupancy(RingId r) const {
+    return ringOccupancy_.at(static_cast<std::size_t>(r));
+  }
+  /// Crossings of the uplink switch of (non-root) ring `r`.
+  [[nodiscard]] Count switchCrossings(RingId r) const {
+    return switchCrossings_.at(static_cast<std::size_t>(r));
+  }
+  [[nodiscard]] Count adapterLoad(ProcId p) const {
+    return adapterLoad_.at(static_cast<std::size_t>(p));
+  }
+
+  /// Max relative load over rings, switches and adapters.
+  [[nodiscard]] double congestion() const;
+
+  [[nodiscard]] const RingNetwork& network() const noexcept {
+    return *network_;
+  }
+
+ private:
+  const RingNetwork* network_;
+  std::vector<Count> ringOccupancy_;
+  std::vector<Count> switchCrossings_;
+  std::vector<Count> adapterLoad_;
+};
+
+}  // namespace hbn::sci

@@ -1,0 +1,152 @@
+#include "hbn/sci/ring_network.h"
+
+#include <stdexcept>
+
+namespace hbn::sci {
+
+RingId RingNetworkBuilder::addRing(RingId parent, double ringBandwidth,
+                                   double uplinkBandwidth) {
+  if (rings_.empty()) {
+    if (parent != kInvalidRing) {
+      throw std::invalid_argument("addRing: first ring must be the root");
+    }
+  } else {
+    if (parent < 0 || parent >= static_cast<RingId>(rings_.size())) {
+      throw std::invalid_argument("addRing: parent out of range");
+    }
+  }
+  if (ringBandwidth < 1.0 || uplinkBandwidth < 1.0) {
+    throw std::invalid_argument("addRing: bandwidths must be >= 1");
+  }
+  Ring ring;
+  ring.parent = parent;
+  ring.bandwidth = ringBandwidth;
+  ring.uplinkBandwidth = uplinkBandwidth;
+  rings_.push_back(std::move(ring));
+  const auto id = static_cast<RingId>(rings_.size() - 1);
+  if (parent != kInvalidRing) {
+    rings_[static_cast<std::size_t>(parent)].children.push_back(id);
+  }
+  return id;
+}
+
+ProcId RingNetworkBuilder::addProcessor(RingId ring) {
+  if (ring < 0 || ring >= static_cast<RingId>(rings_.size())) {
+    throw std::invalid_argument("addProcessor: ring out of range");
+  }
+  const auto id = static_cast<ProcId>(procRing_.size());
+  procRing_.push_back(ring);
+  rings_[static_cast<std::size_t>(ring)].processors.push_back(id);
+  return id;
+}
+
+RingNetwork RingNetworkBuilder::build() const {
+  if (rings_.empty()) {
+    throw std::invalid_argument("RingNetworkBuilder: no rings");
+  }
+  for (std::size_t r = 0; r < rings_.size(); ++r) {
+    if (rings_[r].processors.empty() && rings_[r].children.empty()) {
+      throw std::invalid_argument(
+          "RingNetworkBuilder: ring without stations");
+    }
+  }
+  RingNetwork network;
+  network.rings_ = rings_;
+  network.procRing_ = procRing_;
+  network.procCount_ = static_cast<int>(procRing_.size());
+  network.ringDepth_.assign(rings_.size(), 0);
+  // Rings are created parent-first, so a single pass suffices.
+  for (std::size_t r = 1; r < rings_.size(); ++r) {
+    network.ringDepth_[r] =
+        network.ringDepth_[static_cast<std::size_t>(rings_[r].parent)] + 1;
+  }
+  return network;
+}
+
+BusView toBusNetwork(const RingNetwork& network) {
+  net::TreeBuilder b;
+  std::vector<net::NodeId> ringBus(
+      static_cast<std::size_t>(network.ringCount()));
+  for (RingId r = 0; r < network.ringCount(); ++r) {
+    ringBus[static_cast<std::size_t>(r)] =
+        b.addBus(network.ring(r).bandwidth);
+  }
+  std::vector<net::EdgeId> uplinkEdge(
+      static_cast<std::size_t>(network.ringCount()), net::kInvalidEdge);
+  for (RingId r = 1; r < network.ringCount(); ++r) {
+    const Ring& ring = network.ring(r);
+    uplinkEdge[static_cast<std::size_t>(r)] =
+        b.connect(ringBus[static_cast<std::size_t>(ring.parent)],
+                  ringBus[static_cast<std::size_t>(r)], ring.uplinkBandwidth);
+  }
+  std::vector<net::NodeId> processorNode(
+      static_cast<std::size_t>(network.processorCount()));
+  std::vector<net::EdgeId> adapterEdge(
+      static_cast<std::size_t>(network.processorCount()));
+  for (ProcId p = 0; p < network.processorCount(); ++p) {
+    processorNode[static_cast<std::size_t>(p)] = b.addProcessor();
+    adapterEdge[static_cast<std::size_t>(p)] =
+        b.connect(ringBus[static_cast<std::size_t>(network.ringOf(p))],
+                  processorNode[static_cast<std::size_t>(p)], 1.0);
+  }
+  return BusView{b.build(), std::move(ringBus), std::move(processorNode),
+                 std::move(adapterEdge), std::move(uplinkEdge)};
+}
+
+RingNetwork makeBalancedRingHierarchy(int branching, int depth,
+                                      int procsPerRing, double ringBandwidth,
+                                      double switchBandwidth) {
+  if (branching < 1 || depth < 1 || procsPerRing < 1) {
+    throw std::invalid_argument(
+        "makeBalancedRingHierarchy: positive sizes required");
+  }
+  RingNetworkBuilder builder;
+  struct Frame {
+    RingId ring;
+    int level;
+  };
+  const RingId root =
+      builder.addRing(kInvalidRing, ringBandwidth, switchBandwidth);
+  std::vector<Frame> frontier{{root, 1}};
+  builder.addProcessor(root);  // every ring carries at least one station
+  while (!frontier.empty()) {
+    const Frame f = frontier.back();
+    frontier.pop_back();
+    if (f.level == depth) {
+      for (int i = 1; i < procsPerRing; ++i) {
+        builder.addProcessor(f.ring);
+      }
+      continue;
+    }
+    for (int c = 0; c < branching; ++c) {
+      const RingId child =
+          builder.addRing(f.ring, ringBandwidth, switchBandwidth);
+      builder.addProcessor(child);
+      frontier.push_back({child, f.level + 1});
+    }
+  }
+  return builder.build();
+}
+
+RingNetwork makeRandomRingHierarchy(int rings, int processors,
+                                    util::Rng& rng) {
+  if (rings < 1) {
+    throw std::invalid_argument("makeRandomRingHierarchy: rings >= 1");
+  }
+  RingNetworkBuilder builder;
+  builder.addRing(kInvalidRing);
+  for (RingId r = 1; r < rings; ++r) {
+    const auto parent = static_cast<RingId>(
+        rng.nextBelow(static_cast<std::uint64_t>(r)));
+    builder.addRing(parent);
+  }
+  // One processor per ring for validity, the rest at random.
+  for (RingId r = 0; r < rings; ++r) builder.addProcessor(r);
+  for (int p = rings; p < processors; ++p) {
+    builder.addProcessor(static_cast<RingId>(
+        rng.nextBelow(static_cast<std::uint64_t>(rings))));
+  }
+  return builder.build();
+}
+
+}  // namespace hbn::sci

@@ -1,0 +1,68 @@
+#include "hbn/sci/transactions.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hbn::sci {
+
+TransactionAccounting::TransactionAccounting(const RingNetwork& network)
+    : network_(&network),
+      ringOccupancy_(static_cast<std::size_t>(network.ringCount()), 0),
+      switchCrossings_(static_cast<std::size_t>(network.ringCount()), 0),
+      adapterLoad_(static_cast<std::size_t>(network.processorCount()), 0) {}
+
+void TransactionAccounting::addTransactions(ProcId u, ProcId v, Count amount) {
+  if (u < 0 || u >= network_->processorCount() || v < 0 ||
+      v >= network_->processorCount()) {
+    throw std::out_of_range("addTransactions: processor out of range");
+  }
+  if (amount < 0) {
+    throw std::invalid_argument("addTransactions: negative amount");
+  }
+  if (u == v || amount == 0) return;
+
+  adapterLoad_[static_cast<std::size_t>(u)] += amount;
+  adapterLoad_[static_cast<std::size_t>(v)] += amount;
+
+  // Walk both ring endpoints up to their lowest common ancestor ring,
+  // occupying every ring on the way and crossing every uplink switch.
+  RingId a = network_->ringOf(u);
+  RingId b = network_->ringOf(v);
+  ringOccupancy_[static_cast<std::size_t>(a)] += amount;
+  if (a == b) return;
+  ringOccupancy_[static_cast<std::size_t>(b)] += amount;
+  while (a != b) {
+    if (network_->ringDepth(a) >= network_->ringDepth(b)) {
+      switchCrossings_[static_cast<std::size_t>(a)] += amount;
+      a = network_->ring(a).parent;
+      if (a != b) ringOccupancy_[static_cast<std::size_t>(a)] += amount;
+    } else {
+      switchCrossings_[static_cast<std::size_t>(b)] += amount;
+      b = network_->ring(b).parent;
+      if (a != b) ringOccupancy_[static_cast<std::size_t>(b)] += amount;
+    }
+  }
+}
+
+double TransactionAccounting::congestion() const {
+  double best = 0.0;
+  for (RingId r = 0; r < network_->ringCount(); ++r) {
+    best = std::max(best,
+                    static_cast<double>(
+                        ringOccupancy_[static_cast<std::size_t>(r)]) /
+                        network_->ring(r).bandwidth);
+    if (r != network_->rootRing()) {
+      best = std::max(best,
+                      static_cast<double>(
+                          switchCrossings_[static_cast<std::size_t>(r)]) /
+                          network_->ring(r).uplinkBandwidth);
+    }
+  }
+  for (ProcId p = 0; p < network_->processorCount(); ++p) {
+    best = std::max(
+        best, static_cast<double>(adapterLoad_[static_cast<std::size_t>(p)]));
+  }
+  return best;
+}
+
+}  // namespace hbn::sci

@@ -1,0 +1,114 @@
+// Time-stepped store-and-forward simulator for hierarchical bus networks.
+//
+// Purpose (experiment E7): the paper argues — citing the routing
+// literature and the experimental study [8] — that congestion is the
+// quantity that determines achievable network throughput. The simulator
+// delivers the exact message set a placement induces and measures the
+// makespan (steps until every message arrives); by construction
+//
+//     makespan >= ceil(congestion)        (a bandwidth argument)
+//     makespan >= dilation                (messages advance one hop/step)
+//
+// and a good schedule keeps makespan within a small factor of
+// congestion + dilation. Comparing strategies at fixed workloads shows
+// congestion ordering predicting makespan ordering.
+//
+// Mechanics:
+//   * every request becomes unit-size transmission tasks: a read/write is
+//     a chain of hops origin → serving copy; every write additionally
+//     triggers a broadcast over the Steiner tree of the object's copy set
+//     (one task per Steiner edge, firing once the update reached the
+//     reference copy, cascading outward),
+//   * per step an edge e can fire floor(b(e)) tasks, and every task
+//     crossing an edge consumes 1/2 unit of capacity at each endpoint bus
+//     (cap b(B) per step) — mirroring the paper's load accounting where a
+//     bus message touches two incident edges,
+//   * ready tasks queue FIFO per edge; longest-queue-first edge order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hbn/core/placement.h"
+#include "hbn/net/rooted.h"
+#include "hbn/workload/workload.h"
+
+namespace hbn::sim {
+
+using Count = std::int64_t;
+
+/// Simulation knobs.
+struct SimOptions {
+  /// Abort threshold (guards against schedule bugs; generous by default).
+  std::int64_t maxSteps = 10'000'000;
+};
+
+/// Simulation outcome plus the analytic quantities it is compared to.
+struct SimResult {
+  std::int64_t makespan = 0;   ///< steps until all tasks delivered
+  Count totalTasks = 0;        ///< unit transmissions scheduled
+  double congestion = 0.0;     ///< analytic congestion of the message set
+  int dilation = 0;            ///< longest chain of dependent tasks
+  /// Per-edge utilisation: tasks carried / (makespan · bandwidth); the
+  /// bottleneck edge of a congestion-limited schedule runs near 1.0.
+  std::vector<double> edgeUtilization;
+  /// Max over edgeUtilization (0 when no tasks ran).
+  double maxUtilization = 0.0;
+};
+
+/// A DAG of unit edge-transmissions with precedence.
+class TaskGraph {
+ public:
+  explicit TaskGraph(const net::RootedTree& rooted);
+
+  /// `count` parallel chains of hops from `from` to `to` (no-op if equal).
+  void addUnicast(net::NodeId from, net::NodeId to, Count count);
+
+  /// `count` broadcast waves over the Steiner tree of `terminals`, rooted
+  /// at `root` (which must be a terminal); each wave fires one task per
+  /// Steiner edge, cascading away from the root. `afterUnicastFrom`, when
+  /// valid, chains each wave behind a fresh unicast from that node to
+  /// `root` (modelling write → update → broadcast).
+  void addWriteBroadcast(net::NodeId root,
+                         std::span<const net::NodeId> terminals, Count count,
+                         net::NodeId afterUnicastFrom = net::kInvalidNode);
+
+  /// Expands the full message set of `placement` under `load`:
+  /// reads/writes as unicasts to the serving copy, plus per-write
+  /// broadcasts over each object's copy locations.
+  void addPlacementTraffic(const workload::Workload& load,
+                           const core::Placement& placement);
+
+  [[nodiscard]] Count taskCount() const noexcept {
+    return static_cast<Count>(tasks_.size());
+  }
+
+  /// Analytic congestion of this task multiset (loads per edge / bus).
+  [[nodiscard]] double congestion() const;
+
+  /// Longest dependency chain.
+  [[nodiscard]] int dilation() const;
+
+ private:
+  friend SimResult runSimulation(const TaskGraph&, const SimOptions&);
+
+  struct Task {
+    net::EdgeId edge = net::kInvalidEdge;
+    std::int32_t dependency = -1;  ///< task index that must finish first
+  };
+
+  const net::RootedTree* rooted_;
+  std::vector<Task> tasks_;
+};
+
+/// Runs the schedule; throws std::runtime_error if maxSteps is exceeded.
+[[nodiscard]] SimResult runSimulation(const TaskGraph& graph,
+                                      const SimOptions& options = {});
+
+/// Convenience: expand + run for a placement.
+[[nodiscard]] SimResult simulatePlacement(const net::RootedTree& rooted,
+                                          const workload::Workload& load,
+                                          const core::Placement& placement,
+                                          const SimOptions& options = {});
+
+}  // namespace hbn::sim

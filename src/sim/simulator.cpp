@@ -1,0 +1,275 @@
+#include "hbn/sim/simulator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "hbn/net/steiner.h"
+
+namespace hbn::sim {
+
+TaskGraph::TaskGraph(const net::RootedTree& rooted) : rooted_(&rooted) {}
+
+void TaskGraph::addUnicast(net::NodeId from, net::NodeId to, Count count) {
+  if (count < 0) throw std::invalid_argument("addUnicast: negative count");
+  if (from == to || count == 0) return;
+  std::vector<net::EdgeId> path;
+  rooted_->forEachPathEdge(from, to, [&](net::EdgeId e) {
+    path.push_back(e);
+  });
+  for (Count i = 0; i < count; ++i) {
+    std::int32_t prev = -1;
+    for (const net::EdgeId e : path) {
+      tasks_.push_back(Task{e, prev});
+      prev = static_cast<std::int32_t>(tasks_.size() - 1);
+    }
+  }
+}
+
+void TaskGraph::addWriteBroadcast(net::NodeId root,
+                                  std::span<const net::NodeId> terminals,
+                                  Count count,
+                                  net::NodeId afterUnicastFrom) {
+  if (count < 0) {
+    throw std::invalid_argument("addWriteBroadcast: negative count");
+  }
+  if (count == 0) return;
+  const auto steiner = net::steinerEdges(*rooted_, terminals);
+
+  // Orient the Steiner edges away from `root`: an edge's predecessor is
+  // the adjacent Steiner edge one hop closer to the root. Build a map from
+  // "closer endpoint" to task index per wave.
+  // Closer endpoint of edge e = the endpoint nearer to root.
+  struct Oriented {
+    net::EdgeId edge;
+    net::NodeId nearEnd;   // endpoint closer to the broadcast root
+    net::NodeId farEnd;
+  };
+  std::vector<Oriented> oriented;
+  oriented.reserve(steiner.size());
+  for (const net::EdgeId e : steiner) {
+    const net::Edge& ed = rooted_->tree().edge(e);
+    const int du = rooted_->distance(root, ed.u);
+    const int dv = rooted_->distance(root, ed.v);
+    oriented.push_back(du < dv ? Oriented{e, ed.u, ed.v}
+                               : Oriented{e, ed.v, ed.u});
+  }
+  // Cascade order: nearer edges first.
+  std::stable_sort(oriented.begin(), oriented.end(),
+                   [&](const Oriented& a, const Oriented& b) {
+                     return rooted_->distance(root, a.nearEnd) <
+                            rooted_->distance(root, b.nearEnd);
+                   });
+
+  std::vector<net::EdgeId> unicastPath;
+  if (afterUnicastFrom != net::kInvalidNode && afterUnicastFrom != root) {
+    rooted_->forEachPathEdge(afterUnicastFrom, root, [&](net::EdgeId e) {
+      unicastPath.push_back(e);
+    });
+  }
+
+  std::vector<std::int32_t> taskAtNode(
+      static_cast<std::size_t>(rooted_->tree().nodeCount()));
+  for (Count i = 0; i < count; ++i) {
+    // Update unicast to the reference copy first (if requested).
+    std::int32_t prev = -1;
+    for (const net::EdgeId e : unicastPath) {
+      tasks_.push_back(Task{e, prev});
+      prev = static_cast<std::int32_t>(tasks_.size() - 1);
+    }
+    std::fill(taskAtNode.begin(), taskAtNode.end(), -1);
+    taskAtNode[static_cast<std::size_t>(root)] = prev;
+    for (const Oriented& o : oriented) {
+      const std::int32_t dep =
+          taskAtNode[static_cast<std::size_t>(o.nearEnd)];
+      tasks_.push_back(Task{o.edge, dep});
+      taskAtNode[static_cast<std::size_t>(o.farEnd)] =
+          static_cast<std::int32_t>(tasks_.size() - 1);
+    }
+  }
+}
+
+void TaskGraph::addPlacementTraffic(const workload::Workload& load,
+                                    const core::Placement& placement) {
+  if (placement.numObjects() != load.numObjects()) {
+    throw std::invalid_argument("addPlacementTraffic: object count mismatch");
+  }
+  for (const core::ObjectPlacement& object : placement.objects) {
+    const auto locations = object.locations();
+    for (const core::Copy& copy : object.copies) {
+      for (const core::RequestShare& share : copy.served) {
+        addUnicast(share.origin, copy.location, share.reads);
+        if (share.writes > 0) {
+          if (locations.size() >= 2) {
+            addWriteBroadcast(copy.location, locations, share.writes,
+                              share.origin);
+          } else {
+            addUnicast(share.origin, copy.location, share.writes);
+          }
+        }
+      }
+    }
+  }
+}
+
+double TaskGraph::congestion() const {
+  const net::Tree& tree = rooted_->tree();
+  std::vector<Count> edgeLoad(static_cast<std::size_t>(tree.edgeCount()), 0);
+  for (const Task& t : tasks_) {
+    ++edgeLoad[static_cast<std::size_t>(t.edge)];
+  }
+  double best = 0.0;
+  for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
+    best = std::max(best, static_cast<double>(
+                              edgeLoad[static_cast<std::size_t>(e)]) /
+                              tree.edgeBandwidth(e));
+  }
+  for (const net::NodeId b : tree.buses()) {
+    Count sum = 0;
+    for (const net::HalfEdge& he : tree.neighbors(b)) {
+      sum += edgeLoad[static_cast<std::size_t>(he.edge)];
+    }
+    best = std::max(best, static_cast<double>(sum) / 2.0 /
+                              tree.busBandwidth(b));
+  }
+  return best;
+}
+
+int TaskGraph::dilation() const {
+  std::vector<int> depth(tasks_.size(), 1);
+  int best = tasks_.empty() ? 0 : 1;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].dependency >= 0) {
+      depth[i] = depth[static_cast<std::size_t>(tasks_[i].dependency)] + 1;
+    }
+    best = std::max(best, depth[i]);
+  }
+  return best;
+}
+
+SimResult runSimulation(const TaskGraph& graph, const SimOptions& options) {
+  const net::Tree& tree = graph.rooted_->tree();
+  const auto& tasks = graph.tasks_;
+
+  SimResult result;
+  result.totalTasks = static_cast<Count>(tasks.size());
+  result.congestion = graph.congestion();
+  result.dilation = graph.dilation();
+  if (tasks.empty()) return result;
+
+  // Dependents adjacency.
+  std::vector<std::int32_t> dependentHead(tasks.size(), -1);
+  std::vector<std::int32_t> dependentNext(tasks.size(), -1);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const std::int32_t dep = tasks[i].dependency;
+    if (dep >= 0) {
+      dependentNext[i] = dependentHead[static_cast<std::size_t>(dep)];
+      dependentHead[static_cast<std::size_t>(dep)] =
+          static_cast<std::int32_t>(i);
+    }
+  }
+
+  // FIFO ready queues per edge (head index into a vector).
+  const auto numEdges = static_cast<std::size_t>(tree.edgeCount());
+  std::vector<std::vector<std::int32_t>> queue(numEdges);
+  std::vector<std::size_t> queueHead(numEdges, 0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i].dependency < 0) {
+      queue[static_cast<std::size_t>(tasks[i].edge)].push_back(
+          static_cast<std::int32_t>(i));
+    }
+  }
+
+  const auto numNodes = static_cast<std::size_t>(tree.nodeCount());
+  std::vector<double> busCapacity(numNodes, 0.0);
+  std::vector<Count> edgeCapacity(numEdges, 0);
+  std::vector<net::EdgeId> edgeOrder(numEdges);
+  std::iota(edgeOrder.begin(), edgeOrder.end(), 0);
+  std::vector<std::int32_t> finishedThisStep;
+
+  Count remaining = static_cast<Count>(tasks.size());
+  std::int64_t step = 0;
+  while (remaining > 0) {
+    ++step;
+    if (step > options.maxSteps) {
+      throw std::runtime_error("runSimulation: maxSteps exceeded");
+    }
+    // Reset per-step capacities.
+    for (net::NodeId v = 0; v < tree.nodeCount(); ++v) {
+      busCapacity[static_cast<std::size_t>(v)] =
+          tree.isBus(v) ? tree.busBandwidth(v) : 1e18;
+    }
+    for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
+      edgeCapacity[static_cast<std::size_t>(e)] =
+          static_cast<Count>(tree.edgeBandwidth(e));
+    }
+    // Longest backlog first.
+    std::stable_sort(edgeOrder.begin(), edgeOrder.end(),
+                     [&](net::EdgeId a, net::EdgeId b) {
+                       return queue[static_cast<std::size_t>(a)].size() -
+                                  queueHead[static_cast<std::size_t>(a)] >
+                              queue[static_cast<std::size_t>(b)].size() -
+                                  queueHead[static_cast<std::size_t>(b)];
+                     });
+    finishedThisStep.clear();
+    for (const net::EdgeId e : edgeOrder) {
+      auto& q = queue[static_cast<std::size_t>(e)];
+      auto& head = queueHead[static_cast<std::size_t>(e)];
+      const net::Edge& ed = tree.edge(e);
+      double& capU = busCapacity[static_cast<std::size_t>(ed.u)];
+      double& capV = busCapacity[static_cast<std::size_t>(ed.v)];
+      while (head < q.size() &&
+             edgeCapacity[static_cast<std::size_t>(e)] > 0 &&
+             capU >= 0.5 && capV >= 0.5) {
+        const std::int32_t task = q[head++];
+        --edgeCapacity[static_cast<std::size_t>(e)];
+        capU -= 0.5;
+        capV -= 0.5;
+        finishedThisStep.push_back(task);
+      }
+    }
+    if (finishedThisStep.empty()) {
+      throw std::runtime_error("runSimulation: schedule stalled");
+    }
+    remaining -= static_cast<Count>(finishedThisStep.size());
+    // Successors become ready next step.
+    for (const std::int32_t task : finishedThisStep) {
+      for (std::int32_t d = dependentHead[static_cast<std::size_t>(task)];
+           d >= 0; d = dependentNext[static_cast<std::size_t>(d)]) {
+        queue[static_cast<std::size_t>(
+                  tasks[static_cast<std::size_t>(d)].edge)]
+            .push_back(d);
+      }
+    }
+  }
+  result.makespan = step;
+
+  // Utilisation of each edge over the realised schedule.
+  result.edgeUtilization.assign(numEdges, 0.0);
+  if (step > 0) {
+    std::vector<Count> carried(numEdges, 0);
+    for (const TaskGraph::Task& t : tasks) {
+      ++carried[static_cast<std::size_t>(t.edge)];
+    }
+    for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
+      result.edgeUtilization[static_cast<std::size_t>(e)] =
+          static_cast<double>(carried[static_cast<std::size_t>(e)]) /
+          (static_cast<double>(step) * tree.edgeBandwidth(e));
+      result.maxUtilization = std::max(
+          result.maxUtilization,
+          result.edgeUtilization[static_cast<std::size_t>(e)]);
+    }
+  }
+  return result;
+}
+
+SimResult simulatePlacement(const net::RootedTree& rooted,
+                            const workload::Workload& load,
+                            const core::Placement& placement,
+                            const SimOptions& options) {
+  TaskGraph graph(rooted);
+  graph.addPlacementTraffic(load, placement);
+  return runSimulation(graph, options);
+}
+
+}  // namespace hbn::sim

@@ -1,0 +1,55 @@
+// Small descriptive-statistics helpers used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hbn::util {
+
+/// Accumulates a stream of doubles and exposes summary statistics.
+/// Designed for experiment loops: push every trial's measurement, then
+/// report mean / percentiles in the result table.
+class Accumulator {
+ public:
+  void add(double value);
+  void clear() noexcept { values_.clear(); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+  [[nodiscard]] double stddev() const;
+  /// Linear-interpolated percentile, q in [0, 100].
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] std::span<const double> values() const noexcept {
+    return values_;
+  }
+
+ private:
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;  // lazily maintained cache
+  mutable bool sortedValid_ = false;
+};
+
+/// Pearson correlation coefficient of two equally sized series.
+/// Returns 0 when either series has zero variance or sizes mismatch.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Least-squares slope of ys against xs (0 when degenerate). Used by the
+/// runtime-scaling benchmarks to report empirical growth rates.
+[[nodiscard]] double linearSlope(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+/// Formats `value` with `digits` significant fraction digits.
+[[nodiscard]] std::string formatDouble(double value, int digits = 3);
+
+}  // namespace hbn::util

@@ -1,0 +1,46 @@
+// Aligned text tables and CSV emission for experiment output.
+//
+// The benchmark harnesses print the same "rows" a paper table would hold;
+// Table keeps that output readable on a terminal and optionally mirrors it
+// to CSV for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hbn::util {
+
+/// Column-aligned text table with a header row.
+///
+/// Usage:
+///   Table t({"topology", "n", "C/LB"});
+///   t.addRow({"kary", "255", "1.42"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; its size must match the header width.
+  void addRow(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columnCount() const noexcept {
+    return header_.size();
+  }
+
+  /// Renders an aligned, boxed-light table.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void printCsv(std::ostream& os) const;
+
+  /// Convenience: renders to a string via print().
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hbn::util

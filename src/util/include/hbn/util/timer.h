@@ -1,0 +1,28 @@
+// Wall-clock scoped timing for the runtime-scaling experiments.
+#pragma once
+
+#include <chrono>
+
+namespace hbn::util {
+
+/// Monotonic stopwatch; started on construction.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / last reset.
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hbn::util

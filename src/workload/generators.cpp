@@ -1,0 +1,229 @@
+#include "hbn/workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "hbn/net/rooted.h"
+
+namespace hbn::workload {
+namespace {
+
+void checkParams(const GenParams& params) {
+  if (params.numObjects < 1) {
+    throw std::invalid_argument("GenParams: numObjects >= 1");
+  }
+  if (params.requestsPerProcessor < 0) {
+    throw std::invalid_argument("GenParams: requestsPerProcessor >= 0");
+  }
+  if (params.readFraction < 0.0 || params.readFraction > 1.0) {
+    throw std::invalid_argument("GenParams: readFraction in [0,1]");
+  }
+}
+
+// Adds `count` requests from `proc` to `x`, splitting into reads/writes by
+// the read fraction. Uses expected counts with a randomised remainder so
+// small request budgets still hit the target fraction on average.
+void addSplit(Workload& w, ObjectId x, net::NodeId proc, Count count,
+              double readFraction, util::Rng& rng) {
+  if (count <= 0) return;
+  const double expectedReads = static_cast<double>(count) * readFraction;
+  Count reads = static_cast<Count>(expectedReads);
+  const double frac = expectedReads - static_cast<double>(reads);
+  if (rng.nextBool(frac)) ++reads;
+  reads = std::min(reads, count);
+  w.addReads(x, proc, reads);
+  w.addWrites(x, proc, count - reads);
+}
+
+// Zipf CDF over numObjects ranks with exponent alpha.
+std::vector<double> zipfWeights(int numObjects, double alpha) {
+  std::vector<double> weights(static_cast<std::size_t>(numObjects));
+  for (int i = 0; i < numObjects; ++i) {
+    weights[static_cast<std::size_t>(i)] =
+        1.0 / std::pow(static_cast<double>(i + 1), alpha);
+  }
+  return weights;
+}
+
+}  // namespace
+
+const char* profileName(Profile p) noexcept {
+  switch (p) {
+    case Profile::uniform:
+      return "uniform";
+    case Profile::zipf:
+      return "zipf";
+    case Profile::hotspot:
+      return "hotspot";
+    case Profile::clustered:
+      return "clustered";
+    case Profile::producerConsumer:
+      return "producer-consumer";
+    case Profile::adversarial:
+      return "adversarial";
+  }
+  return "?";
+}
+
+Workload generate(Profile profile, const net::Tree& tree,
+                  const GenParams& params, util::Rng& rng) {
+  switch (profile) {
+    case Profile::uniform:
+      return generateUniform(tree, params, rng);
+    case Profile::zipf:
+      return generateZipf(tree, params, rng);
+    case Profile::hotspot:
+      return generateHotspot(tree, params, rng);
+    case Profile::clustered:
+      return generateClustered(tree, params, rng);
+    case Profile::producerConsumer:
+      return generateProducerConsumer(tree, params, rng);
+    case Profile::adversarial:
+      return generateAdversarial(tree, params, rng);
+  }
+  throw std::invalid_argument("generate: unknown profile");
+}
+
+Workload generateUniform(const net::Tree& tree, const GenParams& params,
+                         util::Rng& rng) {
+  checkParams(params);
+  Workload w(params.numObjects, tree.nodeCount());
+  for (const net::NodeId proc : tree.processors()) {
+    for (Count i = 0; i < params.requestsPerProcessor; ++i) {
+      const auto x = static_cast<ObjectId>(
+          rng.nextBelow(static_cast<std::uint64_t>(params.numObjects)));
+      addSplit(w, x, proc, 1, params.readFraction, rng);
+    }
+  }
+  return w;
+}
+
+Workload generateZipf(const net::Tree& tree, const GenParams& params,
+                      util::Rng& rng) {
+  checkParams(params);
+  const auto weights = zipfWeights(params.numObjects, params.zipfAlpha);
+  Workload w(params.numObjects, tree.nodeCount());
+  for (const net::NodeId proc : tree.processors()) {
+    for (Count i = 0; i < params.requestsPerProcessor; ++i) {
+      const auto x = static_cast<ObjectId>(rng.nextWeighted(weights));
+      addSplit(w, x, proc, 1, params.readFraction, rng);
+    }
+  }
+  return w;
+}
+
+Workload generateHotspot(const net::Tree& tree, const GenParams& params,
+                         util::Rng& rng) {
+  checkParams(params);
+  const int hot = std::clamp(params.hotObjects, 1, params.numObjects);
+  Workload w(params.numObjects, tree.nodeCount());
+  for (const net::NodeId proc : tree.processors()) {
+    for (Count i = 0; i < params.requestsPerProcessor; ++i) {
+      ObjectId x = 0;
+      if (rng.nextBool(params.hotFraction)) {
+        x = static_cast<ObjectId>(
+            rng.nextBelow(static_cast<std::uint64_t>(hot)));
+      } else {
+        x = static_cast<ObjectId>(
+            rng.nextBelow(static_cast<std::uint64_t>(params.numObjects)));
+      }
+      addSplit(w, x, proc, 1, params.readFraction, rng);
+    }
+  }
+  return w;
+}
+
+Workload generateClustered(const net::Tree& tree, const GenParams& params,
+                           util::Rng& rng) {
+  checkParams(params);
+  Workload w(params.numObjects, tree.nodeCount());
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+
+  // Partition processors by "home" subtree: pick a random home bus per
+  // object; processors below it are local, others remote.
+  const auto buses = tree.buses();
+  const auto procs = tree.processors();
+  std::vector<net::NodeId> local;
+  std::vector<net::NodeId> remote;
+  for (ObjectId x = 0; x < params.numObjects; ++x) {
+    const net::NodeId home =
+        buses.empty()
+            ? tree.defaultRoot()
+            : buses[static_cast<std::size_t>(
+                  rng.nextBelow(static_cast<std::uint64_t>(buses.size())))];
+    local.clear();
+    remote.clear();
+    for (const net::NodeId p : procs) {
+      (rooted.isAncestorOf(home, p) ? local : remote).push_back(p);
+    }
+    if (local.empty()) local = remote;  // degenerate home: treat all as local
+    // Distribute this object's share of each processor's budget.
+    const Count perObject =
+        std::max<Count>(1, params.requestsPerProcessor /
+                               std::max(1, params.numObjects));
+    for (const net::NodeId p : procs) {
+      const bool isLocal =
+          std::find(local.begin(), local.end(), p) != local.end();
+      const double keep = isLocal ? params.localityBias
+                                  : (1.0 - params.localityBias);
+      Count count = 0;
+      for (Count i = 0; i < perObject; ++i) {
+        if (rng.nextBool(keep)) ++count;
+      }
+      addSplit(w, x, p, count, params.readFraction, rng);
+    }
+  }
+  return w;
+}
+
+Workload generateProducerConsumer(const net::Tree& tree,
+                                  const GenParams& params, util::Rng& rng) {
+  checkParams(params);
+  Workload w(params.numObjects, tree.nodeCount());
+  const auto procs = tree.processors();
+  const Count perObject = std::max<Count>(
+      1, params.requestsPerProcessor / std::max(1, params.numObjects));
+  for (ObjectId x = 0; x < params.numObjects; ++x) {
+    const net::NodeId writer = procs[static_cast<std::size_t>(
+        rng.nextBelow(static_cast<std::uint64_t>(procs.size())))];
+    w.addWrites(x, writer, perObject);
+    for (const net::NodeId p : procs) {
+      if (p == writer) continue;
+      // Consumers read with intensity scaled by readFraction.
+      const auto reads = static_cast<Count>(
+          std::llround(static_cast<double>(perObject) * params.readFraction));
+      if (reads > 0) w.addReads(x, p, reads);
+    }
+  }
+  return w;
+}
+
+Workload generateAdversarial(const net::Tree& tree, const GenParams& params,
+                             util::Rng& rng) {
+  checkParams(params);
+  Workload w(params.numObjects, tree.nodeCount());
+  const auto procs = tree.processors();
+  for (ObjectId x = 0; x < params.numObjects; ++x) {
+    // Two to four writers with heavy, nearly balanced write contention and
+    // a sprinkling of reads elsewhere: maximises κ_x pressure on the
+    // deletion and mapping steps.
+    const int writers = 2 + static_cast<int>(rng.nextBelow(3));
+    const Count weight =
+        std::max<Count>(1, params.requestsPerProcessor) * 4;
+    for (int i = 0; i < writers; ++i) {
+      const net::NodeId p = procs[static_cast<std::size_t>(
+          rng.nextBelow(static_cast<std::uint64_t>(procs.size())))];
+      w.addWrites(x, p, weight + static_cast<Count>(rng.nextBelow(7)));
+    }
+    for (const net::NodeId p : procs) {
+      if (rng.nextBool(0.3)) {
+        w.addReads(x, p, 1 + static_cast<Count>(rng.nextBelow(4)));
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace hbn::workload

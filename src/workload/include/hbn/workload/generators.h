@@ -1,0 +1,96 @@
+// Workload generators: synthetic access patterns for the experiments.
+//
+// The paper evaluates nothing empirically; these generators provide the
+// access-pattern families its motivation describes (global variables in a
+// parallel program, pages of a virtual shared memory, WWW pages):
+//
+//   * uniform     — every processor accesses uniformly random objects,
+//   * zipf        — object popularity follows a Zipf(α) law (WWW-like),
+//   * hotspot     — a few hot objects receive most requests,
+//   * clustered   — every object has a home subtree that issues most of
+//                   its requests (the locality nibble exploits),
+//   * producerConsumer — one writer per object, many readers (typical
+//                   parallel-program sharing),
+//   * adversarial — weights drawn to stress the deletion/mapping steps
+//                   (heavy write contention concentrated on few leaves).
+//
+// All generators take a read fraction in [0,1]; each processor request is
+// a read with that probability, a write otherwise.
+#pragma once
+
+#include <string>
+
+#include "hbn/net/tree.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/workload.h"
+
+namespace hbn::workload {
+
+/// Family selector for sweep harnesses.
+enum class Profile {
+  uniform,
+  zipf,
+  hotspot,
+  clustered,
+  producerConsumer,
+  adversarial,
+};
+
+[[nodiscard]] const char* profileName(Profile p) noexcept;
+
+/// Common generator knobs.
+struct GenParams {
+  int numObjects = 16;
+  /// Requests issued by each processor (spread over objects).
+  Count requestsPerProcessor = 64;
+  /// Probability that an individual request is a read.
+  double readFraction = 0.7;
+  /// Zipf exponent (Profile::zipf only).
+  double zipfAlpha = 0.9;
+  /// Fraction of requests aimed at the hot set (Profile::hotspot only).
+  double hotFraction = 0.8;
+  /// Number of hot objects (Profile::hotspot only).
+  int hotObjects = 2;
+  /// Probability that a clustered request stays in the home subtree
+  /// (Profile::clustered only).
+  double localityBias = 0.9;
+};
+
+/// Generates a workload of the given profile over the processors of `tree`.
+/// Only processor rows are populated; the result always passes
+/// Workload::validateProcessorOnly(tree).
+[[nodiscard]] Workload generate(Profile profile, const net::Tree& tree,
+                                const GenParams& params, util::Rng& rng);
+
+/// Uniform object choice, iid requests.
+[[nodiscard]] Workload generateUniform(const net::Tree& tree,
+                                       const GenParams& params,
+                                       util::Rng& rng);
+
+/// Zipf-popular objects.
+[[nodiscard]] Workload generateZipf(const net::Tree& tree,
+                                    const GenParams& params, util::Rng& rng);
+
+/// Hot set of objects absorbing `hotFraction` of the traffic.
+[[nodiscard]] Workload generateHotspot(const net::Tree& tree,
+                                       const GenParams& params,
+                                       util::Rng& rng);
+
+/// Each object is homed at a random bus; requests from the home subtree
+/// with probability `localityBias`.
+[[nodiscard]] Workload generateClustered(const net::Tree& tree,
+                                         const GenParams& params,
+                                         util::Rng& rng);
+
+/// One designated writer per object; all other processors only read.
+[[nodiscard]] Workload generateProducerConsumer(const net::Tree& tree,
+                                                const GenParams& params,
+                                                util::Rng& rng);
+
+/// Write-heavy contention concentrated on few random leaves per object;
+/// stresses the κ_x-based machinery of steps 2 and 3.
+[[nodiscard]] Workload generateAdversarial(const net::Tree& tree,
+                                           const GenParams& params,
+                                           util::Rng& rng);
+
+}  // namespace hbn::workload

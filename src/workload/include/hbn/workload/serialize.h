@@ -1,0 +1,30 @@
+// Text serialisation for workloads (round-trips exactly):
+//
+//   hbn-workload v1
+//   dims <numObjects> <numNodes>
+//   read <object> <node> <count>
+//   write <object> <node> <count>
+//
+// Zero entries are omitted; read/write lines may appear in any order and
+// accumulate.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "hbn/workload/workload.h"
+
+namespace hbn::workload {
+
+/// Writes the text representation.
+void writeText(const Workload& load, std::ostream& os);
+
+/// Convenience wrapper for writeText.
+[[nodiscard]] std::string toText(const Workload& load);
+
+/// Parses the text representation; throws std::invalid_argument on any
+/// syntax or range error.
+[[nodiscard]] Workload parseText(std::string_view text);
+
+}  // namespace hbn::workload

@@ -1,0 +1,97 @@
+// Access-frequency matrices h_r, h_w : P × X → N.
+//
+// A Workload stores, per shared object and per tree node, the number of
+// read and write requests that node issues. In the hierarchical bus model
+// only processors (leaves) issue requests; the matrix is nevertheless
+// indexed by all nodes because the nibble strategy operates on the full
+// tree (inner nodes simply carry zero frequencies), and because the
+// underlying FOCS'97 machinery is defined for general trees.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hbn/net/tree.h"
+
+namespace hbn::workload {
+
+using ObjectId = std::int32_t;
+using Count = std::int64_t;
+
+/// Dense read/write frequency matrix with cached per-object totals.
+class Workload {
+ public:
+  /// Creates an all-zero workload over `numObjects` objects and
+  /// `numNodes` tree nodes.
+  Workload(int numObjects, int numNodes);
+
+  [[nodiscard]] int numObjects() const noexcept { return numObjects_; }
+  [[nodiscard]] int numNodes() const noexcept { return numNodes_; }
+
+  [[nodiscard]] Count reads(ObjectId x, net::NodeId v) const {
+    return reads_[index(x, v)];
+  }
+  [[nodiscard]] Count writes(ObjectId x, net::NodeId v) const {
+    return writes_[index(x, v)];
+  }
+  /// h(v) = h_r(v,x) + h_w(v,x), the paper's node weight for object x.
+  [[nodiscard]] Count total(ObjectId x, net::NodeId v) const {
+    return reads(x, v) + writes(x, v);
+  }
+
+  void addReads(ObjectId x, net::NodeId v, Count count);
+  void addWrites(ObjectId x, net::NodeId v, Count count);
+  void setReads(ObjectId x, net::NodeId v, Count count);
+  void setWrites(ObjectId x, net::NodeId v, Count count);
+
+  /// κ_x — the write contention of object x (Σ_v h_w(v,x)).
+  [[nodiscard]] Count objectWrites(ObjectId x) const {
+    return writeTotals_[checkObject(x)];
+  }
+  /// Σ_v h_r(v,x).
+  [[nodiscard]] Count objectReads(ObjectId x) const {
+    return readTotals_[checkObject(x)];
+  }
+  /// h_x — total number of requests to object x.
+  [[nodiscard]] Count objectTotal(ObjectId x) const {
+    return objectReads(x) + objectWrites(x);
+  }
+
+  /// Sum of all requests across objects.
+  [[nodiscard]] Count grandTotal() const;
+
+  /// Maximum write contention κ_max over all objects.
+  [[nodiscard]] Count maxWriteContention() const;
+
+  /// Read row views for tight inner loops.
+  [[nodiscard]] std::span<const Count> readRow(ObjectId x) const {
+    checkObject(x);
+    return {reads_.data() + static_cast<std::size_t>(x) *
+                                static_cast<std::size_t>(numNodes_),
+            static_cast<std::size_t>(numNodes_)};
+  }
+  [[nodiscard]] std::span<const Count> writeRow(ObjectId x) const {
+    checkObject(x);
+    return {writes_.data() + static_cast<std::size_t>(x) *
+                                 static_cast<std::size_t>(numNodes_),
+            static_cast<std::size_t>(numNodes_)};
+  }
+
+  /// Throws std::invalid_argument if any non-processor node of `tree` has
+  /// a nonzero frequency, or if the node dimension does not match.
+  void validateProcessorOnly(const net::Tree& tree) const;
+
+ private:
+  std::size_t index(ObjectId x, net::NodeId v) const;
+  ObjectId checkObject(ObjectId x) const;
+
+  int numObjects_;
+  int numNodes_;
+  std::vector<Count> reads_;
+  std::vector<Count> writes_;
+  std::vector<Count> readTotals_;
+  std::vector<Count> writeTotals_;
+};
+
+}  // namespace hbn::workload

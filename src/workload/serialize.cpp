@@ -1,0 +1,69 @@
+#include "hbn/workload/serialize.h"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hbn::workload {
+
+void writeText(const Workload& load, std::ostream& os) {
+  os << "hbn-workload v1\n";
+  os << "dims " << load.numObjects() << ' ' << load.numNodes() << '\n';
+  for (ObjectId x = 0; x < load.numObjects(); ++x) {
+    for (net::NodeId v = 0; v < load.numNodes(); ++v) {
+      if (load.reads(x, v) > 0) {
+        os << "read " << x << ' ' << v << ' ' << load.reads(x, v) << '\n';
+      }
+      if (load.writes(x, v) > 0) {
+        os << "write " << x << ' ' << v << ' ' << load.writes(x, v) << '\n';
+      }
+    }
+  }
+}
+
+std::string toText(const Workload& load) {
+  std::ostringstream oss;
+  writeText(load, oss);
+  return oss.str();
+}
+
+Workload parseText(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != "hbn-workload v1") {
+    throw std::invalid_argument(
+        "parseText: missing 'hbn-workload v1' header");
+  }
+  if (!std::getline(in, line)) {
+    throw std::invalid_argument("parseText: missing dims line");
+  }
+  std::istringstream dims{line};
+  std::string keyword;
+  int numObjects = 0;
+  int numNodes = 0;
+  if (!(dims >> keyword >> numObjects >> numNodes) || keyword != "dims") {
+    throw std::invalid_argument("parseText: malformed dims line");
+  }
+  Workload load(numObjects, numNodes);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls{line};
+    ObjectId x = 0;
+    net::NodeId v = 0;
+    Count count = 0;
+    if (!(ls >> keyword >> x >> v >> count)) {
+      throw std::invalid_argument("parseText: malformed entry line");
+    }
+    if (keyword == "read") {
+      load.addReads(x, v, count);
+    } else if (keyword == "write") {
+      load.addWrites(x, v, count);
+    } else {
+      throw std::invalid_argument("parseText: unknown keyword '" + keyword +
+                                  "'");
+    }
+  }
+  return load;
+}
+
+}  // namespace hbn::workload

@@ -1,0 +1,91 @@
+#include "hbn/workload/workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hbn::workload {
+
+Workload::Workload(int numObjects, int numNodes)
+    : numObjects_(numObjects), numNodes_(numNodes) {
+  if (numObjects < 1 || numNodes < 1) {
+    throw std::invalid_argument("Workload: positive dimensions required");
+  }
+  const auto cells = static_cast<std::size_t>(numObjects) *
+                     static_cast<std::size_t>(numNodes);
+  reads_.assign(cells, 0);
+  writes_.assign(cells, 0);
+  readTotals_.assign(static_cast<std::size_t>(numObjects), 0);
+  writeTotals_.assign(static_cast<std::size_t>(numObjects), 0);
+}
+
+std::size_t Workload::index(ObjectId x, net::NodeId v) const {
+  checkObject(x);
+  if (v < 0 || v >= numNodes_) {
+    throw std::out_of_range("Workload: node id out of range");
+  }
+  return static_cast<std::size_t>(x) * static_cast<std::size_t>(numNodes_) +
+         static_cast<std::size_t>(v);
+}
+
+ObjectId Workload::checkObject(ObjectId x) const {
+  if (x < 0 || x >= numObjects_) {
+    throw std::out_of_range("Workload: object id out of range");
+  }
+  return x;
+}
+
+void Workload::addReads(ObjectId x, net::NodeId v, Count count) {
+  if (count < 0) throw std::invalid_argument("addReads: negative count");
+  reads_[index(x, v)] += count;
+  readTotals_[static_cast<std::size_t>(x)] += count;
+}
+
+void Workload::addWrites(ObjectId x, net::NodeId v, Count count) {
+  if (count < 0) throw std::invalid_argument("addWrites: negative count");
+  writes_[index(x, v)] += count;
+  writeTotals_[static_cast<std::size_t>(x)] += count;
+}
+
+void Workload::setReads(ObjectId x, net::NodeId v, Count count) {
+  if (count < 0) throw std::invalid_argument("setReads: negative count");
+  const std::size_t i = index(x, v);
+  readTotals_[static_cast<std::size_t>(x)] += count - reads_[i];
+  reads_[i] = count;
+}
+
+void Workload::setWrites(ObjectId x, net::NodeId v, Count count) {
+  if (count < 0) throw std::invalid_argument("setWrites: negative count");
+  const std::size_t i = index(x, v);
+  writeTotals_[static_cast<std::size_t>(x)] += count - writes_[i];
+  writes_[i] = count;
+}
+
+Count Workload::grandTotal() const {
+  Count total = 0;
+  for (ObjectId x = 0; x < numObjects_; ++x) {
+    total += objectTotal(x);
+  }
+  return total;
+}
+
+Count Workload::maxWriteContention() const {
+  Count best = 0;
+  for (Count w : writeTotals_) best = std::max(best, w);
+  return best;
+}
+
+void Workload::validateProcessorOnly(const net::Tree& tree) const {
+  if (tree.nodeCount() != numNodes_) {
+    throw std::invalid_argument("Workload: node dimension mismatch");
+  }
+  for (ObjectId x = 0; x < numObjects_; ++x) {
+    for (net::NodeId v = 0; v < numNodes_; ++v) {
+      if (!tree.isProcessor(v) && total(x, v) != 0) {
+        throw std::invalid_argument(
+            "Workload: non-processor node has nonzero frequency");
+      }
+    }
+  }
+}
+
+}  // namespace hbn::workload

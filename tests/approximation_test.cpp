@@ -1,0 +1,129 @@
+// Integration tests pinning Theorem 4.3 against the TRUE optimum (exact
+// solver) on small instances — not just the analytic lower bound.
+#include <gtest/gtest.h>
+
+#include "hbn/baseline/exact.h"
+#include "hbn/baseline/heuristics.h"
+#include "hbn/core/extended_nibble.h"
+#include "hbn/core/lower_bound.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/generators.h"
+
+namespace hbn::core {
+namespace {
+
+using net::Tree;
+
+TEST(Approximation, Within7xExactOptimumOnSmallStars) {
+  util::Rng rng(211);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Tree t = net::makeStar(5, 1000.0);
+    workload::GenParams params;
+    params.numObjects = 4;
+    params.requestsPerProcessor = 12;
+    params.readFraction = 0.4;
+    const workload::Workload load = workload::generate(
+        static_cast<workload::Profile>(trial % 6), t, params, rng);
+
+    const ExtendedNibbleResult strategy = extendedNibble(t, load);
+    baseline::ExactOptions options;
+    options.maxCopiesPerObject = 2;
+    const baseline::ExactResult opt = baseline::solveExact(t, load, options);
+    ASSERT_TRUE(opt.provedOptimal);
+    if (opt.congestion == 0.0) {
+      EXPECT_DOUBLE_EQ(strategy.report.congestionFinal, 0.0);
+      continue;
+    }
+    EXPECT_LE(strategy.report.congestionFinal, 7.0 * opt.congestion)
+        << "trial " << trial;
+  }
+}
+
+TEST(Approximation, Within7xExactOptimumOnTwoLevelClusters) {
+  util::Rng rng(223);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Tree t = net::makeClusterNetwork(2, 3);
+    workload::GenParams params;
+    params.numObjects = 3;
+    params.requestsPerProcessor = 10;
+    params.readFraction = 0.6;
+    const workload::Workload load = workload::generate(
+        static_cast<workload::Profile>(trial % 6), t, params, rng);
+
+    const ExtendedNibbleResult strategy = extendedNibble(t, load);
+    baseline::ExactOptions options;
+    options.maxCopiesPerObject = 2;
+    const baseline::ExactResult opt = baseline::solveExact(t, load, options);
+    ASSERT_TRUE(opt.provedOptimal);
+    if (opt.congestion == 0.0) {
+      EXPECT_DOUBLE_EQ(strategy.report.congestionFinal, 0.0);
+      continue;
+    }
+    EXPECT_LE(strategy.report.congestionFinal, 7.0 * opt.congestion)
+        << "trial " << trial;
+  }
+}
+
+TEST(Approximation, LowerBoundNeverExceedsExactOptimum) {
+  util::Rng rng(227);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Tree t = trial % 2 == 0 ? net::makeStar(5)
+                                  : net::makeClusterNetwork(2, 2);
+    workload::GenParams params;
+    params.numObjects = 3;
+    params.requestsPerProcessor = 10;
+    const workload::Workload load = workload::generate(
+        static_cast<workload::Profile>(trial % 6), t, params, rng);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    const LowerBound lb = analyticLowerBound(rooted, load);
+    baseline::ExactOptions options;
+    options.maxCopiesPerObject = 2;
+    const baseline::ExactResult opt = baseline::solveExact(t, load, options);
+    ASSERT_TRUE(opt.provedOptimal);
+    EXPECT_LE(lb.congestion, opt.congestion + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Approximation, NibbleLowerBoundAgreesWithAnalytic) {
+  // Theorem 3.1 cross-check at the congestion level: the constructed
+  // nibble placement and the analytic per-edge minima give the same bound.
+  util::Rng rng(229);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Tree t = net::makeRandomTree(18, 6, rng);
+    workload::GenParams params;
+    params.numObjects = 5;
+    const workload::Workload load = workload::generate(
+        static_cast<workload::Profile>(trial % 6), t, params, rng);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    EXPECT_DOUBLE_EQ(analyticLowerBound(rooted, load).congestion,
+                     nibbleLowerBound(t, load))
+        << "trial " << trial;
+  }
+}
+
+TEST(Approximation, ExtendedNibbleCompetitiveWithHeuristics) {
+  // Not a theorem, but the motivating comparison: extended-nibble should
+  // never lose catastrophically to the single-copy baselines (it is
+  // allowed to lose small constant factors on easy instances).
+  util::Rng rng(233);
+  double strategySum = 0.0;
+  double greedySum = 0.0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const Tree t = net::makeClusterNetwork(3, 4);
+    workload::GenParams params;
+    params.numObjects = 8;
+    params.requestsPerProcessor = 20;
+    params.readFraction = 0.8;
+    const workload::Workload load =
+        workload::generateClustered(t, params, rng);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    strategySum += extendedNibble(t, load).report.congestionFinal;
+    greedySum += evaluateCongestion(
+        rooted, baseline::bestSingleCopy(t, load));
+  }
+  EXPECT_LE(strategySum, 2.0 * greedySum);
+}
+
+}  // namespace
+}  // namespace hbn::core

@@ -1,0 +1,212 @@
+// Tests for the deletion algorithm — Observation 3.2 and ledger
+// conservation.
+#include <gtest/gtest.h>
+
+#include "hbn/core/deletion.h"
+#include "hbn/core/load.h"
+#include "hbn/core/nibble.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/generators.h"
+
+namespace hbn::core {
+namespace {
+
+using net::NodeId;
+using net::Tree;
+
+// Runs nibble + deletion for object 0 of `load` and returns both stages.
+struct Pipeline {
+  NibbleObjectResult nibble;
+  ObjectPlacement modified;
+  Count kappa = 0;
+  DeletionStats stats;
+};
+
+Pipeline runPipeline(const Tree& t, const workload::Workload& load) {
+  Pipeline p;
+  p.nibble = nibbleObject(t, load, 0);
+  p.kappa = load.objectWrites(0);
+  p.modified = deleteRarelyUsedCopies(t, p.nibble.placement, p.kappa,
+                                      p.nibble.gravityCenter, &p.stats);
+  return p;
+}
+
+TEST(Deletion, EveryCopyServesBetweenKappaAnd2Kappa) {
+  util::Rng rng(51);
+  int checkedCopies = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Tree t = net::makeRandomTree(20, 6, rng);
+    workload::GenParams params;
+    params.numObjects = 1;
+    params.requestsPerProcessor = 30;
+    params.readFraction = 0.5 + 0.4 * rng.nextDouble();
+    const workload::Workload load =
+        workload::generateUniform(t, params, rng);
+    if (load.objectWrites(0) == 0) continue;
+    const Pipeline p = runPipeline(t, load);
+    for (const Copy& c : p.modified.copies) {
+      if (p.modified.copies.size() == 1) {
+        // A single surviving copy serves everything; only >= κ applies.
+        EXPECT_GE(c.servedTotal(), p.kappa);
+      } else {
+        EXPECT_GE(c.servedTotal(), p.kappa) << "trial " << trial;
+        EXPECT_LE(c.servedTotal(), 2 * p.kappa) << "trial " << trial;
+      }
+      ++checkedCopies;
+    }
+  }
+  EXPECT_GT(checkedCopies, 0);
+}
+
+TEST(Deletion, LoneOverloadedCopySplitsInPlace) {
+  // All requests on one leaf: the lone surviving copy serves h > 2κ and is
+  // split into co-located copies per Observation 3.2 (load-neutral).
+  const Tree t = net::makeStar(4);
+  workload::Workload load(1, t.nodeCount());
+  load.addReads(0, 1, 100);
+  load.addWrites(0, 1, 1);
+  const Pipeline p = runPipeline(t, load);
+  EXPECT_GT(p.modified.copies.size(), 1u);
+  Count total = 0;
+  for (const Copy& c : p.modified.copies) {
+    EXPECT_EQ(c.location, 1);
+    EXPECT_GE(c.servedTotal(), p.kappa);
+    EXPECT_LE(c.servedTotal(), 2 * p.kappa);
+    total += c.servedTotal();
+  }
+  EXPECT_EQ(total, 101);
+}
+
+TEST(Deletion, LedgerConservation) {
+  util::Rng rng(53);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Tree t = net::makeRandomTree(18, 6, rng);
+    workload::GenParams params;
+    params.numObjects = 1;
+    params.requestsPerProcessor = 25;
+    const workload::Workload load = workload::generateZipf(t, params, rng);
+    const Pipeline p = runPipeline(t, load);
+    Placement asPlacement;
+    asPlacement.objects.push_back(p.modified);
+    EXPECT_NO_THROW(validateCoversWorkload(asPlacement, load))
+        << "trial " << trial;
+  }
+}
+
+TEST(Deletion, PerEdgeLoadGrowsByAtMostKappa) {
+  // Observation 3.2: on each edge the object's load increases by <= κ_x.
+  util::Rng rng(59);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Tree t = net::makeRandomTree(16, 5, rng);
+    workload::GenParams params;
+    params.numObjects = 1;
+    params.requestsPerProcessor = 20;
+    params.readFraction = 0.7;
+    const workload::Workload load =
+        workload::generateUniform(t, params, rng);
+    const Pipeline p = runPipeline(t, load);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    LoadMap before(t.edgeCount());
+    accumulateObjectLoad(rooted, p.nibble.placement, before);
+    LoadMap after(t.edgeCount());
+    accumulateObjectLoad(rooted, p.modified, after);
+    for (net::EdgeId e = 0; e < t.edgeCount(); ++e) {
+      EXPECT_LE(after.edgeLoad(e), before.edgeLoad(e) + p.kappa)
+          << "edge " << e << " trial " << trial;
+    }
+  }
+}
+
+TEST(Deletion, ReadOnlyObjectBecomesLeafOnly) {
+  // κ = 0: inner copies serve nobody and are dropped, leaving the
+  // placement on leaves (this is what freezes read-only objects before
+  // the mapping step).
+  const Tree t = net::makeKaryTree(3, 2);
+  workload::Workload load(1, t.nodeCount());
+  for (const NodeId p : t.processors()) {
+    load.addReads(0, p, 2);
+  }
+  const Pipeline p = runPipeline(t, load);
+  EXPECT_TRUE(p.modified.isLeafOnly(t));
+  EXPECT_GT(p.stats.copiesDeleted, 0);
+}
+
+TEST(Deletion, SplitCopiesAreCoLocated) {
+  // Put an enormous request count on one processor plus a tiny κ so the
+  // surviving copy must split.
+  const Tree t = net::makeStar(4);
+  workload::Workload load(1, t.nodeCount());
+  load.addWrites(0, 1, 2);   // κ = 2 concentrated at node 1
+  load.addReads(0, 2, 50);   // heavy remote reads
+  const Pipeline p = runPipeline(t, load);
+  // All copies must sit on valid nodes and each serve in [κ, 2κ] (unless
+  // only one survives).
+  if (p.modified.copies.size() > 1) {
+    for (const Copy& c : p.modified.copies) {
+      EXPECT_GE(c.servedTotal(), p.kappa);
+      EXPECT_LE(c.servedTotal(), 2 * p.kappa);
+    }
+  }
+  Placement asPlacement;
+  asPlacement.objects.push_back(p.modified);
+  EXPECT_NO_THROW(validateCoversWorkload(asPlacement, load));
+}
+
+TEST(Deletion, DeletedRootMergesIntoNearestSurvivor) {
+  // Chain of buses with weight at both ends; the centre bus holds the
+  // nibble root copy serving nothing, which must merge outward.
+  const Tree t = net::makeCaterpillar(3, 1);
+  workload::Workload load(1, t.nodeCount());
+  const auto procs = t.processors();
+  load.addWrites(0, procs.front(), 5);
+  load.addWrites(0, procs.back(), 5);
+  load.addReads(0, procs.front(), 20);
+  load.addReads(0, procs.back(), 20);
+  const Pipeline p = runPipeline(t, load);
+  Placement asPlacement;
+  asPlacement.objects.push_back(p.modified);
+  EXPECT_NO_THROW(validateCoversWorkload(asPlacement, load));
+  for (const Copy& c : p.modified.copies) {
+    EXPECT_GE(c.servedTotal(), p.kappa);
+  }
+}
+
+TEST(Deletion, StatsCountDeletions) {
+  const Tree t = net::makeKaryTree(3, 2);
+  workload::Workload load(1, t.nodeCount());
+  for (const NodeId p : t.processors()) {
+    load.addReads(0, p, 3);
+  }
+  DeletionStats stats;
+  const NibbleObjectResult nib = nibbleObject(t, load, 0);
+  const auto before = nib.placement.copies.size();
+  const ObjectPlacement mod = deleteRarelyUsedCopies(
+      t, nib.placement, load.objectWrites(0), nib.gravityCenter, &stats);
+  EXPECT_EQ(before - mod.copies.size() + stats.copiesCreatedBySplit,
+            static_cast<std::size_t>(stats.copiesDeleted));
+}
+
+TEST(Deletion, RejectsBadInput) {
+  const Tree t = net::makeStar(3);
+  ObjectPlacement empty;
+  EXPECT_THROW(deleteRarelyUsedCopies(t, empty, 1, 0), std::invalid_argument);
+
+  ObjectPlacement doubled;
+  Copy c;
+  c.location = 1;
+  doubled.copies.push_back(c);
+  doubled.copies.push_back(c);
+  EXPECT_THROW(deleteRarelyUsedCopies(t, doubled, 1, 1),
+               std::invalid_argument);
+
+  ObjectPlacement noRootCopy;
+  Copy d;
+  d.location = 1;
+  noRootCopy.copies.push_back(d);
+  EXPECT_THROW(deleteRarelyUsedCopies(t, noRootCopy, 1, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hbn::core

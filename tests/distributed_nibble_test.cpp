@@ -1,0 +1,121 @@
+// The distributed nibble computation must reproduce the sequential nibble
+// placement exactly, in O(|X| + height) rounds with perfect pipelining.
+#include <gtest/gtest.h>
+
+#include "hbn/core/load.h"
+#include "hbn/core/nibble.h"
+#include "hbn/dist/distributed_nibble.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/generators.h"
+
+namespace hbn::dist {
+namespace {
+
+using net::Tree;
+
+void expectSamePlacement(const Tree& t, const core::Placement& a,
+                         const core::Placement& b) {
+  ASSERT_EQ(a.objects.size(), b.objects.size());
+  const net::RootedTree rooted(t, t.defaultRoot());
+  for (std::size_t x = 0; x < a.objects.size(); ++x) {
+    EXPECT_EQ(a.objects[x].locations(), b.objects[x].locations())
+        << "object " << x;
+  }
+  // Load-level identity (covers the reference assignment too).
+  const core::LoadMap la = core::computeLoad(rooted, a);
+  const core::LoadMap lb = core::computeLoad(rooted, b);
+  for (net::EdgeId e = 0; e < t.edgeCount(); ++e) {
+    EXPECT_EQ(la.edgeLoad(e), lb.edgeLoad(e)) << "edge " << e;
+  }
+}
+
+TEST(DistributedNibble, MatchesSequentialOnGrid) {
+  util::Rng rng(91);
+  for (int trial = 0; trial < 24; ++trial) {
+    const Tree t = trial % 2 == 0
+                       ? net::makeRandomTree(18, 6, rng)
+                       : net::makeKaryTree(3, 2);
+    workload::GenParams params;
+    params.numObjects = 5;
+    params.requestsPerProcessor = 20;
+    const workload::Workload load = workload::generate(
+        static_cast<workload::Profile>(trial % 6), t, params, rng);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    const DistributedNibbleResult dist = distributedNibble(rooted, load);
+    const core::Placement seq = core::nibblePlacement(t, load);
+    expectSamePlacement(t, dist.placement, seq);
+    // Gravity centres agree with the sequential tie-break.
+    for (workload::ObjectId x = 0; x < load.numObjects(); ++x) {
+      EXPECT_EQ(dist.gravityCenters[static_cast<std::size_t>(x)],
+                core::nibbleObject(t, load, x).gravityCenter)
+          << "object " << x << " trial " << trial;
+    }
+  }
+}
+
+TEST(DistributedNibble, RoundsLinearInObjectsPlusHeight) {
+  util::Rng rng(97);
+  const Tree t = net::makeKaryTree(2, 5);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  for (const int numObjects : {1, 8, 32}) {
+    workload::GenParams params;
+    params.numObjects = numObjects;
+    params.requestsPerProcessor = 8;
+    util::Rng wrng = rng.split();
+    const workload::Workload load =
+        workload::generateUniform(t, params, wrng);
+    const DistributedNibbleResult result = distributedNibble(rooted, load);
+    // Schedule: object i starts at round i; four height-deep waves.
+    EXPECT_LE(result.stats.rounds,
+              static_cast<std::int64_t>(numObjects) + 4 * rooted.height() + 4)
+        << numObjects << " objects";
+  }
+}
+
+TEST(DistributedNibble, PerfectPipelining) {
+  // The wave schedule must never queue two messages on one lane of one
+  // directed edge — that is the paper's pipelining claim.
+  util::Rng rng(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Tree t = net::makeRandomTree(20, 7, rng);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    workload::GenParams params;
+    params.numObjects = 12;
+    params.requestsPerProcessor = 10;
+    const workload::Workload load = workload::generate(
+        static_cast<workload::Profile>(trial % 6), t, params, rng);
+    const DistributedNibbleResult result = distributedNibble(rooted, load);
+    EXPECT_LE(result.stats.maxQueueDepth, 1) << "trial " << trial;
+  }
+}
+
+TEST(DistributedNibble, HandlesUnusedObjects) {
+  const Tree t = net::makeStar(4);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  workload::Workload load(3, t.nodeCount());
+  load.addWrites(1, 2, 5);  // objects 0 and 2 never accessed
+  const DistributedNibbleResult result = distributedNibble(rooted, load);
+  EXPECT_EQ(result.placement.objects[0].copies.size(), 1u);
+  EXPECT_TRUE(t.isProcessor(result.placement.objects[0].copies[0].location));
+  const core::Placement seq = core::nibblePlacement(t, load);
+  expectSamePlacement(t, result.placement, seq);
+}
+
+TEST(DistributedNibble, MessageCountLinear) {
+  // Per object at most 4 messages per edge direction (one per wave).
+  util::Rng rng(103);
+  const Tree t = net::makeKaryTree(3, 3);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  workload::GenParams params;
+  params.numObjects = 10;
+  params.requestsPerProcessor = 10;
+  const workload::Workload load = workload::generateUniform(t, params, rng);
+  const DistributedNibbleResult result = distributedNibble(rooted, load);
+  EXPECT_LE(result.stats.messages,
+            static_cast<std::int64_t>(4) * load.numObjects() *
+                (t.nodeCount() - 1));
+}
+
+}  // namespace
+}  // namespace hbn::dist

@@ -1,0 +1,159 @@
+// Tests for the online (dynamic) strategy and its competitive harness.
+#include <gtest/gtest.h>
+
+#include "hbn/dynamic/harness.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/generators.h"
+
+namespace hbn::dynamic {
+namespace {
+
+using net::Tree;
+
+TEST(OnlineStrategy, FirstReadTravelsToInitialCopy) {
+  const Tree t = net::makeStar(3);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  OnlineTreeStrategy strategy(rooted, 1, t.processors().front());
+  strategy.serve(Request{0, 2, false});
+  // Path 2 -> bus -> 1 loads two edges by 1 each.
+  EXPECT_EQ(strategy.loads().totalLoad(), 2);
+}
+
+TEST(OnlineStrategy, RepeatedReadsTriggerReplication) {
+  const Tree t = net::makeStar(3);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  OnlineOptions options;
+  options.replicationThreshold = 2;
+  OnlineTreeStrategy strategy(rooted, 1, 1, options);
+  for (int i = 0; i < 6; ++i) strategy.serve(Request{0, 2, false});
+  EXPECT_GT(strategy.replications(), 0);
+  const auto copies = strategy.copySet(0);
+  // The reader's node eventually holds a copy: later reads are local.
+  EXPECT_NE(std::find(copies.begin(), copies.end(), 2), copies.end());
+}
+
+TEST(OnlineStrategy, LocalReadsAreFreeAfterReplication) {
+  const Tree t = net::makeStar(3);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  OnlineOptions options;
+  options.replicationThreshold = 1;
+  OnlineTreeStrategy strategy(rooted, 1, 1, options);
+  for (int i = 0; i < 3; ++i) strategy.serve(Request{0, 2, false});
+  const auto loadAfterWarmup = strategy.loads().totalLoad();
+  strategy.serve(Request{0, 2, false});
+  EXPECT_EQ(strategy.loads().totalLoad(), loadAfterWarmup);  // served locally
+}
+
+TEST(OnlineStrategy, WriteContractsCopySet) {
+  const Tree t = net::makeStar(4);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  OnlineOptions options;
+  options.replicationThreshold = 1;
+  OnlineTreeStrategy strategy(rooted, 1, 1, options);
+  for (const net::NodeId reader : {2, 3, 4}) {
+    for (int i = 0; i < 3; ++i) {
+      strategy.serve(Request{0, reader, false});
+    }
+  }
+  EXPECT_GT(strategy.copySet(0).size(), 1u);
+  strategy.serve(Request{0, 2, true});
+  EXPECT_EQ(strategy.copySet(0).size(), 1u);
+  EXPECT_GT(strategy.invalidations(), 0);
+}
+
+TEST(OnlineStrategy, CopySetStaysConnected) {
+  util::Rng rng(111);
+  const Tree t = net::makeKaryTree(3, 2);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  OnlineOptions options;
+  options.replicationThreshold = 1;
+  OnlineTreeStrategy strategy(rooted, 2, t.processors().front(), options);
+  for (int i = 0; i < 200; ++i) {
+    const Request request{
+        static_cast<workload::ObjectId>(rng.nextBelow(2)),
+        t.processors()[static_cast<std::size_t>(
+            rng.nextBelow(t.processors().size()))],
+        rng.nextBool(0.2)};
+    strategy.serve(request);
+    // Connectivity check of copy set 0 via BFS.
+    const auto copies = strategy.copySet(0);
+    ASSERT_FALSE(copies.empty());
+    std::vector<char> inSet(static_cast<std::size_t>(t.nodeCount()), 0);
+    for (const net::NodeId v : copies) {
+      inSet[static_cast<std::size_t>(v)] = 1;
+    }
+    std::vector<net::NodeId> stack{copies.front()};
+    std::vector<char> seen(static_cast<std::size_t>(t.nodeCount()), 0);
+    seen[static_cast<std::size_t>(copies.front())] = 1;
+    std::size_t reached = 1;
+    while (!stack.empty()) {
+      const net::NodeId v = stack.back();
+      stack.pop_back();
+      for (const net::HalfEdge& he : t.neighbors(v)) {
+        if (inSet[static_cast<std::size_t>(he.to)] &&
+            !seen[static_cast<std::size_t>(he.to)]) {
+          seen[static_cast<std::size_t>(he.to)] = 1;
+          ++reached;
+          stack.push_back(he.to);
+        }
+      }
+    }
+    ASSERT_EQ(reached, copies.size()) << "request " << i;
+  }
+}
+
+TEST(Harness, SequenceFromWorkloadCoversAllRequests) {
+  util::Rng rng(113);
+  const Tree t = net::makeStar(5);
+  workload::GenParams params;
+  params.numObjects = 3;
+  params.requestsPerProcessor = 10;
+  const workload::Workload load = workload::generateUniform(t, params, rng);
+  const auto requests = sequenceFromWorkload(load, rng);
+  EXPECT_EQ(static_cast<workload::Count>(requests.size()),
+            load.grandTotal());
+}
+
+TEST(Harness, CompetitiveRatioModestOnRandomWorkloads) {
+  util::Rng rng(127);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Tree t = net::makeRandomTree(16, 5, rng);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    workload::GenParams params;
+    params.numObjects = 4;
+    params.requestsPerProcessor = 30;
+    params.readFraction = 0.7;
+    const workload::Workload load = workload::generate(
+        static_cast<workload::Profile>(trial % 6), t, params, rng);
+    const auto requests = sequenceFromWorkload(load, rng);
+    const CompetitiveResult result = runCompetitive(rooted, 4, requests);
+    EXPECT_GT(result.onlineCongestion, 0.0);
+    // Loose sanity bound; the bench reports the measured distribution.
+    EXPECT_LT(result.ratio, 40.0) << "trial " << trial;
+  }
+}
+
+TEST(Harness, PingPongSequenceShape) {
+  util::Rng rng(131);
+  const Tree t = net::makeClusterNetwork(2, 3);
+  const auto requests = makePingPongSequence(t, 2, 5, 4, rng);
+  EXPECT_EQ(requests.size(), 2u * 5u * (4u + 1u));
+  int writes = 0;
+  for (const Request& r : requests) writes += r.isWrite ? 1 : 0;
+  EXPECT_EQ(writes, 10);
+}
+
+TEST(Harness, RejectsBadParameters) {
+  util::Rng rng(137);
+  const Tree t = net::makeStar(3);
+  EXPECT_THROW((void)makePingPongSequence(t, 0, 1, 1, rng),
+               std::invalid_argument);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  OnlineOptions bad;
+  bad.replicationThreshold = 0;
+  EXPECT_THROW(OnlineTreeStrategy(rooted, 1, 1, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hbn::dynamic

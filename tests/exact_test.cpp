@@ -1,0 +1,154 @@
+// Tests for the exact branch-and-bound solver.
+#include <gtest/gtest.h>
+
+#include "hbn/baseline/exact.h"
+#include "hbn/baseline/heuristics.h"
+#include "hbn/core/load.h"
+#include "hbn/core/lower_bound.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/generators.h"
+
+namespace hbn::baseline {
+namespace {
+
+using net::Tree;
+
+TEST(Exact, TrivialSingleObject) {
+  const Tree t = net::makeStar(3);
+  workload::Workload load(1, t.nodeCount());
+  load.addWrites(0, 1, 10);
+  const ExactResult result = solveExact(t, load);
+  EXPECT_TRUE(result.provedOptimal);
+  // Placing the copy on the writer costs nothing.
+  EXPECT_DOUBLE_EQ(result.congestion, 0.0);
+  EXPECT_EQ(result.placement.objects[0].locations(),
+            (std::vector<net::NodeId>{1}));
+}
+
+TEST(Exact, BalancesTwoHeavyObjects) {
+  // Two all-write objects from every leaf: any co-location doubles one
+  // leaf edge; the optimum separates them.
+  const Tree t = net::makeStar(4, 1000.0);
+  workload::Workload load(2, t.nodeCount());
+  for (const net::NodeId p : t.processors()) {
+    load.addWrites(0, p, 10);
+    load.addWrites(1, p, 10);
+  }
+  const ExactResult result = solveExact(t, load);
+  EXPECT_TRUE(result.provedOptimal);
+  const auto loc0 = result.placement.objects[0].locations();
+  const auto loc1 = result.placement.objects[1].locations();
+  EXPECT_NE(loc0, loc1);
+  // Each edge carries 10 from its own object's three remote writers and 10
+  // from the other object: 3*10 + 10 = 40.
+  EXPECT_DOUBLE_EQ(result.congestion, 40.0);
+}
+
+TEST(Exact, MatchesExhaustiveOnRandomInstances) {
+  // Cross-check branch-and-bound against plain exhaustive enumeration
+  // (no pruning) on tiny instances.
+  util::Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Tree t = net::makeStar(4);
+    workload::GenParams params;
+    params.numObjects = 3;
+    params.requestsPerProcessor = 8;
+    params.readFraction = 0.3;
+    const workload::Workload load =
+        workload::generateUniform(t, params, rng);
+
+    const ExactResult bb = solveExact(t, load);
+    ASSERT_TRUE(bb.provedOptimal);
+
+    // Exhaustive: all single-leaf choices per object.
+    const net::RootedTree rooted(t, t.defaultRoot());
+    double best = 1e18;
+    const auto procs = t.processors();
+    for (const net::NodeId l0 : procs) {
+      for (const net::NodeId l1 : procs) {
+        for (const net::NodeId l2 : procs) {
+          core::Placement p;
+          const net::NodeId a[] = {l0};
+          const net::NodeId b[] = {l1};
+          const net::NodeId c[] = {l2};
+          p.objects.push_back(core::makeNearestPlacement(t, load, 0, a));
+          p.objects.push_back(core::makeNearestPlacement(t, load, 1, b));
+          p.objects.push_back(core::makeNearestPlacement(t, load, 2, c));
+          best = std::min(best, core::evaluateCongestion(rooted, p));
+        }
+      }
+    }
+    EXPECT_DOUBLE_EQ(bb.congestion, best) << "trial " << trial;
+  }
+}
+
+TEST(Exact, RedundantCopiesHelpReadHeavyWorkloads) {
+  // A read-heavy object: two copies beat one under maxCopies=2.
+  const Tree t = net::makeClusterNetwork(2, 3);
+  workload::Workload load(1, t.nodeCount());
+  for (const net::NodeId p : t.processors()) {
+    load.addReads(0, p, 20);
+  }
+  load.addWrites(0, t.processors().front(), 1);
+
+  ExactOptions single;
+  single.maxCopiesPerObject = 1;
+  const ExactResult one = solveExact(t, load, single);
+  ExactOptions redundant;
+  redundant.maxCopiesPerObject = 2;
+  const ExactResult two = solveExact(t, load, redundant);
+  EXPECT_LT(two.congestion, one.congestion);
+}
+
+TEST(Exact, NeverBelowAnalyticLowerBound) {
+  util::Rng rng(13);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Tree t = net::makeClusterNetwork(2, 2);
+    workload::GenParams params;
+    params.numObjects = 3;
+    params.requestsPerProcessor = 10;
+    const workload::Workload load = workload::generate(
+        static_cast<workload::Profile>(trial % 6), t, params, rng);
+    ExactOptions options;
+    options.maxCopiesPerObject = 2;
+    const ExactResult result = solveExact(t, load, options);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    const core::LowerBound lb = core::analyticLowerBound(rooted, load);
+    EXPECT_GE(result.congestion, lb.congestion - 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Exact, NodeBudgetReturnsIncumbent) {
+  util::Rng rng(17);
+  const Tree t = net::makeStar(5);
+  workload::GenParams params;
+  params.numObjects = 6;
+  params.requestsPerProcessor = 10;
+  const workload::Workload load = workload::generateUniform(t, params, rng);
+  ExactOptions options;
+  options.nodeBudget = 3;  // absurdly small
+  const ExactResult result = solveExact(t, load, options);
+  EXPECT_FALSE(result.provedOptimal);
+  EXPECT_EQ(result.placement.objects.size(), 6u);
+  EXPECT_NO_THROW(core::validateCoversWorkload(result.placement, load));
+}
+
+TEST(Exact, RejectsBadOptions) {
+  const Tree t = net::makeStar(3);
+  workload::Workload load(1, t.nodeCount());
+  ExactOptions options;
+  options.maxCopiesPerObject = 0;
+  EXPECT_THROW((void)solveExact(t, load, options), std::invalid_argument);
+}
+
+TEST(Exact, HugeCandidateSpaceRejected) {
+  const Tree t = net::makeStar(40);
+  workload::Workload load(1, t.nodeCount());
+  ExactOptions options;
+  options.maxCopiesPerObject = 5;  // C(40,<=5) >> 4096
+  EXPECT_THROW((void)solveExact(t, load, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hbn::baseline

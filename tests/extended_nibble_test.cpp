@@ -1,0 +1,210 @@
+// End-to-end tests of the extended-nibble strategy — Theorem 4.3's
+// 7-approximation against the certified lower bound, across topology and
+// workload families (parameterised sweep).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "hbn/core/extended_nibble.h"
+#include "hbn/core/lower_bound.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/generators.h"
+
+namespace hbn::core {
+namespace {
+
+using net::Tree;
+
+TEST(ExtendedNibble, FinalPlacementLeafOnlyAndCoversWorkload) {
+  util::Rng rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Tree t = net::makeRandomTree(24, 8, rng);
+    workload::GenParams params;
+    params.numObjects = 6;
+    params.requestsPerProcessor = 25;
+    const workload::Workload load = workload::generate(
+        static_cast<workload::Profile>(trial % 6), t, params, rng);
+    const ExtendedNibbleResult result = extendedNibble(t, load);
+    EXPECT_TRUE(result.final.isLeafOnly(t));
+    EXPECT_NO_THROW(validateCoversWorkload(result.final, load));
+    EXPECT_NO_THROW(validateCoversWorkload(result.nibble, load));
+    EXPECT_NO_THROW(validateCoversWorkload(result.modified, load));
+  }
+}
+
+TEST(ExtendedNibble, RejectsWorkloadOnBuses) {
+  const Tree t = net::makeStar(3);
+  workload::Workload load(1, t.nodeCount());
+  load.addReads(0, 0, 1);  // node 0 is the bus
+  EXPECT_THROW(extendedNibble(t, load), std::invalid_argument);
+}
+
+TEST(ExtendedNibble, DeterministicAcrossRuns) {
+  util::Rng rng(103);
+  const Tree t = net::makeClusterNetwork(4, 4);
+  workload::GenParams params;
+  params.numObjects = 5;
+  const workload::Workload load = workload::generateZipf(t, params, rng);
+  const ExtendedNibbleResult a = extendedNibble(t, load);
+  const ExtendedNibbleResult b = extendedNibble(t, load);
+  EXPECT_EQ(a.report.congestionFinal, b.report.congestionFinal);
+  for (std::size_t x = 0; x < a.final.objects.size(); ++x) {
+    EXPECT_EQ(a.final.objects[x].locations(), b.final.objects[x].locations());
+  }
+}
+
+TEST(ExtendedNibble, ReportIsInternallyConsistent) {
+  util::Rng rng(107);
+  const Tree t = net::makeKaryTree(4, 2);
+  workload::GenParams params;
+  params.numObjects = 8;
+  const workload::Workload load = workload::generateHotspot(t, params, rng);
+  const ExtendedNibbleResult result = extendedNibble(t, load);
+  EXPECT_EQ(result.report.participatingObjects + result.report.frozenObjects,
+            load.numObjects());
+  EXPECT_GE(result.report.congestionFinal, result.report.congestionNibble);
+  EXPECT_EQ(result.report.maxWriteContention, load.maxWriteContention());
+  EXPECT_EQ(result.gravityCenters.size(),
+            static_cast<std::size_t>(load.numObjects()));
+  EXPECT_EQ(result.report.mapping.forcedMoves, 0);
+}
+
+TEST(ExtendedNibble, NeverAccessedObjectHandled) {
+  const Tree t = net::makeStar(4);
+  workload::Workload load(2, t.nodeCount());
+  load.addWrites(0, 1, 5);  // object 1 untouched
+  const ExtendedNibbleResult result = extendedNibble(t, load);
+  EXPECT_TRUE(result.final.isLeafOnly(t));
+  EXPECT_EQ(result.final.objects[1].copies.size(), 1u);
+}
+
+TEST(ExtendedNibble, SingleProcessorTree) {
+  net::TreeBuilder b;
+  b.addProcessor();
+  const Tree t = b.build();
+  workload::Workload load(2, 1);
+  load.addReads(0, 0, 10);
+  load.addWrites(1, 0, 3);
+  const ExtendedNibbleResult result = extendedNibble(t, load);
+  EXPECT_DOUBLE_EQ(result.report.congestionFinal, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Theorem 4.3 property sweep: congestion <= 7 × lower bound over the full
+// topology × workload grid.
+// ---------------------------------------------------------------------
+
+using SweepParam = std::tuple<net::TopologyFamily, workload::Profile, int>;
+
+class ApproximationSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ApproximationSweep, CongestionWithin7xLowerBound) {
+  const auto [family, profile, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  const Tree t = net::makeFamilyMember(family, 30, rng);
+  workload::GenParams params;
+  params.numObjects = 6;
+  params.requestsPerProcessor = 30;
+  params.readFraction = 0.2 + 0.6 * rng.nextDouble();
+  const workload::Workload load = workload::generate(profile, t, params, rng);
+
+  const ExtendedNibbleResult result = extendedNibble(t, load);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  const LowerBound lb = analyticLowerBound(rooted, load);
+  if (lb.congestion == 0.0) {
+    EXPECT_DOUBLE_EQ(result.report.congestionFinal, 0.0);
+    return;
+  }
+  EXPECT_LE(result.report.congestionFinal, 7.0 * lb.congestion)
+      << topologyFamilyName(family) << "/" << profileName(profile);
+  // The nibble congestion must itself lower-bound the final one.
+  EXPECT_LE(result.report.congestionNibble, result.report.congestionFinal);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ApproximationSweep,
+    ::testing::Combine(
+        ::testing::Values(net::TopologyFamily::kary, net::TopologyFamily::star,
+                          net::TopologyFamily::caterpillar,
+                          net::TopologyFamily::random,
+                          net::TopologyFamily::cluster),
+        ::testing::Values(workload::Profile::uniform, workload::Profile::zipf,
+                          workload::Profile::hotspot,
+                          workload::Profile::clustered,
+                          workload::Profile::producerConsumer,
+                          workload::Profile::adversarial),
+        ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string name =
+          std::string(net::topologyFamilyName(std::get<0>(info.param))) + "_" +
+          workload::profileName(std::get<1>(info.param)) + "_s" +
+          std::to_string(std::get<2>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// Ablation: skipping the deletion step may produce forced moves (the
+// guarantee is void) but must still yield a valid leaf-only placement.
+TEST(ExtendedNibble, MultiThreadedRunsAreBitIdentical) {
+  util::Rng rng(131);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Tree t = net::makeRandomTree(30, 10, rng);
+    workload::GenParams params;
+    params.numObjects = 17;  // not a multiple of the thread counts
+    params.requestsPerProcessor = 20;
+    const workload::Workload load = workload::generate(
+        static_cast<workload::Profile>(trial % 6), t, params, rng);
+    const ExtendedNibbleResult sequential = extendedNibble(t, load);
+    for (const int threads : {0, 2, 4, 7}) {
+      ExtendedNibbleOptions options;
+      options.threads = threads;
+      const ExtendedNibbleResult parallel = extendedNibble(t, load, options);
+      ASSERT_EQ(parallel.report.congestionFinal,
+                sequential.report.congestionFinal)
+          << "threads=" << threads;
+      ASSERT_EQ(parallel.report.deletion.copiesDeleted,
+                sequential.report.deletion.copiesDeleted);
+      ASSERT_EQ(parallel.gravityCenters, sequential.gravityCenters);
+      for (std::size_t x = 0; x < sequential.final.objects.size(); ++x) {
+        ASSERT_EQ(parallel.final.objects[x].locations(),
+                  sequential.final.objects[x].locations());
+      }
+    }
+  }
+}
+
+TEST(ExtendedNibbleAblation, SkipDeletionStillValid) {
+  util::Rng rng(113);
+  const Tree t = net::makeRandomTree(20, 6, rng);
+  workload::GenParams params;
+  params.numObjects = 5;
+  const workload::Workload load =
+      workload::generateAdversarial(t, params, rng);
+  ExtendedNibbleOptions options;
+  options.runDeletion = false;
+  const ExtendedNibbleResult result = extendedNibble(t, load, options);
+  EXPECT_TRUE(result.final.isLeafOnly(t));
+  EXPECT_NO_THROW(validateCoversWorkload(result.final, load));
+}
+
+TEST(ExtendedNibbleAblation, AccFactorVariantsStayValid) {
+  util::Rng rng(127);
+  const Tree t = net::makeKaryTree(3, 3);
+  workload::GenParams params;
+  params.numObjects = 6;
+  const workload::Workload load = workload::generateUniform(t, params, rng);
+  for (const Count factor : {1, 2, 3}) {
+    ExtendedNibbleOptions options;
+    options.accFactor = factor;
+    const ExtendedNibbleResult result = extendedNibble(t, load, options);
+    EXPECT_TRUE(result.final.isLeafOnly(t)) << "factor " << factor;
+    EXPECT_NO_THROW(validateCoversWorkload(result.final, load));
+  }
+}
+
+}  // namespace
+}  // namespace hbn::core

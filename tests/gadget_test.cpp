@@ -1,0 +1,130 @@
+// Tests for the Theorem 2.1 reduction: congestion <= 4k is achievable iff
+// the PARTITION instance is solvable — verified with the exact solver.
+#include <gtest/gtest.h>
+
+#include "hbn/baseline/exact.h"
+#include "hbn/core/load.h"
+#include "hbn/nphard/gadget.h"
+
+namespace hbn::nphard {
+namespace {
+
+TEST(Gadget, EncodingShape) {
+  const PartitionInstance instance{{2, 3, 3, 2}};  // total 10, k = 5
+  const Gadget g = encodePartition(instance);
+  EXPECT_EQ(g.k, 5);
+  EXPECT_EQ(g.threshold(), 20);
+  EXPECT_EQ(g.tree.processorCount(), 4);
+  EXPECT_EQ(g.load.numObjects(), 5);  // 4 items + y
+  EXPECT_EQ(g.load.objectWrites(g.yObject()), 4 * 5 + 1 + 2 * 5);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(g.load.objectWrites(i), 4 * instance.items[
+        static_cast<std::size_t>(i)]);
+  }
+  EXPECT_NO_THROW(g.load.validateProcessorOnly(g.tree));
+}
+
+TEST(Gadget, OddTotalRejected) {
+  const PartitionInstance instance{{1, 2}};
+  EXPECT_THROW((void)encodePartition(instance), std::invalid_argument);
+}
+
+TEST(Gadget, WitnessAchievesThresholdOnYesInstances) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const PartitionInstance instance = makeYesInstance(6, 20, rng);
+    const Gadget g = encodePartition(instance);
+    const auto subset = solvePartition(instance);
+    ASSERT_TRUE(subset.has_value());
+    const core::Placement witness = witnessPlacement(g, *subset);
+    const net::RootedTree rooted(g.tree, g.tree.defaultRoot());
+    const double congestion = core::evaluateCongestion(rooted, witness);
+    EXPECT_DOUBLE_EQ(congestion, static_cast<double>(g.threshold()))
+        << "trial " << trial;
+  }
+}
+
+TEST(Gadget, ExactOptimumMatchesThresholdIffSolvable) {
+  util::Rng rng(37);
+  // YES instances: optimum == 4k.
+  for (int trial = 0; trial < 6; ++trial) {
+    const PartitionInstance yes = makeYesInstance(5, 12, rng);
+    const Gadget g = encodePartition(yes);
+    const baseline::ExactResult opt = baseline::solveExact(g.tree, g.load);
+    ASSERT_TRUE(opt.provedOptimal);
+    EXPECT_DOUBLE_EQ(opt.congestion, static_cast<double>(g.threshold()))
+        << "yes trial " << trial;
+  }
+  // NO instances: optimum > 4k.
+  for (int trial = 0; trial < 6; ++trial) {
+    const PartitionInstance no = makeNoInstance(5, 9, rng);
+    const Gadget g = encodePartition(no);
+    const baseline::ExactResult opt = baseline::solveExact(g.tree, g.load);
+    ASSERT_TRUE(opt.provedOptimal);
+    EXPECT_GT(opt.congestion, static_cast<double>(g.threshold()))
+        << "no trial " << trial;
+  }
+}
+
+TEST(Gadget, RedundantCopiesDoNotBeatThreshold) {
+  // The proof argues non-redundant placement is WLOG for all-write
+  // instances; allowing 2 copies must not improve the optimum.
+  util::Rng rng(41);
+  const PartitionInstance no = makeNoInstance(4, 7, rng);
+  const Gadget g = encodePartition(no);
+  const baseline::ExactResult single = baseline::solveExact(g.tree, g.load);
+  baseline::ExactOptions redundant;
+  redundant.maxCopiesPerObject = 2;
+  const baseline::ExactResult twoCopy =
+      baseline::solveExact(g.tree, g.load, redundant);
+  ASSERT_TRUE(single.provedOptimal);
+  ASSERT_TRUE(twoCopy.provedOptimal);
+  EXPECT_DOUBLE_EQ(twoCopy.congestion, single.congestion);
+}
+
+TEST(Gadget, OptimalPlacementDecodesToPerfectPartitionOnYes) {
+  util::Rng rng(43);
+  const PartitionInstance yes = makeYesInstance(6, 15, rng);
+  const Gadget g = encodePartition(yes);
+  const baseline::ExactResult opt = baseline::solveExact(g.tree, g.load);
+  ASSERT_TRUE(opt.provedOptimal);
+  ASSERT_DOUBLE_EQ(opt.congestion, static_cast<double>(g.threshold()));
+  // An optimal placement encodes a perfect partition: x_i on s for i in S,
+  // the rest on s̄ (possibly with roles of s and s̄ swapped).
+  const std::vector<int> subset = decodeSubset(g, opt.placement);
+  Weight onS = 0;
+  for (const int i : subset) {
+    onS += yes.items[static_cast<std::size_t>(i)];
+  }
+  EXPECT_EQ(onS, g.k);
+}
+
+TEST(Gadget, BusLoadDoesNotDominate) {
+  // The reduction chooses the bus bandwidth so edge congestion decides;
+  // confirm on a YES witness.
+  util::Rng rng(47);
+  const PartitionInstance yes = makeYesInstance(5, 10, rng);
+  const Gadget g = encodePartition(yes);
+  const auto subset = solvePartition(yes);
+  ASSERT_TRUE(subset.has_value());
+  const core::Placement witness = witnessPlacement(g, *subset);
+  const net::RootedTree rooted(g.tree, g.tree.defaultRoot());
+  const core::LoadMap lm = core::computeLoad(rooted, witness);
+  EXPECT_LT(lm.busCongestion(g.tree), lm.edgeCongestion(g.tree));
+}
+
+TEST(Gadget, DecodeRejectsRedundantPlacement) {
+  const PartitionInstance instance{{2, 2}};
+  const Gadget g = encodePartition(instance);
+  core::Placement redundant;
+  redundant.objects.resize(static_cast<std::size_t>(g.load.numObjects()));
+  const net::NodeId both[] = {g.s(), g.sBar()};
+  for (int x = 0; x < g.load.numObjects(); ++x) {
+    redundant.objects[static_cast<std::size_t>(x)] =
+        core::makeNearestPlacement(g.tree, g.load, x, both);
+  }
+  EXPECT_THROW((void)decodeSubset(g, redundant), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hbn::nphard

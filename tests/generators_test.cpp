@@ -1,0 +1,109 @@
+// Tests for topology generators: every family must produce valid
+// hierarchical bus networks with the promised shapes.
+#include <gtest/gtest.h>
+
+#include "hbn/net/generators.h"
+#include "hbn/net/rooted.h"
+#include "hbn/util/rng.h"
+
+namespace hbn::net {
+namespace {
+
+TEST(Generators, KaryTreeShape) {
+  const Tree t = makeKaryTree(3, 2);
+  // 1 root bus + 3 child buses + 9 processors.
+  EXPECT_EQ(t.busCount(), 4);
+  EXPECT_EQ(t.processorCount(), 9);
+  // Root bus -> child bus -> processor: two hops.
+  EXPECT_EQ(t.heightFrom(t.defaultRoot()), 2);
+}
+
+TEST(Generators, KaryHeightOneIsStar) {
+  const Tree t = makeKaryTree(5, 1);
+  EXPECT_EQ(t.busCount(), 1);
+  EXPECT_EQ(t.processorCount(), 5);
+}
+
+TEST(Generators, KaryRejectsBadParameters) {
+  EXPECT_THROW(makeKaryTree(1, 2), std::invalid_argument);
+  EXPECT_THROW(makeKaryTree(2, 0), std::invalid_argument);
+}
+
+TEST(Generators, FatTreeBandwidthsGrowTowardsRoot) {
+  BandwidthModel bw;
+  bw.fatTree = true;
+  const Tree t = makeKaryTree(2, 3, bw);
+  const RootedTree r(t, 0);
+  // Root bus covers 8 processors, its children 4 each.
+  EXPECT_DOUBLE_EQ(t.busBandwidth(0), 8.0);
+  for (const NodeId c : r.children(0)) {
+    if (t.isBus(c)) {
+      EXPECT_DOUBLE_EQ(t.busBandwidth(c), 4.0);
+    }
+  }
+  // Leaf switches stay at bandwidth 1 (the paper's model).
+  EXPECT_TRUE(t.usesUnitLeafEdges());
+}
+
+TEST(Generators, StarShape) {
+  const Tree t = makeStar(7, 42.0);
+  EXPECT_EQ(t.busCount(), 1);
+  EXPECT_EQ(t.processorCount(), 7);
+  EXPECT_DOUBLE_EQ(t.busBandwidth(t.buses()[0]), 42.0);
+}
+
+TEST(Generators, CaterpillarShape) {
+  const Tree t = makeCaterpillar(5, 2);
+  EXPECT_EQ(t.busCount(), 5);
+  EXPECT_EQ(t.processorCount(), 10);
+  // Height from an end bus: 4 bus hops + 1 leaf edge.
+  EXPECT_EQ(t.heightFrom(t.buses()[0]), 5);
+}
+
+TEST(Generators, RandomTreeIsValidAndDeterministic) {
+  util::Rng rng1(99);
+  util::Rng rng2(99);
+  const Tree a = makeRandomTree(40, 10, rng1);
+  const Tree b = makeRandomTree(40, 10, rng2);
+  EXPECT_EQ(a.nodeCount(), b.nodeCount());
+  EXPECT_EQ(a.processorCount(), 40);
+  EXPECT_EQ(a.busCount(), 10);
+  for (EdgeId e = 0; e < a.edgeCount(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+  }
+}
+
+TEST(Generators, RandomTreePadsProcessorsForValidity) {
+  util::Rng rng(7);
+  // Fewer processors than buses would leave leaf buses; generator pads.
+  const Tree t = makeRandomTree(2, 6, rng);
+  EXPECT_GE(t.processorCount(), 6);
+}
+
+TEST(Generators, ClusterNetworkShape) {
+  const Tree t = makeClusterNetwork(4, 3);
+  EXPECT_EQ(t.busCount(), 5);  // root + 4 clusters
+  EXPECT_EQ(t.processorCount(), 12);
+  EXPECT_EQ(t.heightFrom(t.defaultRoot()), 2);
+}
+
+TEST(Generators, FamilyMemberHitsTargetSize) {
+  util::Rng rng(5);
+  for (const TopologyFamily family :
+       {TopologyFamily::kary, TopologyFamily::star, TopologyFamily::caterpillar,
+        TopologyFamily::random, TopologyFamily::cluster}) {
+    const Tree t = makeFamilyMember(family, 50, rng);
+    EXPECT_GE(t.processorCount(), 10)
+        << topologyFamilyName(family);
+    EXPECT_LE(t.processorCount(), 100) << topologyFamilyName(family);
+  }
+}
+
+TEST(Generators, FamilyNames) {
+  EXPECT_STREQ(topologyFamilyName(TopologyFamily::kary), "kary");
+  EXPECT_STREQ(topologyFamilyName(TopologyFamily::cluster), "cluster");
+}
+
+}  // namespace
+}  // namespace hbn::net

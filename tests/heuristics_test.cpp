@@ -1,0 +1,144 @@
+// Tests for the baseline heuristics.
+#include <gtest/gtest.h>
+
+#include "hbn/baseline/heuristics.h"
+#include "hbn/core/load.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/generators.h"
+
+namespace hbn::baseline {
+namespace {
+
+using net::Tree;
+
+struct Instance {
+  Tree tree;
+  workload::Workload load;
+};
+
+Instance makeInstance(std::uint64_t seed, int procs = 16, int objects = 5) {
+  util::Rng rng(seed);
+  Tree tree = net::makeRandomTree(procs, procs / 3, rng);
+  workload::GenParams params;
+  params.numObjects = objects;
+  params.requestsPerProcessor = 20;
+  workload::Workload load = workload::generateZipf(tree, params, rng);
+  return Instance{std::move(tree), std::move(load)};
+}
+
+TEST(Heuristics, BestSingleCopyIsValidAndSingleCopy) {
+  const Instance in = makeInstance(1);
+  const Placement p = bestSingleCopy(in.tree, in.load);
+  EXPECT_TRUE(p.isLeafOnly(in.tree));
+  EXPECT_NO_THROW(core::validateCoversWorkload(p, in.load));
+  for (const auto& obj : p.objects) {
+    EXPECT_EQ(obj.locations().size(), 1u);
+  }
+}
+
+TEST(Heuristics, WeightedMedianMinimisesTotalLoad) {
+  // Check against brute force over all single-copy positions.
+  const Instance in = makeInstance(2, 12, 3);
+  const net::RootedTree rooted(in.tree, in.tree.defaultRoot());
+  const Placement p = weightedMedian(in.tree, in.load);
+  for (workload::ObjectId x = 0; x < in.load.numObjects(); ++x) {
+    core::LoadMap chosen(in.tree.edgeCount());
+    core::accumulateObjectLoad(
+        rooted, p.objects[static_cast<std::size_t>(x)], chosen);
+    const auto chosenTotal = chosen.totalLoad();
+    for (const net::NodeId q : in.tree.processors()) {
+      const net::NodeId locations[] = {q};
+      core::LoadMap other(in.tree.edgeCount());
+      core::accumulateObjectLoad(
+          rooted, core::makeNearestPlacement(in.tree, in.load, x, locations),
+          other);
+      EXPECT_LE(chosenTotal, other.totalLoad())
+          << "object " << x << " beaten by leaf " << q;
+    }
+  }
+}
+
+TEST(Heuristics, BestSingleCopyNoWorseThanRandomOnAverage) {
+  util::Rng rng(3);
+  double greedyTotal = 0.0;
+  double randomTotal = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance in = makeInstance(100 + static_cast<std::uint64_t>(trial));
+    const net::RootedTree rooted(in.tree, in.tree.defaultRoot());
+    greedyTotal +=
+        core::evaluateCongestion(rooted, bestSingleCopy(in.tree, in.load));
+    randomTotal += core::evaluateCongestion(
+        rooted, randomSingleCopy(in.tree, in.load, rng));
+  }
+  EXPECT_LE(greedyTotal, randomTotal);
+}
+
+TEST(Heuristics, RandomSingleCopyDeterministicUnderSeed) {
+  const Instance in = makeInstance(4);
+  util::Rng rng1(9);
+  util::Rng rng2(9);
+  const Placement a = randomSingleCopy(in.tree, in.load, rng1);
+  const Placement b = randomSingleCopy(in.tree, in.load, rng2);
+  for (std::size_t x = 0; x < a.objects.size(); ++x) {
+    EXPECT_EQ(a.objects[x].locations(), b.objects[x].locations());
+  }
+}
+
+TEST(Heuristics, FullReplicationReadsAreLocal) {
+  const Instance in = makeInstance(5);
+  const Placement p = fullReplication(in.tree, in.load);
+  EXPECT_NO_THROW(core::validateCoversWorkload(p, in.load));
+  for (const auto& obj : p.objects) {
+    EXPECT_EQ(obj.locations().size(), in.tree.processors().size());
+    for (const auto& copy : obj.copies) {
+      for (const auto& share : copy.served) {
+        EXPECT_EQ(share.origin, copy.location);  // nearest copy is local
+      }
+    }
+  }
+}
+
+TEST(Heuristics, FullReplicationCongestionIsWriteDriven) {
+  // Read-only workload: full replication is congestion-free.
+  const Tree t = net::makeStar(6);
+  workload::Workload load(2, t.nodeCount());
+  for (const net::NodeId p : t.processors()) {
+    load.addReads(0, p, 10);
+    load.addReads(1, p, 5);
+  }
+  const net::RootedTree rooted(t, t.defaultRoot());
+  EXPECT_DOUBLE_EQ(
+      core::evaluateCongestion(rooted, fullReplication(t, load)), 0.0);
+}
+
+TEST(Heuristics, LocalSearchNeverWorsens) {
+  util::Rng rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Instance in = makeInstance(200 + static_cast<std::uint64_t>(trial),
+                                     10, 4);
+    const net::RootedTree rooted(in.tree, in.tree.defaultRoot());
+    const Placement start = randomSingleCopy(in.tree, in.load, rng);
+    const double before = core::evaluateCongestion(rooted, start);
+    LocalSearchOptions options;
+    options.maxIterations = 30;
+    const Placement improved =
+        localSearch(in.tree, in.load, start, rng, options);
+    const double after = core::evaluateCongestion(rooted, improved);
+    EXPECT_LE(after, before) << "trial " << trial;
+    EXPECT_NO_THROW(core::validateCoversWorkload(improved, in.load));
+  }
+}
+
+TEST(Heuristics, LocalSearchRejectsBadInput) {
+  const Instance in = makeInstance(7);
+  util::Rng rng(1);
+  Placement wrong;
+  wrong.objects.resize(1);
+  EXPECT_THROW(
+      (void)localSearch(in.tree, in.load, wrong, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hbn::baseline

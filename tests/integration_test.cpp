@@ -1,0 +1,121 @@
+// Cross-module integration tests: serialisation round-trips feeding the
+// full pipeline, SCI networks driving the strategy, and end-to-end CLI-
+// style flows (file formats -> placement -> loads -> report).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hbn/core/extended_nibble.h"
+#include "hbn/core/lower_bound.h"
+#include "hbn/core/report.h"
+#include "hbn/net/generators.h"
+#include "hbn/net/serialize.h"
+#include "hbn/sci/ring_network.h"
+#include "hbn/sim/simulator.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/generators.h"
+#include "hbn/workload/serialize.h"
+
+namespace hbn {
+namespace {
+
+TEST(Integration, SerializedInstanceReproducesPlacement) {
+  // Tree and workload survive a text round-trip and produce the identical
+  // extended-nibble result — the contract behind the hbn_place CLI.
+  util::Rng rng(401);
+  const net::Tree tree = net::makeRandomTree(24, 8, rng);
+  workload::GenParams params;
+  params.numObjects = 6;
+  const workload::Workload load =
+      workload::generateZipf(tree, params, rng);
+
+  const net::Tree tree2 = net::parseText(net::toText(tree));
+  const workload::Workload load2 =
+      workload::parseText(workload::toText(load));
+
+  const auto a = core::extendedNibble(tree, load);
+  const auto b = core::extendedNibble(tree2, load2);
+  EXPECT_EQ(a.report.congestionFinal, b.report.congestionFinal);
+  EXPECT_EQ(core::placementToString(a.final),
+            core::placementToString(b.final));
+}
+
+TEST(Integration, SciNetworkDrivesFullPipeline) {
+  // Ring hardware -> bus view -> strategy -> simulator, end to end.
+  util::Rng rng(409);
+  const sci::RingNetwork rings = sci::makeBalancedRingHierarchy(3, 2, 4);
+  const sci::BusView view = sci::toBusNetwork(rings);
+  workload::GenParams params;
+  params.numObjects = 8;
+  params.requestsPerProcessor = 20;
+  const workload::Workload load =
+      workload::generateClustered(view.tree, params, rng);
+  const auto result = core::extendedNibble(view.tree, load);
+  EXPECT_TRUE(result.final.isLeafOnly(view.tree));
+  const net::RootedTree rooted(view.tree, view.tree.defaultRoot());
+  const sim::SimResult sim =
+      sim::simulatePlacement(rooted, load, result.final);
+  EXPECT_GE(sim.makespan, static_cast<std::int64_t>(sim.congestion));
+  EXPECT_LE(sim.maxUtilization, 1.0 + 1e-9);
+}
+
+TEST(Integration, ReportSummaryMatchesPlacement) {
+  util::Rng rng(419);
+  const net::Tree tree = net::makeClusterNetwork(3, 4);
+  workload::GenParams params;
+  params.numObjects = 10;
+  const workload::Workload load =
+      workload::generateHotspot(tree, params, rng);
+  const auto result = core::extendedNibble(tree, load);
+  const core::PlacementSummary summary = core::summarize(result.final);
+  EXPECT_EQ(summary.objects, 10);
+  long copies = 0;
+  for (const auto& object : result.final.objects) {
+    copies += static_cast<long>(object.locations().size());
+  }
+  EXPECT_EQ(summary.totalCopies, copies);
+  EXPECT_LE(summary.minCopies, summary.maxCopies);
+}
+
+TEST(Integration, WorstCaseStarUnderAllWrites) {
+  // The hardest regime for the strategy: a star where everything is a
+  // write. Optimal spreads objects over leaves; the strategy must stay
+  // within its factor of the combined bound.
+  const net::Tree tree = net::makeStar(8, 1000.0);
+  workload::Workload load(8, tree.nodeCount());
+  for (workload::ObjectId x = 0; x < 8; ++x) {
+    for (const net::NodeId p : tree.processors()) {
+      load.addWrites(x, p, 5);
+    }
+  }
+  const auto result = core::extendedNibble(tree, load);
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  const double lb = core::combinedLowerBound(rooted, load);
+  ASSERT_GT(lb, 0.0);
+  EXPECT_LE(result.report.congestionFinal, 7.0 * lb);
+}
+
+TEST(Integration, LargeInstanceStaysHealthy) {
+  // A ~1300-node network with 64 objects runs the whole pipeline in one
+  // piece and keeps every invariant (smoke test at a size the benches
+  // use).
+  util::Rng rng(421);
+  const net::Tree tree = net::makeKaryTree(4, 5);  // 1024 processors
+  workload::GenParams params;
+  params.numObjects = 64;
+  params.requestsPerProcessor = 8;
+  const workload::Workload load =
+      workload::generateZipf(tree, params, rng);
+  const auto result = core::extendedNibble(tree, load);
+  EXPECT_TRUE(result.final.isLeafOnly(tree));
+  EXPECT_EQ(result.report.mapping.forcedMoves, 0);
+  EXPECT_NO_THROW(core::validateCoversWorkload(result.final, load));
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  const double lb = core::combinedLowerBound(rooted, load);
+  if (lb > 0.0) {
+    EXPECT_LE(result.report.congestionFinal, 7.0 * lb);
+  }
+}
+
+}  // namespace
+}  // namespace hbn

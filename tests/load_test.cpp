@@ -1,0 +1,190 @@
+// Tests for load/congestion evaluation — including the exact arithmetic
+// the paper's NP-hardness proof (Theorem 2.1) relies on.
+#include <gtest/gtest.h>
+
+#include "hbn/core/load.h"
+#include "hbn/core/placement.h"
+#include "hbn/net/generators.h"
+
+namespace hbn::core {
+namespace {
+
+// Star with bus 0 and processors 1..4, in the paper's Figure 3 labelling:
+// a=1, b=2, s=3, s̄=4. Leaf edge e_i connects processor i; edge ids follow
+// creation order 0..3 for processors 1..4.
+struct Gadget {
+  net::Tree tree = net::makeStar(4, 1000.0);
+  net::RootedTree rooted{tree, 0};
+};
+
+TEST(Load, ReadChargesPathOnly) {
+  Gadget g;
+  workload::Workload load(1, g.tree.nodeCount());
+  load.addReads(0, 1, 5);
+  const net::NodeId locations[] = {3};
+  Placement p;
+  p.objects.push_back(makeNearestPlacement(g.tree, load, 0, locations));
+  const LoadMap lm = computeLoad(g.rooted, p);
+  EXPECT_EQ(lm.edgeLoad(0), 5);  // edge to processor 1
+  EXPECT_EQ(lm.edgeLoad(2), 5);  // edge to processor 3
+  EXPECT_EQ(lm.edgeLoad(1), 0);
+  EXPECT_EQ(lm.edgeLoad(3), 0);
+  EXPECT_EQ(lm.totalLoad(), 10);
+}
+
+TEST(Load, LocalReadIsFree) {
+  Gadget g;
+  workload::Workload load(1, g.tree.nodeCount());
+  load.addReads(0, 3, 9);
+  const net::NodeId locations[] = {3};
+  Placement p;
+  p.objects.push_back(makeNearestPlacement(g.tree, load, 0, locations));
+  const LoadMap lm = computeLoad(g.rooted, p);
+  EXPECT_EQ(lm.totalLoad(), 0);
+}
+
+TEST(Load, WriteWithSingleCopyChargesPathOnly) {
+  // Single copy: the Steiner tree of one node is empty, so a write behaves
+  // like a read — exactly the accounting in the NP-hardness proof.
+  Gadget g;
+  workload::Workload load(1, g.tree.nodeCount());
+  load.addWrites(0, 1, 3);
+  const net::NodeId locations[] = {3};
+  Placement p;
+  p.objects.push_back(makeNearestPlacement(g.tree, load, 0, locations));
+  const LoadMap lm = computeLoad(g.rooted, p);
+  EXPECT_EQ(lm.edgeLoad(0), 3);
+  EXPECT_EQ(lm.edgeLoad(2), 3);
+  EXPECT_EQ(lm.totalLoad(), 6);
+}
+
+TEST(Load, WriteWithTwoCopiesChargesSteinerToo) {
+  Gadget g;
+  workload::Workload load(1, g.tree.nodeCount());
+  load.addWrites(0, 1, 2);  // writer at a=1
+  const net::NodeId locations[] = {3, 4};
+  Placement p;
+  p.objects.push_back(makeNearestPlacement(g.tree, load, 0, locations));
+  const LoadMap lm = computeLoad(g.rooted, p);
+  // Path a->nearest copy (node 3 by tie-break): edges 0 and 2, +2 each.
+  // Steiner tree {3,4}: edges 2 and 3, +2 (κ=2) each.
+  EXPECT_EQ(lm.edgeLoad(0), 2);
+  EXPECT_EQ(lm.edgeLoad(2), 4);  // path + broadcast share the edge
+  EXPECT_EQ(lm.edgeLoad(3), 2);
+  EXPECT_EQ(lm.edgeLoad(1), 0);
+}
+
+TEST(Load, WriterHoldingCopyStillPaysBroadcast) {
+  Gadget g;
+  workload::Workload load(1, g.tree.nodeCount());
+  load.addWrites(0, 1, 4);
+  const net::NodeId locations[] = {1, 2};  // writer holds a copy
+  Placement p;
+  p.objects.push_back(makeNearestPlacement(g.tree, load, 0, locations));
+  const LoadMap lm = computeLoad(g.rooted, p);
+  // Local path is free; broadcast over Steiner {1,2} charges both edges κ=4.
+  EXPECT_EQ(lm.edgeLoad(0), 4);
+  EXPECT_EQ(lm.edgeLoad(1), 4);
+}
+
+TEST(Load, BusLoadIsHalfIncidentSum) {
+  Gadget g;
+  workload::Workload load(1, g.tree.nodeCount());
+  load.addReads(0, 1, 6);
+  const net::NodeId locations[] = {2};
+  Placement p;
+  p.objects.push_back(makeNearestPlacement(g.tree, load, 0, locations));
+  const LoadMap lm = computeLoad(g.rooted, p);
+  // Two incident edges carry 6 each -> bus load 6 (one message crossing a
+  // bus counts once).
+  EXPECT_DOUBLE_EQ(lm.busLoad(g.tree, 0), 6.0);
+}
+
+TEST(Load, CongestionDividesByBandwidth) {
+  net::TreeBuilder b;
+  const net::NodeId bus = b.addBus(4.0);
+  const net::NodeId p1 = b.addProcessor();
+  const net::NodeId p2 = b.addProcessor();
+  b.connect(bus, p1, 1.0);
+  b.connect(bus, p2, 2.0);
+  const net::Tree t = b.build();
+  const net::RootedTree rooted(t, bus);
+
+  workload::Workload load(1, t.nodeCount());
+  load.addReads(0, p1, 8);
+  const net::NodeId locations[] = {p2};
+  Placement p;
+  p.objects.push_back(makeNearestPlacement(t, load, 0, locations));
+  const LoadMap lm = computeLoad(rooted, p);
+  // Edge to p1: 8/1 = 8; edge to p2: 8/2 = 4; bus: (8+8)/2 / 4 = 2.
+  EXPECT_DOUBLE_EQ(lm.edgeCongestion(t), 8.0);
+  EXPECT_DOUBLE_EQ(lm.busCongestion(t), 2.0);
+  EXPECT_DOUBLE_EQ(lm.congestion(t), 8.0);
+}
+
+TEST(Load, NpHardnessProofArithmetic) {
+  // The reduction's charging argument: for object x_i with weight k_i
+  // written by all four leaves, edge e_a carries k_i if x_i is NOT placed
+  // on a, and 3 k_i if it is.
+  Gadget g;
+  const Count ki = 5;
+  workload::Workload load(1, g.tree.nodeCount());
+  for (const net::NodeId v : g.tree.processors()) {
+    load.addWrites(0, v, ki);
+  }
+
+  {  // placed on s (node 3): a's writes cross e_a once.
+    const net::NodeId locations[] = {3};
+    Placement p;
+    p.objects.push_back(makeNearestPlacement(g.tree, load, 0, locations));
+    const LoadMap lm = computeLoad(g.rooted, p);
+    EXPECT_EQ(lm.edgeLoad(0), ki);
+  }
+  {  // placed on a (node 1): the other three writers all cross e_a.
+    const net::NodeId locations[] = {1};
+    Placement p;
+    p.objects.push_back(makeNearestPlacement(g.tree, load, 0, locations));
+    const LoadMap lm = computeLoad(g.rooted, p);
+    EXPECT_EQ(lm.edgeLoad(0), 3 * ki);
+  }
+}
+
+TEST(Load, MultipleObjectsAccumulate) {
+  Gadget g;
+  workload::Workload load(2, g.tree.nodeCount());
+  load.addReads(0, 1, 3);
+  load.addReads(1, 1, 4);
+  Placement p;
+  const net::NodeId loc2[] = {2};
+  const net::NodeId loc3[] = {3};
+  p.objects.push_back(makeNearestPlacement(g.tree, load, 0, loc2));
+  p.objects.push_back(makeNearestPlacement(g.tree, load, 1, loc3));
+  const LoadMap lm = computeLoad(g.rooted, p);
+  EXPECT_EQ(lm.edgeLoad(0), 7);  // both objects' requests leave node 1
+  EXPECT_EQ(lm.edgeLoad(1), 3);
+  EXPECT_EQ(lm.edgeLoad(2), 4);
+}
+
+TEST(Load, LedgerSplitAcrossCoLocatedCopiesCountsOnce) {
+  // Two copies on the SAME node: the Steiner tree over locations is a
+  // single node, so writes pay no broadcast and the split is load-neutral.
+  Gadget g;
+  workload::Workload load(1, g.tree.nodeCount());
+  load.addWrites(0, 1, 10);
+  Placement p;
+  p.objects.resize(1);
+  Copy c1;
+  c1.location = 3;
+  c1.served.push_back(RequestShare{1, 0, 6});
+  Copy c2;
+  c2.location = 3;
+  c2.served.push_back(RequestShare{1, 0, 4});
+  p.objects[0].copies = {c1, c2};
+  const LoadMap lm = computeLoad(g.rooted, p);
+  EXPECT_EQ(lm.edgeLoad(0), 10);
+  EXPECT_EQ(lm.edgeLoad(2), 10);
+  EXPECT_EQ(lm.edgeLoad(1), 0);
+}
+
+}  // namespace
+}  // namespace hbn::core

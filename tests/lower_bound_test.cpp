@@ -1,0 +1,118 @@
+// Tests for the congestion lower bounds, in particular the per-object
+// bound from the τ_max analysis and its validity against the exact
+// optimum.
+#include <gtest/gtest.h>
+
+#include "hbn/baseline/exact.h"
+#include "hbn/core/extended_nibble.h"
+#include "hbn/core/lower_bound.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/generators.h"
+
+namespace hbn::core {
+namespace {
+
+using net::Tree;
+
+TEST(ObjectLowerBound, TwoBalancedWriters) {
+  // Two writers of 10 each: single copy at either leaves 10 remote, two
+  // copies force κ=20 on a leaf edge -> bound = min(20, 10) = 10.
+  const Tree t = net::makeStar(4);
+  workload::Workload load(1, t.nodeCount());
+  load.addWrites(0, 1, 10);
+  load.addWrites(0, 2, 10);
+  EXPECT_DOUBLE_EQ(objectLowerBound(t, load), 10.0);
+}
+
+TEST(ObjectLowerBound, DominantLeafGivesSmallBound) {
+  // One leaf issues nearly everything: a single local copy is cheap, so
+  // the per-object bound must stay small.
+  const Tree t = net::makeStar(4);
+  workload::Workload load(1, t.nodeCount());
+  load.addWrites(0, 1, 100);
+  load.addWrites(0, 2, 3);
+  EXPECT_DOUBLE_EQ(objectLowerBound(t, load), 3.0);  // min(103, 103-100)
+}
+
+TEST(ObjectLowerBound, ReadOnlyObjectContributesNothing) {
+  const Tree t = net::makeStar(4);
+  workload::Workload load(1, t.nodeCount());
+  for (const net::NodeId p : t.processors()) {
+    load.addReads(0, p, 50);
+  }
+  EXPECT_DOUBLE_EQ(objectLowerBound(t, load), 0.0);  // κ = 0
+}
+
+TEST(ObjectLowerBound, RequiresUnitLeafEdges) {
+  net::TreeBuilder b;
+  const net::NodeId bus = b.addBus();
+  const net::NodeId p1 = b.addProcessor();
+  const net::NodeId p2 = b.addProcessor();
+  b.connect(bus, p1, 4.0);  // non-unit leaf switch
+  b.connect(bus, p2, 4.0);
+  const Tree t = b.build();
+  workload::Workload load(1, t.nodeCount());
+  load.addWrites(0, p1, 10);
+  load.addWrites(0, p2, 10);
+  EXPECT_DOUBLE_EQ(objectLowerBound(t, load), 0.0);
+}
+
+TEST(LowerBound, CombinedNeverExceedsExactOptimum) {
+  util::Rng rng(311);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Tree t =
+        trial % 2 == 0 ? net::makeStar(5) : net::makeClusterNetwork(2, 2);
+    workload::GenParams params;
+    params.numObjects = 3;
+    params.requestsPerProcessor = 10;
+    const workload::Workload load = workload::generate(
+        static_cast<workload::Profile>(trial % 6), t, params, rng);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    baseline::ExactOptions options;
+    options.maxCopiesPerObject = 2;
+    const baseline::ExactResult opt = baseline::solveExact(t, load, options);
+    ASSERT_TRUE(opt.provedOptimal);
+    EXPECT_LE(combinedLowerBound(rooted, load), opt.congestion + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(LowerBound, CombinedAtLeastAnalytic) {
+  util::Rng rng(313);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Tree t = net::makeRandomTree(20, 6, rng);
+    workload::GenParams params;
+    params.numObjects = 6;
+    const workload::Workload load = workload::generate(
+        static_cast<workload::Profile>(trial % 6), t, params, rng);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    EXPECT_GE(combinedLowerBound(rooted, load),
+              analyticLowerBound(rooted, load).congestion);
+  }
+}
+
+TEST(LowerBound, FatTreeNeedsObjectBound) {
+  // Regression for the fat-tree corner where the per-edge bound alone
+  // under-estimates C_opt by more than 7x: the combined bound must keep
+  // the extended-nibble ratio within the theorem.
+  util::Rng rng(104729ULL * 101 + 0);  // the sweep seed that exposed it
+  net::BandwidthModel bw;
+  bw.fatTree = true;
+  const Tree t = net::makeFamilyMember(net::TopologyFamily::kary, 36, rng, bw);
+  workload::GenParams params;
+  params.numObjects = 8;
+  params.requestsPerProcessor = 24;
+  params.readFraction = 0.0;
+  const workload::Workload load =
+      workload::generateHotspot(t, params, rng);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  const auto result = extendedNibble(t, load);
+  const double combined = combinedLowerBound(rooted, load);
+  ASSERT_GT(combined, 0.0);
+  EXPECT_LE(result.report.congestionFinal, 7.0 * combined);
+  EXPECT_GE(combined, analyticLowerBound(rooted, load).congestion);
+}
+
+}  // namespace
+}  // namespace hbn::core

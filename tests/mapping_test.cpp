@@ -1,0 +1,236 @@
+// Tests for the mapping algorithm — Lemma 4.1 (a free edge always
+// exists), leaf-only output, and the per-edge/per-bus load bounds of
+// Lemmas 4.5 and 4.6.
+#include <gtest/gtest.h>
+
+#include "hbn/core/deletion.h"
+#include "hbn/core/load.h"
+#include "hbn/core/mapping.h"
+#include "hbn/core/nibble.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/generators.h"
+
+namespace hbn::core {
+namespace {
+
+using net::Tree;
+
+// Full step-1 + step-2 preparation shared by the mapping tests.
+struct Prepared {
+  std::vector<ObjectPlacement> modified;
+  std::vector<Count> kappa;
+  std::vector<char> participates;
+  Placement nibble;
+};
+
+Prepared prepare(const Tree& t, const workload::Workload& load) {
+  Prepared prep;
+  prep.modified.resize(static_cast<std::size_t>(load.numObjects()));
+  prep.kappa.resize(static_cast<std::size_t>(load.numObjects()));
+  prep.participates.assign(static_cast<std::size_t>(load.numObjects()), 0);
+  prep.nibble.objects.resize(static_cast<std::size_t>(load.numObjects()));
+  for (ObjectId x = 0; x < load.numObjects(); ++x) {
+    const NibbleObjectResult nib = nibbleObject(t, load, x);
+    prep.nibble.objects[static_cast<std::size_t>(x)] = nib.placement;
+    prep.kappa[static_cast<std::size_t>(x)] = load.objectWrites(x);
+    if (nib.placement.isLeafOnly(t)) {
+      prep.modified[static_cast<std::size_t>(x)] = nib.placement;
+    } else {
+      prep.modified[static_cast<std::size_t>(x)] = deleteRarelyUsedCopies(
+          t, nib.placement, prep.kappa[static_cast<std::size_t>(x)],
+          nib.gravityCenter);
+    }
+    prep.participates[static_cast<std::size_t>(x)] =
+        prep.modified[static_cast<std::size_t>(x)].isLeafOnly(t) ? 0 : 1;
+  }
+  return prep;
+}
+
+workload::Workload randomLoad(const Tree& t, util::Rng& rng, int objects,
+                              workload::Profile profile) {
+  workload::GenParams params;
+  params.numObjects = objects;
+  params.requestsPerProcessor = 30;
+  params.readFraction = 0.3 + 0.5 * rng.nextDouble();
+  return workload::generate(profile, t, params, rng);
+}
+
+TEST(Mapping, OutputIsLeafOnlyAndNoForcedMoves) {
+  util::Rng rng(61);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Tree t = net::makeRandomTree(20, 7, rng);
+    const auto load = randomLoad(
+        t, rng, 4, static_cast<workload::Profile>(trial % 6));
+    const Prepared prep = prepare(t, load);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    MappingStats stats;
+    const Placement result = mapCopiesToLeaves(
+        rooted, prep.modified, prep.kappa, prep.participates, &stats);
+    EXPECT_TRUE(result.isLeafOnly(t)) << "trial " << trial;
+    EXPECT_EQ(stats.forcedMoves, 0) << "Lemma 4.1 violated in trial "
+                                    << trial;
+  }
+}
+
+TEST(Mapping, StrictModeAgreesWithLemma41) {
+  // With forceWhenStuck = false the algorithm throws on a Lemma 4.1
+  // violation; under the paper's parameters it must never throw.
+  util::Rng rng(67);
+  MappingOptions options;
+  options.forceWhenStuck = false;
+  for (int trial = 0; trial < 25; ++trial) {
+    const Tree t = net::makeRandomTree(16, 5, rng);
+    const auto load = randomLoad(t, rng, 3, workload::Profile::uniform);
+    const Prepared prep = prepare(t, load);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    EXPECT_NO_THROW(mapCopiesToLeaves(rooted, prep.modified, prep.kappa,
+                                      prep.participates, nullptr, options))
+        << "trial " << trial;
+  }
+}
+
+TEST(Mapping, LedgerConservation) {
+  util::Rng rng(71);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Tree t = net::makeRandomTree(18, 6, rng);
+    const auto load = randomLoad(t, rng, 4, workload::Profile::zipf);
+    const Prepared prep = prepare(t, load);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    const Placement result = mapCopiesToLeaves(rooted, prep.modified,
+                                               prep.kappa, prep.participates);
+    EXPECT_NO_THROW(validateCoversWorkload(result, load)) << "trial " << trial;
+  }
+}
+
+TEST(Mapping, EdgeLoadBoundedBy4NibblePlusTau) {
+  // Lemma 4.5: L(e) <= 4 · L_nib(e) + τ_max.
+  util::Rng rng(73);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Tree t = net::makeRandomTree(20, 7, rng);
+    const auto load = randomLoad(
+        t, rng, 4, static_cast<workload::Profile>(trial % 6));
+    const Prepared prep = prepare(t, load);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    MappingStats stats;
+    const Placement result = mapCopiesToLeaves(
+        rooted, prep.modified, prep.kappa, prep.participates, &stats);
+    const LoadMap nibbleLoad = computeLoad(rooted, prep.nibble);
+    const LoadMap finalLoad = computeLoad(rooted, result);
+    for (net::EdgeId e = 0; e < t.edgeCount(); ++e) {
+      EXPECT_LE(finalLoad.edgeLoad(e),
+                4 * nibbleLoad.edgeLoad(e) + stats.tauMax)
+          << "edge " << e << " trial " << trial;
+    }
+  }
+}
+
+TEST(Mapping, BusLoadBoundedBy4NibblePlusTau) {
+  // Lemma 4.6: L(v) <= 4 · L_nib(v) + τ_max for every bus v.
+  util::Rng rng(79);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Tree t = net::makeRandomTree(20, 7, rng);
+    const auto load = randomLoad(
+        t, rng, 4, static_cast<workload::Profile>((trial + 3) % 6));
+    const Prepared prep = prepare(t, load);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    MappingStats stats;
+    const Placement result = mapCopiesToLeaves(
+        rooted, prep.modified, prep.kappa, prep.participates, &stats);
+    const LoadMap nibbleLoad = computeLoad(rooted, prep.nibble);
+    const LoadMap finalLoad = computeLoad(rooted, result);
+    for (const net::NodeId b : t.buses()) {
+      EXPECT_LE(finalLoad.busLoad(t, b),
+                4.0 * nibbleLoad.busLoad(t, b) +
+                    static_cast<double>(stats.tauMax))
+          << "bus " << b << " trial " << trial;
+    }
+  }
+}
+
+TEST(Mapping, TauMaxAtMost3KappaMax) {
+  // With deletion + splitting + freezing, participating copies satisfy
+  // s + κ <= 3 κ_max — the final piece of the Theorem 4.3 argument.
+  util::Rng rng(83);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Tree t = net::makeRandomTree(18, 6, rng);
+    const auto load = randomLoad(
+        t, rng, 5, static_cast<workload::Profile>(trial % 6));
+    const Prepared prep = prepare(t, load);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    MappingStats stats;
+    (void)mapCopiesToLeaves(rooted, prep.modified, prep.kappa,
+                            prep.participates, &stats);
+    EXPECT_LE(stats.tauMax, 3 * load.maxWriteContention())
+        << "trial " << trial;
+  }
+}
+
+TEST(Mapping, FrozenObjectsUntouched) {
+  util::Rng rng(89);
+  const Tree t = net::makeKaryTree(3, 2);
+  // Read-only object (leaf-only after nibble? it has inner copies, but we
+  // freeze everything manually here to check the mechanism).
+  workload::Workload load(1, t.nodeCount());
+  for (const net::NodeId p : t.processors()) {
+    load.addReads(0, p, 4);
+  }
+  const NibbleObjectResult nib = nibbleObject(t, load, 0);
+  std::vector<ObjectPlacement> modified{nib.placement};
+  std::vector<Count> kappa{0};
+  std::vector<char> participates{0};  // frozen
+  const net::RootedTree rooted(t, t.defaultRoot());
+  const Placement result =
+      mapCopiesToLeaves(rooted, modified, kappa, participates);
+  ASSERT_EQ(result.objects.size(), 1u);
+  EXPECT_EQ(result.objects[0].locations(), nib.placement.locations());
+}
+
+TEST(Mapping, NoParticipantsIsANoOp) {
+  const Tree t = net::makeStar(3);
+  workload::Workload load(1, t.nodeCount());
+  load.addReads(0, 1, 2);
+  const net::NodeId locations[] = {1};
+  std::vector<ObjectPlacement> modified{
+      makeNearestPlacement(t, load, 0, locations)};
+  std::vector<Count> kappa{0};
+  std::vector<char> participates{0};
+  const net::RootedTree rooted(t, t.defaultRoot());
+  MappingStats stats;
+  const Placement result =
+      mapCopiesToLeaves(rooted, modified, kappa, participates, &stats);
+  EXPECT_EQ(stats.participatingCopies, 0);
+  EXPECT_EQ(stats.upMoves + stats.downMoves, 0);
+  EXPECT_EQ(result.objects[0].copies[0].location, 1);
+}
+
+TEST(Mapping, InputSizeMismatchThrows) {
+  const Tree t = net::makeStar(3);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  std::vector<ObjectPlacement> modified(2);
+  std::vector<Count> kappa(1);
+  std::vector<char> participates(2, 0);
+  EXPECT_THROW(mapCopiesToLeaves(rooted, modified, kappa, participates),
+               std::invalid_argument);
+}
+
+TEST(Mapping, SingleBusGadgetMapsToLeaves) {
+  // Height-1 star: all inner copies must descend to processors directly.
+  const Tree t = net::makeStar(4, 1000.0);
+  workload::Workload load(1, t.nodeCount());
+  for (const net::NodeId p : t.processors()) {
+    load.addWrites(0, p, 5);
+    load.addReads(0, p, 20);
+  }
+  const Prepared prep = prepare(t, load);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  MappingStats stats;
+  const Placement result = mapCopiesToLeaves(
+      rooted, prep.modified, prep.kappa, prep.participates, &stats);
+  EXPECT_TRUE(result.isLeafOnly(t));
+  EXPECT_EQ(stats.forcedMoves, 0);
+  EXPECT_NO_THROW(validateCoversWorkload(result, load));
+}
+
+}  // namespace
+}  // namespace hbn::core

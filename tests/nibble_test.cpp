@@ -1,0 +1,236 @@
+// Tests for the nibble strategy — every clause of Theorem 3.1, checked
+// against analytic per-edge minima on randomised instances.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hbn/core/load.h"
+#include "hbn/core/lower_bound.h"
+#include "hbn/core/nibble.h"
+#include "hbn/net/generators.h"
+#include "hbn/net/steiner.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/generators.h"
+
+namespace hbn::core {
+namespace {
+
+using net::NodeId;
+using net::Tree;
+
+TEST(CenterOfGravity, BalancesComponents) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Tree t = net::makeRandomTree(20, 6, rng);
+    std::vector<Count> weights(static_cast<std::size_t>(t.nodeCount()), 0);
+    Count total = 0;
+    for (const NodeId p : t.processors()) {
+      const Count w = static_cast<Count>(rng.nextBelow(20));
+      weights[static_cast<std::size_t>(p)] = w;
+      total += w;
+    }
+    if (total == 0) continue;
+    const NodeId g = centerOfGravity(t, weights);
+    // Removing g must leave components of weight <= total/2 each; check by
+    // BFS from each neighbour avoiding g.
+    for (const net::HalfEdge& he : t.neighbors(g)) {
+      Count componentWeight = 0;
+      std::set<NodeId> seen{g, he.to};
+      std::vector<NodeId> stack{he.to};
+      componentWeight += weights[static_cast<std::size_t>(he.to)];
+      while (!stack.empty()) {
+        const NodeId v = stack.back();
+        stack.pop_back();
+        for (const net::HalfEdge& e2 : t.neighbors(v)) {
+          if (!seen.count(e2.to)) {
+            seen.insert(e2.to);
+            componentWeight += weights[static_cast<std::size_t>(e2.to)];
+            stack.push_back(e2.to);
+          }
+        }
+      }
+      EXPECT_LE(2 * componentWeight, total) << "trial " << trial;
+    }
+  }
+}
+
+TEST(CenterOfGravity, ZeroWeightFallsBackToProcessor) {
+  const Tree t = net::makeStar(3);
+  std::vector<Count> weights(static_cast<std::size_t>(t.nodeCount()), 0);
+  const NodeId g = centerOfGravity(t, weights);
+  EXPECT_TRUE(t.isProcessor(g));
+}
+
+TEST(CenterOfGravity, RejectsBadInput) {
+  const Tree t = net::makeStar(3);
+  std::vector<Count> tooShort(2, 1);
+  EXPECT_THROW((void)centerOfGravity(t, tooShort), std::invalid_argument);
+  std::vector<Count> negative(static_cast<std::size_t>(t.nodeCount()), 0);
+  negative[1] = -1;
+  EXPECT_THROW((void)centerOfGravity(t, negative), std::invalid_argument);
+}
+
+TEST(Nibble, CopySetIsConnectedAndContainsCenter) {
+  util::Rng rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Tree t = net::makeRandomTree(25, 8, rng);
+    workload::GenParams params;
+    params.numObjects = 1;
+    params.requestsPerProcessor = 30;
+    params.readFraction = 0.6;
+    const workload::Workload load =
+        workload::generateUniform(t, params, rng);
+    const NibbleObjectResult result = nibbleObject(t, load, 0);
+
+    const auto locs = result.placement.locations();
+    std::set<NodeId> locSet(locs.begin(), locs.end());
+    EXPECT_TRUE(locSet.count(result.gravityCenter));
+
+    // Connectivity: BFS within the copy set from the gravity centre.
+    std::set<NodeId> reached{result.gravityCenter};
+    std::vector<NodeId> stack{result.gravityCenter};
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const net::HalfEdge& he : t.neighbors(v)) {
+        if (locSet.count(he.to) && !reached.count(he.to)) {
+          reached.insert(he.to);
+          stack.push_back(he.to);
+        }
+      }
+    }
+    EXPECT_EQ(reached.size(), locSet.size()) << "trial " << trial;
+  }
+}
+
+TEST(Nibble, PerObjectEdgeLoadAtMostKappa) {
+  util::Rng rng(29);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Tree t = net::makeRandomTree(20, 6, rng);
+    workload::GenParams params;
+    params.numObjects = 1;
+    params.requestsPerProcessor = 25;
+    params.readFraction = 0.5;
+    const workload::Workload load = workload::generateZipf(t, params, rng);
+    const Count kappa = load.objectWrites(0);
+    const NibbleObjectResult result = nibbleObject(t, load, 0);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    LoadMap lm(t.edgeCount());
+    accumulateObjectLoad(rooted, result.placement, lm);
+    for (net::EdgeId e = 0; e < t.edgeCount(); ++e) {
+      EXPECT_LE(lm.edgeLoad(e), kappa) << "edge " << e << " trial " << trial;
+    }
+  }
+}
+
+TEST(Nibble, LoadInsideCopySubtreeEqualsKappa) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Tree t = net::makeRandomTree(18, 5, rng);
+    workload::GenParams params;
+    params.numObjects = 1;
+    params.requestsPerProcessor = 20;
+    params.readFraction = 0.4;
+    const workload::Workload load =
+        workload::generateUniform(t, params, rng);
+    if (load.objectWrites(0) == 0) continue;
+    const NibbleObjectResult result = nibbleObject(t, load, 0);
+    const auto locs = result.placement.locations();
+    if (locs.size() < 2) continue;
+    const net::RootedTree rooted(t, t.defaultRoot());
+    LoadMap lm(t.edgeCount());
+    accumulateObjectLoad(rooted, result.placement, lm);
+    // Every edge of the copy subtree carries exactly κ.
+    const auto inside = net::steinerEdges(rooted, locs);
+    for (const net::EdgeId e : inside) {
+      EXPECT_EQ(lm.edgeLoad(e), load.objectWrites(0))
+          << "edge " << e << " trial " << trial;
+    }
+  }
+}
+
+TEST(Nibble, AchievesAnalyticMinimumOnEveryEdge) {
+  // The heart of Theorem 3.1: per-edge load equals
+  // Σ_x min(h_below, h_above, κ_x) — the unavoidable minimum.
+  util::Rng rng(37);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Tree t = net::makeRandomTree(15, 5, rng);
+    workload::GenParams params;
+    params.numObjects = 4;
+    params.requestsPerProcessor = 15;
+    params.readFraction = 0.5;
+    const workload::Workload load =
+        workload::generate(static_cast<workload::Profile>(trial % 6), t,
+                           params, rng);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    const Placement nib = nibblePlacement(t, load);
+    const LoadMap actual = computeLoad(rooted, nib);
+    const LowerBound analytic = analyticLowerBound(rooted, load);
+    for (net::EdgeId e = 0; e < t.edgeCount(); ++e) {
+      EXPECT_EQ(actual.edgeLoad(e), analytic.edgeMinima.edgeLoad(e))
+          << "edge " << e << " trial " << trial;
+    }
+  }
+}
+
+TEST(Nibble, ReadOnlyObjectServedLocally) {
+  // With κ = 0 every node whose subtree has accesses holds a copy, so all
+  // requests are served on the issuing processor and no edge carries load.
+  util::Rng rng(41);
+  const Tree t = net::makeKaryTree(3, 2);
+  workload::Workload load(1, t.nodeCount());
+  for (const NodeId p : t.processors()) {
+    load.addReads(0, p, 1 + static_cast<Count>(rng.nextBelow(5)));
+  }
+  const Placement nib = nibblePlacement(t, load);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  EXPECT_EQ(computeLoad(rooted, nib).totalLoad(), 0);
+}
+
+TEST(Nibble, AllWritesSingleCopy) {
+  // With only writes (h = w), no node except the centre can satisfy
+  // h(T(v)) > w(T), so exactly one copy exists.
+  const Tree t = net::makeStar(4);
+  workload::Workload load(1, t.nodeCount());
+  for (const NodeId p : t.processors()) {
+    load.addWrites(0, p, 3);
+  }
+  const NibbleObjectResult result = nibbleObject(t, load, 0);
+  EXPECT_EQ(result.placement.locations().size(), 1u);
+}
+
+TEST(Nibble, UnusedObjectGetsOneLeafCopy) {
+  const Tree t = net::makeStar(4);
+  workload::Workload load(1, t.nodeCount());
+  const NibbleObjectResult result = nibbleObject(t, load, 0);
+  ASSERT_EQ(result.placement.copies.size(), 1u);
+  EXPECT_TRUE(t.isProcessor(result.placement.copies[0].location));
+  EXPECT_TRUE(result.placement.copies[0].served.empty());
+}
+
+TEST(Nibble, CoversWorkloadExactly) {
+  util::Rng rng(43);
+  const Tree t = net::makeClusterNetwork(4, 4);
+  workload::GenParams params;
+  params.numObjects = 6;
+  const workload::Workload load = workload::generateHotspot(t, params, rng);
+  const Placement nib = nibblePlacement(t, load);
+  EXPECT_NO_THROW(validateCoversWorkload(nib, load));
+}
+
+TEST(Nibble, HeavySingleWriterPlacesCopyThere) {
+  // One processor issues > half of all requests (all writes): the centre
+  // of gravity is that leaf and it holds the only copy.
+  const Tree t = net::makeStar(4);
+  workload::Workload load(1, t.nodeCount());
+  load.addWrites(0, 2, 100);
+  load.addWrites(0, 1, 10);
+  const NibbleObjectResult result = nibbleObject(t, load, 0);
+  EXPECT_EQ(result.gravityCenter, 2);
+  const auto locs = result.placement.locations();
+  ASSERT_EQ(locs.size(), 1u);
+  EXPECT_EQ(locs[0], 2);
+}
+
+}  // namespace
+}  // namespace hbn::core

@@ -1,0 +1,105 @@
+// Tests for the PARTITION solver and instance generators.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "hbn/nphard/partition.h"
+
+namespace hbn::nphard {
+namespace {
+
+Weight subsetSum(const PartitionInstance& instance,
+                 const std::vector<int>& subset) {
+  Weight sum = 0;
+  for (const int i : subset) {
+    sum += instance.items[static_cast<std::size_t>(i)];
+  }
+  return sum;
+}
+
+TEST(Partition, SolvableInstance) {
+  const PartitionInstance instance{{3, 1, 1, 2, 2, 1}};  // total 10, k=5
+  const auto subset = solvePartition(instance);
+  ASSERT_TRUE(subset.has_value());
+  EXPECT_EQ(subsetSum(instance, *subset), 5);
+}
+
+TEST(Partition, UnsolvableEvenTotal) {
+  const PartitionInstance instance{{1, 1, 4}};  // total 6, k=3: impossible
+  EXPECT_FALSE(solvePartition(instance).has_value());
+}
+
+TEST(Partition, OddTotalUnsolvable) {
+  const PartitionInstance instance{{1, 2}};
+  EXPECT_FALSE(solvePartition(instance).has_value());
+}
+
+TEST(Partition, SingleItemUnsolvable) {
+  const PartitionInstance instance{{4}};
+  EXPECT_FALSE(solvePartition(instance).has_value());
+}
+
+TEST(Partition, TwoEqualItems) {
+  const PartitionInstance instance{{7, 7}};
+  const auto subset = solvePartition(instance);
+  ASSERT_TRUE(subset.has_value());
+  EXPECT_EQ(subset->size(), 1u);
+}
+
+TEST(Partition, NonPositiveItemRejected) {
+  const PartitionInstance instance{{1, 0, 1}};
+  EXPECT_THROW((void)solvePartition(instance), std::invalid_argument);
+}
+
+TEST(Partition, HalfThrowsOnOddTotal) {
+  const PartitionInstance instance{{1, 2}};
+  EXPECT_THROW((void)instance.half(), std::invalid_argument);
+}
+
+TEST(Partition, YesInstancesAreSolvable) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 4 + static_cast<int>(rng.nextBelow(10));
+    const Weight target = n + 5 + static_cast<Weight>(rng.nextBelow(40));
+    const PartitionInstance instance = makeYesInstance(n, target, rng);
+    EXPECT_EQ(static_cast<int>(instance.items.size()), n);
+    EXPECT_EQ(instance.total(), 2 * target);
+    const auto subset = solvePartition(instance);
+    ASSERT_TRUE(subset.has_value()) << "trial " << trial;
+    EXPECT_EQ(subsetSum(instance, *subset), target);
+  }
+}
+
+TEST(Partition, NoInstancesAreUnsolvable) {
+  util::Rng rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 3 + static_cast<int>(rng.nextBelow(6));
+    const PartitionInstance instance = makeNoInstance(n, 25, rng);
+    EXPECT_EQ(instance.total() % 2, 0);
+    EXPECT_FALSE(solvePartition(instance).has_value()) << "trial " << trial;
+  }
+}
+
+TEST(Partition, WitnessIndicesAreValidAndUnique) {
+  util::Rng rng(7);
+  const PartitionInstance instance = makeYesInstance(8, 30, rng);
+  const auto subset = solvePartition(instance);
+  ASSERT_TRUE(subset.has_value());
+  for (std::size_t i = 1; i < subset->size(); ++i) {
+    EXPECT_LT((*subset)[i - 1], (*subset)[i]);  // sorted, unique
+  }
+  for (const int i : *subset) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, static_cast<int>(instance.items.size()));
+  }
+}
+
+TEST(Partition, GeneratorsRejectBadParameters) {
+  util::Rng rng(8);
+  EXPECT_THROW((void)makeYesInstance(1, 10, rng), std::invalid_argument);
+  EXPECT_THROW((void)makeYesInstance(10, 2, rng), std::invalid_argument);
+  EXPECT_THROW((void)makeNoInstance(0, 10, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hbn::nphard

@@ -1,0 +1,125 @@
+// Whole-pipeline property sweep: one parameterised test asserting EVERY
+// paper invariant at once over a wide topology × workload × read-fraction
+// grid. This is the broadest single safety net in the suite.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "hbn/core/extended_nibble.h"
+#include "hbn/core/load.h"
+#include "hbn/core/lower_bound.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/generators.h"
+
+namespace hbn::core {
+namespace {
+
+// (topology, profile, read-fraction-percent, seed+bandwidth-model)
+// seed >= 100 selects the fat-tree bandwidth profile (non-uniform inner
+// bandwidths) — the theorems hold for arbitrary bandwidths >= 1.
+using Param = std::tuple<net::TopologyFamily, workload::Profile, int, int>;
+
+class PipelineSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(PipelineSweep, AllPaperInvariantsHold) {
+  const auto [family, profile, readPercent, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 104729 +
+                static_cast<std::uint64_t>(readPercent));
+  net::BandwidthModel bw;
+  bw.fatTree = seed >= 100;
+  const net::Tree tree = net::makeFamilyMember(family, 36, rng, bw);
+  workload::GenParams params;
+  params.numObjects = 8;
+  params.requestsPerProcessor = 24;
+  params.readFraction = readPercent / 100.0;
+  const workload::Workload load =
+      workload::generate(profile, tree, params, rng);
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+
+  const ExtendedNibbleResult result = extendedNibble(tree, load);
+
+  // (1) Output validity: leaf-only, exact workload cover, at least one
+  //     copy per object.
+  ASSERT_TRUE(result.final.isLeafOnly(tree));
+  ASSERT_NO_THROW(validateCoversWorkload(result.final, load));
+  for (const auto& object : result.final.objects) {
+    ASSERT_FALSE(object.copies.empty());
+  }
+
+  // (2) Theorem 3.1: nibble loads equal the analytic per-edge minima.
+  const LoadMap nibbleLoad = computeLoad(rooted, result.nibble);
+  const LowerBound lb = analyticLowerBound(rooted, load);
+  for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
+    ASSERT_EQ(nibbleLoad.edgeLoad(e), lb.edgeMinima.edgeLoad(e));
+  }
+
+  // (3) Observation 3.2: modified loads within 2x nibble per edge.
+  const LoadMap modifiedLoad = computeLoad(rooted, result.modified);
+  for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
+    ASSERT_LE(modifiedLoad.edgeLoad(e), 2 * nibbleLoad.edgeLoad(e));
+  }
+
+  // (4) Lemma 4.1: the mapping never forced a move.
+  ASSERT_EQ(result.report.mapping.forcedMoves, 0);
+
+  // (5) τ_max <= 3 κ_max (the last piece of Theorem 4.3).
+  ASSERT_LE(result.report.mapping.tauMax, 3 * load.maxWriteContention());
+
+  // (6) Lemmas 4.5/4.6: final loads within 4 L_nib + τ_max per edge/bus.
+  const LoadMap finalLoad = computeLoad(rooted, result.final);
+  for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
+    ASSERT_LE(finalLoad.edgeLoad(e),
+              4 * nibbleLoad.edgeLoad(e) + result.report.mapping.tauMax);
+  }
+  for (const net::NodeId b : tree.buses()) {
+    ASSERT_LE(finalLoad.busLoad(tree, b),
+              4.0 * nibbleLoad.busLoad(tree, b) +
+                  static_cast<double>(result.report.mapping.tauMax));
+  }
+
+  // (7) Theorem 4.3: congestion within 7x of the certified lower bound.
+  // The combined bound includes the per-object κ/h argument from the
+  // paper's τ_max analysis — the per-edge bound alone is provably too
+  // weak on fat-tree bandwidths.
+  const double combined = combinedLowerBound(rooted, load);
+  if (combined > 0.0) {
+    ASSERT_LE(result.report.congestionFinal, 7.0 * combined);
+  } else {
+    ASSERT_DOUBLE_EQ(result.report.congestionFinal, 0.0);
+  }
+
+  // (8) Determinism: a second run is identical.
+  const ExtendedNibbleResult again = extendedNibble(tree, load);
+  ASSERT_EQ(again.report.congestionFinal, result.report.congestionFinal);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PipelineSweep,
+    ::testing::Combine(
+        ::testing::Values(net::TopologyFamily::kary, net::TopologyFamily::star,
+                          net::TopologyFamily::caterpillar,
+                          net::TopologyFamily::random,
+                          net::TopologyFamily::cluster),
+        ::testing::Values(workload::Profile::uniform, workload::Profile::zipf,
+                          workload::Profile::hotspot,
+                          workload::Profile::clustered,
+                          workload::Profile::producerConsumer,
+                          workload::Profile::adversarial),
+        ::testing::Values(0, 50, 95),  // write-only .. read-heavy
+        ::testing::Values(1, 2, 101)),  // 101 = fat-tree bandwidths
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name =
+          std::string(net::topologyFamilyName(std::get<0>(info.param))) + "_" +
+          workload::profileName(std::get<1>(info.param)) + "_r" +
+          std::to_string(std::get<2>(info.param)) + "_s" +
+          std::to_string(std::get<3>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace hbn::core

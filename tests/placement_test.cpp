@@ -1,0 +1,157 @@
+// Tests for the placement model and nearest-copy reference construction.
+#include <gtest/gtest.h>
+
+#include "hbn/core/placement.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/generators.h"
+
+namespace hbn::core {
+namespace {
+
+TEST(Copy, ServedTotalSumsSharesAndLocations) {
+  Copy c;
+  c.location = 3;
+  c.served.push_back(RequestShare{1, 2, 3});
+  c.served.push_back(RequestShare{2, 0, 4});
+  EXPECT_EQ(c.servedTotal(), 9);
+
+  ObjectPlacement obj;
+  obj.copies.push_back(c);
+  Copy d;
+  d.location = 3;  // duplicate location collapses in locations()
+  obj.copies.push_back(d);
+  Copy e;
+  e.location = 1;
+  obj.copies.push_back(e);
+  const auto locs = obj.locations();
+  ASSERT_EQ(locs.size(), 2u);
+  EXPECT_EQ(locs[0], 1);
+  EXPECT_EQ(locs[1], 3);
+  EXPECT_EQ(obj.servedTotal(), 9);
+}
+
+TEST(Placement, LeafOnlyDetection) {
+  const net::Tree t = net::makeStar(3);  // bus 0, processors 1..3
+  Placement p;
+  p.objects.resize(1);
+  Copy onLeaf;
+  onLeaf.location = 1;
+  p.objects[0].copies.push_back(onLeaf);
+  EXPECT_TRUE(p.isLeafOnly(t));
+  Copy onBus;
+  onBus.location = 0;
+  p.objects[0].copies.push_back(onBus);
+  EXPECT_FALSE(p.isLeafOnly(t));
+}
+
+TEST(NearestPlacement, AssignsToClosestCopy) {
+  // Caterpillar: bus0-bus1-bus2-bus3, one processor each.
+  const net::Tree t = net::makeCaterpillar(4, 1);
+  workload::Workload load(1, t.nodeCount());
+  for (const net::NodeId p : t.processors()) {
+    load.addReads(0, p, 1);
+  }
+  // Copies on the first and last processors.
+  const net::NodeId first = t.processors().front();
+  const net::NodeId last = t.processors().back();
+  const net::NodeId locations[] = {first, last};
+  const ObjectPlacement obj = makeNearestPlacement(t, load, 0, locations);
+  ASSERT_EQ(obj.copies.size(), 2u);
+  // Processors at buses 0,1 go to `first`; those at buses 2,3 go to `last`.
+  const Copy& cFirst = obj.copies[0].location == first ? obj.copies[0]
+                                                       : obj.copies[1];
+  const Copy& cLast = obj.copies[0].location == last ? obj.copies[0]
+                                                     : obj.copies[1];
+  EXPECT_EQ(cFirst.served.size(), 2u);
+  EXPECT_EQ(cLast.served.size(), 2u);
+}
+
+TEST(NearestPlacement, TieBreaksTowardSmallerId) {
+  const net::Tree t = net::makeStar(3);  // processors 1,2,3 all equidistant
+  workload::Workload load(1, t.nodeCount());
+  load.addReads(0, 2, 5);
+  const net::NodeId locations[] = {3, 1};  // unsorted on purpose
+  const ObjectPlacement obj = makeNearestPlacement(t, load, 0, locations);
+  // Processor 2 is at distance 2 from both copies; the copy on node 1 wins.
+  for (const Copy& c : obj.copies) {
+    if (c.location == 1) {
+      ASSERT_EQ(c.served.size(), 1u);
+      EXPECT_EQ(c.served[0].origin, 2);
+    } else {
+      EXPECT_TRUE(c.served.empty());
+    }
+  }
+}
+
+TEST(NearestPlacement, SelfCopyServesItself) {
+  const net::Tree t = net::makeStar(3);
+  workload::Workload load(1, t.nodeCount());
+  load.addWrites(0, 1, 7);
+  const net::NodeId locations[] = {1};
+  const ObjectPlacement obj = makeNearestPlacement(t, load, 0, locations);
+  ASSERT_EQ(obj.copies.size(), 1u);
+  ASSERT_EQ(obj.copies[0].served.size(), 1u);
+  EXPECT_EQ(obj.copies[0].served[0].origin, 1);
+  EXPECT_EQ(obj.copies[0].served[0].writes, 7);
+}
+
+TEST(NearestPlacement, RejectsBadInput) {
+  const net::Tree t = net::makeStar(3);
+  workload::Workload load(1, t.nodeCount());
+  EXPECT_THROW(makeNearestPlacement(t, load, 0, {}), std::invalid_argument);
+  const net::NodeId bad[] = {99};
+  EXPECT_THROW(makeNearestPlacement(t, load, 0, bad), std::out_of_range);
+}
+
+TEST(ValidateCoversWorkload, AcceptsExactCover) {
+  util::Rng rng(3);
+  const net::Tree t = net::makeKaryTree(3, 2);
+  workload::GenParams params;
+  params.numObjects = 5;
+  const workload::Workload load =
+      workload::generateUniform(t, params, rng);
+  Placement p;
+  for (ObjectId x = 0; x < load.numObjects(); ++x) {
+    const net::NodeId locations[] = {t.processors()[0]};
+    p.objects.push_back(makeNearestPlacement(t, load, x, locations));
+  }
+  EXPECT_NO_THROW(validateCoversWorkload(p, load));
+}
+
+TEST(ValidateCoversWorkload, DetectsMissingAndExtraRequests) {
+  const net::Tree t = net::makeStar(3);
+  workload::Workload load(1, t.nodeCount());
+  load.addReads(0, 1, 2);
+  Placement p;
+  p.objects.resize(1);
+  Copy c;
+  c.location = 1;
+  c.served.push_back(RequestShare{1, 1, 0});  // one read short
+  p.objects[0].copies.push_back(c);
+  EXPECT_THROW(validateCoversWorkload(p, load), std::logic_error);
+  p.objects[0].copies[0].served[0].reads = 3;  // one read too many
+  EXPECT_THROW(validateCoversWorkload(p, load), std::logic_error);
+  p.objects[0].copies[0].served[0].reads = 2;  // exact
+  EXPECT_NO_THROW(validateCoversWorkload(p, load));
+}
+
+TEST(ValidateCoversWorkload, SplitSharesAcrossCopiesAllowed) {
+  const net::Tree t = net::makeStar(3);
+  workload::Workload load(1, t.nodeCount());
+  load.addWrites(0, 1, 10);
+  Placement p;
+  p.objects.resize(1);
+  Copy a;
+  a.location = 2;
+  a.served.push_back(RequestShare{1, 0, 6});
+  Copy b;
+  b.location = 3;
+  b.served.push_back(RequestShare{1, 0, 4});
+  p.objects[0].copies.push_back(a);
+  p.objects[0].copies.push_back(b);
+  EXPECT_NO_THROW(validateCoversWorkload(p, load));
+}
+
+}  // namespace
+}  // namespace hbn::core

@@ -1,0 +1,93 @@
+// Tests for the reporting helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hbn/core/extended_nibble.h"
+#include "hbn/core/report.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/generators.h"
+
+namespace hbn::core {
+namespace {
+
+Placement makeSamplePlacement(const net::Tree& t,
+                              const workload::Workload& load) {
+  Placement p;
+  const net::NodeId single[] = {t.processors()[0]};
+  const net::NodeId pair[] = {t.processors()[0], t.processors()[1]};
+  p.objects.push_back(makeNearestPlacement(t, load, 0, single));
+  p.objects.push_back(makeNearestPlacement(t, load, 1, pair));
+  return p;
+}
+
+TEST(Report, SummarizeCountsCopies) {
+  const net::Tree t = net::makeStar(4);
+  workload::Workload load(2, t.nodeCount());
+  load.addReads(0, 1, 1);
+  load.addReads(1, 2, 1);
+  const Placement p = makeSamplePlacement(t, load);
+  const PlacementSummary s = summarize(p);
+  EXPECT_EQ(s.objects, 2);
+  EXPECT_EQ(s.totalCopies, 3);
+  EXPECT_EQ(s.minCopies, 1);
+  EXPECT_EQ(s.maxCopies, 2);
+  EXPECT_DOUBLE_EQ(s.meanCopies, 1.5);
+  EXPECT_EQ(s.replicatedObjects, 1);
+}
+
+TEST(Report, PrintPlacementFormat) {
+  const net::Tree t = net::makeStar(4);
+  workload::Workload load(2, t.nodeCount());
+  const Placement p = makeSamplePlacement(t, load);
+  const std::string out = placementToString(p);
+  EXPECT_NE(out.find("object 0 -> {1}"), std::string::npos);
+  EXPECT_NE(out.find("object 1 -> {1, 2}"), std::string::npos);
+}
+
+TEST(Report, HotspotsSortedByRelativeLoad) {
+  const net::Tree t = net::makeStar(3, 100.0);
+  workload::Workload load(1, t.nodeCount());
+  load.addReads(0, 2, 9);
+  Placement p;
+  const net::NodeId loc[] = {t.processors()[0]};
+  p.objects.push_back(makeNearestPlacement(t, load, 0, loc));
+  const net::RootedTree rooted(t, t.defaultRoot());
+  const LoadMap loads = computeLoad(rooted, p);
+  std::ostringstream oss;
+  printHotspots(t, loads, 2, oss);
+  const std::string out = oss.str();
+  // Two leaf edges carry 9 at bandwidth 1; they must come first.
+  const auto firstEdge = out.find("edge");
+  const auto firstBus = out.find("bus");
+  EXPECT_NE(firstEdge, std::string::npos);
+  EXPECT_EQ(firstBus, std::string::npos);  // bus excluded by top=2
+}
+
+TEST(Report, PrintReportMentionsAllSteps) {
+  util::Rng rng(7);
+  const net::Tree t = net::makeKaryTree(3, 2);
+  workload::GenParams params;
+  params.numObjects = 4;
+  const workload::Workload load = workload::generateUniform(t, params, rng);
+  const auto result = extendedNibble(t, load);
+  std::ostringstream oss;
+  printReport(result.report, oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("nibble"), std::string::npos);
+  EXPECT_NE(out.find("deletion"), std::string::npos);
+  EXPECT_NE(out.find("mapping"), std::string::npos);
+  EXPECT_NE(out.find("tau_max"), std::string::npos);
+}
+
+TEST(Report, EmptyPlacementSummary) {
+  Placement p;
+  const PlacementSummary s = summarize(p);
+  EXPECT_EQ(s.objects, 0);
+  EXPECT_EQ(s.totalCopies, 0);
+  EXPECT_DOUBLE_EQ(s.meanCopies, 0.0);
+}
+
+}  // namespace
+}  // namespace hbn::core

@@ -1,0 +1,128 @@
+// Tests for the SCI ring-network model and the ring→bus transform.
+#include <gtest/gtest.h>
+
+#include "hbn/sci/ring_network.h"
+#include "hbn/sci/transactions.h"
+#include "hbn/util/rng.h"
+
+namespace hbn::sci {
+namespace {
+
+TEST(RingBuilder, SimpleHierarchy) {
+  RingNetworkBuilder b;
+  const RingId root = b.addRing(kInvalidRing, 8.0, 1.0);
+  const RingId child = b.addRing(root, 4.0, 2.0);
+  b.addProcessor(root);
+  b.addProcessor(child);
+  b.addProcessor(child);
+  const RingNetwork net = b.build();
+  EXPECT_EQ(net.ringCount(), 2);
+  EXPECT_EQ(net.processorCount(), 3);
+  EXPECT_EQ(net.ringOf(0), root);
+  EXPECT_EQ(net.ringOf(1), child);
+  EXPECT_EQ(net.ringDepth(child), 1);
+  EXPECT_DOUBLE_EQ(net.ring(child).uplinkBandwidth, 2.0);
+}
+
+TEST(RingBuilder, RejectsInvalidInput) {
+  RingNetworkBuilder b;
+  EXPECT_THROW((void)b.addRing(0), std::invalid_argument);  // no root yet
+  (void)b.addRing(kInvalidRing);
+  EXPECT_THROW((void)b.addRing(5), std::invalid_argument);
+  EXPECT_THROW((void)b.addProcessor(7), std::invalid_argument);
+  EXPECT_THROW((void)b.addRing(0, 0.5), std::invalid_argument);
+  // Ring 0 has no station yet:
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(RingBuilder, EmptyNetworkRejected) {
+  RingNetworkBuilder b;
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(BalancedHierarchy, Shape) {
+  const RingNetwork net = makeBalancedRingHierarchy(2, 3, 4);
+  // depth 3: 1 + 2 + 4 rings = 7 rings.
+  EXPECT_EQ(net.ringCount(), 7);
+  // inner rings carry 1 processor each (3 of them), leaf rings 4 each.
+  EXPECT_EQ(net.processorCount(), 3 * 1 + 4 * 4);
+}
+
+TEST(RandomHierarchy, ValidAndDeterministic) {
+  util::Rng rng1(4);
+  util::Rng rng2(4);
+  const RingNetwork a = makeRandomRingHierarchy(6, 20, rng1);
+  const RingNetwork b = makeRandomRingHierarchy(6, 20, rng2);
+  EXPECT_EQ(a.ringCount(), 6);
+  EXPECT_GE(a.processorCount(), 20);
+  for (ProcId p = 0; p < a.processorCount(); ++p) {
+    EXPECT_EQ(a.ringOf(p), b.ringOf(p));
+  }
+}
+
+TEST(ToBusNetwork, StructureMatches) {
+  const RingNetwork net = makeBalancedRingHierarchy(3, 2, 2);
+  const BusView view = toBusNetwork(net);
+  EXPECT_EQ(view.tree.busCount(), net.ringCount());
+  EXPECT_EQ(view.tree.processorCount(), net.processorCount());
+  // Bandwidths carried over.
+  for (RingId r = 0; r < net.ringCount(); ++r) {
+    EXPECT_DOUBLE_EQ(
+        view.tree.busBandwidth(view.ringBus[static_cast<std::size_t>(r)]),
+        net.ring(r).bandwidth);
+    if (r != net.rootRing()) {
+      EXPECT_DOUBLE_EQ(view.tree.edgeBandwidth(
+                           view.uplinkEdge[static_cast<std::size_t>(r)]),
+                       net.ring(r).uplinkBandwidth);
+    }
+  }
+  // Every processor adapter is a unit-bandwidth leaf edge.
+  EXPECT_TRUE(view.tree.usesUnitLeafEdges());
+}
+
+TEST(Transactions, SameRingTransaction) {
+  const RingNetwork net = makeBalancedRingHierarchy(2, 1, 3);
+  TransactionAccounting acc(net);
+  // Processors 0.. on the root ring (depth 1 => root ring only).
+  acc.addTransactions(0, 1, 5);
+  EXPECT_EQ(acc.ringOccupancy(net.rootRing()), 5);
+  EXPECT_EQ(acc.adapterLoad(0), 5);
+  EXPECT_EQ(acc.adapterLoad(1), 5);
+}
+
+TEST(Transactions, CrossRingOccupiesPathOnce) {
+  RingNetworkBuilder b;
+  const RingId root = b.addRing(kInvalidRing);
+  const RingId left = b.addRing(root);
+  const RingId right = b.addRing(root);
+  b.addProcessor(root);
+  const ProcId u = b.addProcessor(left);
+  const ProcId v = b.addProcessor(right);
+  const RingNetwork net = b.build();
+  TransactionAccounting acc(net);
+  acc.addTransactions(u, v, 3);
+  EXPECT_EQ(acc.ringOccupancy(left), 3);
+  EXPECT_EQ(acc.ringOccupancy(root), 3);
+  EXPECT_EQ(acc.ringOccupancy(right), 3);
+  EXPECT_EQ(acc.switchCrossings(left), 3);
+  EXPECT_EQ(acc.switchCrossings(right), 3);
+  EXPECT_EQ(acc.adapterLoad(u), 3);
+}
+
+TEST(Transactions, LocalTransactionIsFree) {
+  const RingNetwork net = makeBalancedRingHierarchy(2, 2, 2);
+  TransactionAccounting acc(net);
+  acc.addTransactions(1, 1, 99);
+  EXPECT_DOUBLE_EQ(acc.congestion(), 0.0);
+}
+
+TEST(Transactions, RejectsBadInput) {
+  const RingNetwork net = makeBalancedRingHierarchy(2, 2, 2);
+  TransactionAccounting acc(net);
+  EXPECT_THROW(acc.addTransactions(-1, 0, 1), std::out_of_range);
+  EXPECT_THROW(acc.addTransactions(0, 999, 1), std::out_of_range);
+  EXPECT_THROW(acc.addTransactions(0, 1, -2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hbn::sci

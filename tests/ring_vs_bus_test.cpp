@@ -1,0 +1,115 @@
+// E6's core property as a test: ring-network transaction congestion equals
+// the hierarchical-bus congestion of the same message set (Figures 1-2).
+#include <gtest/gtest.h>
+
+#include "hbn/core/load.h"
+#include "hbn/sci/ring_network.h"
+#include "hbn/sci/transactions.h"
+#include "hbn/util/rng.h"
+
+namespace hbn::sci {
+namespace {
+
+// Accounts the same transaction multiset on both views and compares every
+// ring/bus and switch/edge load, not just the max.
+void expectEquivalence(const RingNetwork& net,
+                       const std::vector<std::tuple<ProcId, ProcId, Count>>&
+                           transactions) {
+  const BusView view = toBusNetwork(net);
+  const net::RootedTree rooted(view.tree, view.tree.defaultRoot());
+
+  TransactionAccounting ringAcc(net);
+  core::LoadMap busLoads(view.tree.edgeCount());
+  for (const auto& [u, v, amount] : transactions) {
+    ringAcc.addTransactions(u, v, amount);
+    if (u != v) {
+      rooted.forEachPathEdge(view.processorNode[static_cast<std::size_t>(u)],
+                             view.processorNode[static_cast<std::size_t>(v)],
+                             [&](net::EdgeId e) {
+                               busLoads.addEdgeLoad(e, amount);
+                             });
+    }
+  }
+
+  // Ring occupancy == bus load (half the incident edge loads).
+  for (RingId r = 0; r < net.ringCount(); ++r) {
+    EXPECT_DOUBLE_EQ(
+        static_cast<double>(ringAcc.ringOccupancy(r)),
+        busLoads.busLoad(view.tree,
+                         view.ringBus[static_cast<std::size_t>(r)]))
+        << "ring " << r;
+  }
+  // Switch crossings == uplink edge loads.
+  for (RingId r = 1; r < net.ringCount(); ++r) {
+    EXPECT_EQ(ringAcc.switchCrossings(r),
+              busLoads.edgeLoad(view.uplinkEdge[static_cast<std::size_t>(r)]))
+        << "switch of ring " << r;
+  }
+  // Adapter loads == leaf edge loads.
+  for (ProcId p = 0; p < net.processorCount(); ++p) {
+    EXPECT_EQ(ringAcc.adapterLoad(p),
+              busLoads.edgeLoad(view.adapterEdge[static_cast<std::size_t>(p)]))
+        << "processor " << p;
+  }
+  // Hence the congestions agree.
+  EXPECT_DOUBLE_EQ(ringAcc.congestion(), busLoads.congestion(view.tree));
+}
+
+TEST(RingVsBus, BalancedHierarchyRandomTraffic) {
+  util::Rng rng(61);
+  const RingNetwork net = makeBalancedRingHierarchy(3, 3, 3, 4.0, 2.0);
+  std::vector<std::tuple<ProcId, ProcId, Count>> transactions;
+  for (int i = 0; i < 300; ++i) {
+    transactions.emplace_back(
+        static_cast<ProcId>(rng.nextBelow(
+            static_cast<std::uint64_t>(net.processorCount()))),
+        static_cast<ProcId>(rng.nextBelow(
+            static_cast<std::uint64_t>(net.processorCount()))),
+        static_cast<Count>(1 + rng.nextBelow(5)));
+  }
+  expectEquivalence(net, transactions);
+}
+
+TEST(RingVsBus, RandomHierarchies) {
+  util::Rng rng(67);
+  for (int trial = 0; trial < 10; ++trial) {
+    const RingNetwork net = makeRandomRingHierarchy(
+        2 + static_cast<int>(rng.nextBelow(8)),
+        10 + static_cast<int>(rng.nextBelow(20)), rng);
+    std::vector<std::tuple<ProcId, ProcId, Count>> transactions;
+    for (int i = 0; i < 200; ++i) {
+      transactions.emplace_back(
+          static_cast<ProcId>(rng.nextBelow(
+              static_cast<std::uint64_t>(net.processorCount()))),
+          static_cast<ProcId>(rng.nextBelow(
+              static_cast<std::uint64_t>(net.processorCount()))),
+          static_cast<Count>(1 + rng.nextBelow(3)));
+    }
+    expectEquivalence(net, transactions);
+  }
+}
+
+TEST(RingVsBus, FigureOneShape) {
+  // Figure 1: a ring of rings — one top-level ring with two child rings.
+  RingNetworkBuilder b;
+  const RingId top = b.addRing(kInvalidRing, 2.0, 1.0);
+  const RingId leftRing = b.addRing(top, 2.0, 1.0);
+  const RingId rightRing = b.addRing(top, 2.0, 1.0);
+  b.addProcessor(top);
+  for (int i = 0; i < 3; ++i) b.addProcessor(leftRing);
+  for (int i = 0; i < 3; ++i) b.addProcessor(rightRing);
+  const RingNetwork net = b.build();
+
+  util::Rng rng(71);
+  std::vector<std::tuple<ProcId, ProcId, Count>> transactions;
+  for (int i = 0; i < 100; ++i) {
+    transactions.emplace_back(
+        static_cast<ProcId>(rng.nextBelow(7)),
+        static_cast<ProcId>(rng.nextBelow(7)),
+        static_cast<Count>(1 + rng.nextBelow(4)));
+  }
+  expectEquivalence(net, transactions);
+}
+
+}  // namespace
+}  // namespace hbn::sci

@@ -1,0 +1,175 @@
+// Tests for hbn::net::RootedTree — parents, depths, levels, LCA, paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hbn/net/generators.h"
+#include "hbn/net/rooted.h"
+#include "hbn/util/rng.h"
+
+namespace hbn::net {
+namespace {
+
+// Reference LCA by walking parents (O(depth)).
+NodeId slowLca(const RootedTree& r, NodeId u, NodeId v) {
+  while (u != v) {
+    if (r.depth(u) >= r.depth(v)) {
+      u = r.parent(u);
+    } else {
+      v = r.parent(v);
+    }
+  }
+  return u;
+}
+
+TEST(RootedTree, ParentsAndDepths) {
+  const Tree t = makeKaryTree(2, 2);  // 3 buses, 4 processors
+  const RootedTree r(t, t.defaultRoot());
+  EXPECT_EQ(r.parent(r.root()), kInvalidNode);
+  EXPECT_EQ(r.depth(r.root()), 0);
+  EXPECT_EQ(r.height(), 2);
+  for (NodeId v = 0; v < t.nodeCount(); ++v) {
+    if (v == r.root()) continue;
+    EXPECT_EQ(r.depth(v), r.depth(r.parent(v)) + 1);
+    const Edge& e = t.edge(r.parentEdge(v));
+    EXPECT_TRUE((e.u == v && e.v == r.parent(v)) ||
+                (e.v == v && e.u == r.parent(v)));
+  }
+}
+
+TEST(RootedTree, LevelNumberingMatchesPaper) {
+  const Tree t = makeKaryTree(2, 3);
+  const RootedTree r(t, t.defaultRoot());
+  EXPECT_EQ(r.level(r.root()), r.height());
+  for (const NodeId p : t.processors()) {
+    EXPECT_EQ(r.level(p), r.height() - r.depth(p));
+  }
+}
+
+TEST(RootedTree, PreorderParentsFirst) {
+  util::Rng rng(5);
+  const Tree t = makeRandomTree(30, 8, rng);
+  const RootedTree r(t, t.defaultRoot());
+  std::vector<int> position(static_cast<std::size_t>(t.nodeCount()), -1);
+  const auto order = r.preorder();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(t.nodeCount()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (NodeId v = 0; v < t.nodeCount(); ++v) {
+    if (v == r.root()) continue;
+    EXPECT_LT(position[static_cast<std::size_t>(r.parent(v))],
+              position[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(RootedTree, ChildrenAreInverseOfParent) {
+  util::Rng rng(6);
+  const Tree t = makeRandomTree(25, 6, rng);
+  const RootedTree r(t, t.defaultRoot());
+  int childLinks = 0;
+  for (NodeId v = 0; v < t.nodeCount(); ++v) {
+    for (const NodeId c : r.children(v)) {
+      EXPECT_EQ(r.parent(c), v);
+      ++childLinks;
+    }
+  }
+  EXPECT_EQ(childLinks, t.nodeCount() - 1);
+}
+
+TEST(RootedTree, LcaMatchesSlowReference) {
+  util::Rng rng(7);
+  const Tree t = makeRandomTree(40, 12, rng);
+  const RootedTree r(t, t.defaultRoot());
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto u = static_cast<NodeId>(
+        rng.nextBelow(static_cast<std::uint64_t>(t.nodeCount())));
+    const auto v = static_cast<NodeId>(
+        rng.nextBelow(static_cast<std::uint64_t>(t.nodeCount())));
+    EXPECT_EQ(r.lca(u, v), slowLca(r, u, v)) << "u=" << u << " v=" << v;
+  }
+}
+
+TEST(RootedTree, DistanceViaLca) {
+  const Tree t = makeCaterpillar(4, 1);  // chain of 4 buses, 1 proc each
+  const RootedTree r(t, t.defaultRoot());
+  // First and last processors are 3 bus hops + 2 leaf edges apart.
+  const NodeId first = t.processors().front();
+  const NodeId last = t.processors().back();
+  EXPECT_EQ(r.distance(first, last), 5);
+  EXPECT_EQ(r.distance(first, first), 0);
+}
+
+TEST(RootedTree, IsAncestorOf) {
+  const Tree t = makeKaryTree(2, 2);
+  const RootedTree r(t, t.defaultRoot());
+  for (NodeId v = 0; v < t.nodeCount(); ++v) {
+    EXPECT_TRUE(r.isAncestorOf(r.root(), v));
+    EXPECT_TRUE(r.isAncestorOf(v, v));
+    if (v != r.root()) {
+      EXPECT_FALSE(r.isAncestorOf(v, r.root()));
+    }
+  }
+}
+
+TEST(RootedTree, PathEdgesConnectEndpoints) {
+  util::Rng rng(9);
+  const Tree t = makeRandomTree(35, 10, rng);
+  const RootedTree r(t, t.defaultRoot());
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto u = static_cast<NodeId>(
+        rng.nextBelow(static_cast<std::uint64_t>(t.nodeCount())));
+    const auto v = static_cast<NodeId>(
+        rng.nextBelow(static_cast<std::uint64_t>(t.nodeCount())));
+    // Walk the emitted edges; they must join u to v consecutively.
+    NodeId current = u;
+    int edges = 0;
+    r.forEachPathEdge(u, v, [&](EdgeId e) {
+      current = t.otherEnd(e, current);
+      ++edges;
+    });
+    EXPECT_EQ(current, v);
+    EXPECT_EQ(edges, r.distance(u, v));
+  }
+}
+
+TEST(RootedTree, PathNodesEndpointsInclusive) {
+  const Tree t = makeKaryTree(3, 2);
+  const RootedTree r(t, t.defaultRoot());
+  const NodeId u = t.processors().front();
+  const NodeId v = t.processors().back();
+  const auto nodes = r.pathNodes(u, v);
+  ASSERT_GE(nodes.size(), 2u);
+  EXPECT_EQ(nodes.front(), u);
+  EXPECT_EQ(nodes.back(), v);
+  EXPECT_EQ(static_cast<int>(nodes.size()), r.distance(u, v) + 1);
+  // Consecutive nodes must be adjacent.
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    bool adjacent = false;
+    for (const HalfEdge& he : t.neighbors(nodes[i - 1])) {
+      adjacent |= (he.to == nodes[i]);
+    }
+    EXPECT_TRUE(adjacent);
+  }
+}
+
+TEST(RootedTree, RootingAtProcessorWorks) {
+  const Tree t = makeStar(5);
+  const NodeId leaf = t.processors().front();
+  const RootedTree r(t, leaf);
+  EXPECT_EQ(r.root(), leaf);
+  EXPECT_EQ(r.height(), 2);  // leaf -> bus -> other leaves
+}
+
+TEST(RootedTree, SingleNodeTree) {
+  TreeBuilder b;
+  b.addProcessor();
+  const Tree t = b.build();
+  const RootedTree r(t, 0);
+  EXPECT_EQ(r.height(), 0);
+  EXPECT_EQ(r.lca(0, 0), 0);
+  EXPECT_EQ(r.distance(0, 0), 0);
+}
+
+}  // namespace
+}  // namespace hbn::net

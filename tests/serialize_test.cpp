@@ -1,0 +1,77 @@
+// Round-trip and error-path tests for tree serialisation.
+#include <gtest/gtest.h>
+
+#include "hbn/net/generators.h"
+#include "hbn/net/serialize.h"
+#include "hbn/util/rng.h"
+
+namespace hbn::net {
+namespace {
+
+TEST(Serialize, RoundTripStar) {
+  const Tree t = makeStar(4, 16.0);
+  const Tree back = parseText(toText(t));
+  EXPECT_EQ(back.nodeCount(), t.nodeCount());
+  EXPECT_EQ(back.edgeCount(), t.edgeCount());
+  EXPECT_DOUBLE_EQ(back.busBandwidth(0), 16.0);
+  EXPECT_EQ(toText(back), toText(t));
+}
+
+TEST(Serialize, RoundTripRandomTrees) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    BandwidthModel bw;
+    bw.fatTree = (trial % 2 == 0);
+    const Tree t = makeRandomTree(20 + trial, 5 + trial, rng, bw);
+    const Tree back = parseText(toText(t));
+    EXPECT_EQ(toText(back), toText(t)) << "trial " << trial;
+  }
+}
+
+TEST(Serialize, MissingHeaderRejected) {
+  EXPECT_THROW(parseText("node 0 processor\n"), std::invalid_argument);
+}
+
+TEST(Serialize, NonDenseIdsRejected) {
+  const char* text =
+      "hbn-tree v1\n"
+      "node 1 processor\n";
+  EXPECT_THROW(parseText(text), std::invalid_argument);
+}
+
+TEST(Serialize, UnknownKeywordRejected) {
+  const char* text =
+      "hbn-tree v1\n"
+      "vertex 0 processor\n";
+  EXPECT_THROW(parseText(text), std::invalid_argument);
+}
+
+TEST(Serialize, BusWithoutBandwidthRejected) {
+  const char* text =
+      "hbn-tree v1\n"
+      "node 0 bus\n";
+  EXPECT_THROW(parseText(text), std::invalid_argument);
+}
+
+TEST(Serialize, StructurallyInvalidRejected) {
+  // Two processors connected directly.
+  const char* text =
+      "hbn-tree v1\n"
+      "node 0 processor\n"
+      "node 1 processor\n"
+      "edge 0 1 1\n";
+  EXPECT_THROW(parseText(text), std::invalid_argument);
+}
+
+TEST(Serialize, DotContainsAllNodes) {
+  const Tree t = makeStar(3);
+  const std::string dot = toDot(t);
+  EXPECT_NE(dot.find("graph hbn {"), std::string::npos);
+  EXPECT_NE(dot.find("B0"), std::string::npos);
+  EXPECT_NE(dot.find("P1"), std::string::npos);
+  EXPECT_NE(dot.find("P3"), std::string::npos);
+  EXPECT_NE(dot.find("--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hbn::net

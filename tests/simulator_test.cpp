@@ -1,0 +1,200 @@
+// Tests for the store-and-forward simulator: schedule validity and the
+// makespan >= max(congestion, dilation) bandwidth bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hbn/baseline/heuristics.h"
+#include "hbn/core/extended_nibble.h"
+#include "hbn/net/generators.h"
+#include "hbn/sim/simulator.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/generators.h"
+
+namespace hbn::sim {
+namespace {
+
+using net::Tree;
+
+TEST(TaskGraph, UnicastChainShape) {
+  const Tree t = net::makeCaterpillar(3, 1);  // path-ish tree
+  const net::RootedTree rooted(t, t.defaultRoot());
+  TaskGraph graph(rooted);
+  const net::NodeId from = t.processors().front();
+  const net::NodeId to = t.processors().back();
+  graph.addUnicast(from, to, 2);
+  EXPECT_EQ(graph.taskCount(), 2 * rooted.distance(from, to));
+  EXPECT_EQ(graph.dilation(), rooted.distance(from, to));
+}
+
+TEST(TaskGraph, SelfUnicastIsFree) {
+  const Tree t = net::makeStar(3);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  TaskGraph graph(rooted);
+  graph.addUnicast(1, 1, 50);
+  EXPECT_EQ(graph.taskCount(), 0);
+}
+
+TEST(TaskGraph, BroadcastCoversSteinerTreeOncePerWave) {
+  const Tree t = net::makeStar(5);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  TaskGraph graph(rooted);
+  const std::vector<net::NodeId> terminals{1, 2, 3};
+  graph.addWriteBroadcast(1, terminals, 4);
+  // Steiner tree of {1,2,3} in a star: 3 edges; 4 waves.
+  EXPECT_EQ(graph.taskCount(), 12);
+  // Wave depth: root leaf -> bus -> other leaves = 2 hops.
+  EXPECT_EQ(graph.dilation(), 2);
+}
+
+TEST(Simulator, SingleMessageTakesDistanceSteps) {
+  const Tree t = net::makeCaterpillar(4, 1);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  TaskGraph graph(rooted);
+  const net::NodeId from = t.processors().front();
+  const net::NodeId to = t.processors().back();
+  graph.addUnicast(from, to, 1);
+  const SimResult result = runSimulation(graph);
+  EXPECT_EQ(result.makespan, rooted.distance(from, to));
+  EXPECT_EQ(result.dilation, rooted.distance(from, to));
+}
+
+TEST(Simulator, MakespanAtLeastCongestionAndDilation) {
+  util::Rng rng(81);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Tree t = net::makeRandomTree(15, 5, rng);
+    const net::RootedTree rooted(t, t.defaultRoot());
+    workload::GenParams params;
+    params.numObjects = 4;
+    params.requestsPerProcessor = 10;
+    const workload::Workload load = workload::generate(
+        static_cast<workload::Profile>(trial % 6), t, params, rng);
+    const core::Placement placement =
+        core::computeExtendedNibblePlacement(t, load);
+    const SimResult result = simulatePlacement(rooted, load, placement);
+    EXPECT_GE(result.makespan,
+              static_cast<std::int64_t>(std::ceil(result.congestion)))
+        << "trial " << trial;
+    EXPECT_GE(result.makespan, result.dilation) << "trial " << trial;
+  }
+}
+
+TEST(Simulator, MakespanWithinSmallFactorOfBound) {
+  // The greedy schedule should stay within a modest factor of
+  // congestion + dilation on reasonable instances.
+  util::Rng rng(83);
+  const Tree t = net::makeKaryTree(3, 3);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  workload::GenParams params;
+  params.numObjects = 6;
+  params.requestsPerProcessor = 15;
+  const workload::Workload load = workload::generateZipf(t, params, rng);
+  const core::Placement placement =
+      core::computeExtendedNibblePlacement(t, load);
+  const SimResult result = simulatePlacement(rooted, load, placement);
+  EXPECT_LE(static_cast<double>(result.makespan),
+            4.0 * (result.congestion + result.dilation));
+}
+
+TEST(Simulator, HigherBandwidthShortensMakespan) {
+  util::Rng rng(87);
+  workload::GenParams params;
+  params.numObjects = 4;
+  params.requestsPerProcessor = 20;
+
+  net::BandwidthModel slow;  // everything bandwidth 1
+  const Tree slowTree = net::makeKaryTree(4, 2, slow);
+  const workload::Workload load =
+      workload::generateUniform(slowTree, params, rng);
+
+  net::BandwidthModel fast;
+  fast.fatTree = true;  // inner links scale with subtree size
+  const Tree fastTree = net::makeKaryTree(4, 2, fast);
+
+  const net::RootedTree slowRooted(slowTree, slowTree.defaultRoot());
+  const net::RootedTree fastRooted(fastTree, fastTree.defaultRoot());
+  const core::Placement placement =
+      core::computeExtendedNibblePlacement(slowTree, load);
+  // Same placement, same message set; only bandwidths differ.
+  const SimResult slowResult = simulatePlacement(slowRooted, load, placement);
+  const SimResult fastResult = simulatePlacement(fastRooted, load, placement);
+  EXPECT_LT(fastResult.makespan, slowResult.makespan);
+}
+
+TEST(Simulator, CongestionOrderingPredictsMakespanOrdering) {
+  // E7 in miniature: a strategy with clearly lower congestion should
+  // finish its traffic sooner.
+  util::Rng rng(89);
+  const Tree t = net::makeClusterNetwork(3, 4);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  workload::GenParams params;
+  params.numObjects = 6;
+  params.requestsPerProcessor = 25;
+  params.readFraction = 0.9;
+  const workload::Workload load =
+      workload::generateClustered(t, params, rng);
+
+  const core::Placement good = core::computeExtendedNibblePlacement(t, load);
+  // All copies on one leaf: maximally congested around that leaf edge.
+  core::Placement bad;
+  const net::NodeId hot[] = {t.processors().front()};
+  for (workload::ObjectId x = 0; x < load.numObjects(); ++x) {
+    bad.objects.push_back(core::makeNearestPlacement(t, load, x, hot));
+  }
+  const SimResult goodResult = simulatePlacement(rooted, load, good);
+  const SimResult badResult = simulatePlacement(rooted, load, bad);
+  ASSERT_LT(goodResult.congestion, badResult.congestion);
+  EXPECT_LT(goodResult.makespan, badResult.makespan);
+}
+
+TEST(Simulator, BottleneckEdgeRunsNearFullUtilization) {
+  // 100 messages across one shared leaf edge: that edge must be busy
+  // every step (utilisation 1.0) and dominate the makespan.
+  const Tree t = net::makeStar(3);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  TaskGraph graph(rooted);
+  graph.addUnicast(1, 2, 100);
+  const SimResult result = runSimulation(graph);
+  EXPECT_EQ(result.makespan, 101);  // 100 steps on each edge, 1 hop offset
+  EXPECT_GT(result.maxUtilization, 0.95);
+  ASSERT_EQ(result.edgeUtilization.size(),
+            static_cast<std::size_t>(t.edgeCount()));
+  double total = 0.0;
+  for (const double u : result.edgeUtilization) {
+    EXPECT_LE(u, 1.0 + 1e-9);
+    total += u;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Simulator, EmptyGraphIsInstant) {
+  const Tree t = net::makeStar(3);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  TaskGraph graph(rooted);
+  const SimResult result = runSimulation(graph);
+  EXPECT_EQ(result.makespan, 0);
+  EXPECT_EQ(result.totalTasks, 0);
+}
+
+TEST(Simulator, MaxStepsGuard) {
+  const Tree t = net::makeStar(3);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  TaskGraph graph(rooted);
+  graph.addUnicast(1, 2, 100);
+  SimOptions options;
+  options.maxSteps = 3;  // needs ~100 steps through the shared leaf edge
+  EXPECT_THROW((void)runSimulation(graph, options), std::runtime_error);
+}
+
+TEST(Simulator, RejectsNegativeCounts) {
+  const Tree t = net::makeStar(3);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  TaskGraph graph(rooted);
+  EXPECT_THROW(graph.addUnicast(1, 2, -1), std::invalid_argument);
+  const std::vector<net::NodeId> terminals{1, 2};
+  EXPECT_THROW(graph.addWriteBroadcast(1, terminals, -1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hbn::sim

@@ -1,0 +1,149 @@
+// Tests for Steiner subtree extraction, including a brute-force
+// cross-check on random trees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "hbn/net/generators.h"
+#include "hbn/net/steiner.h"
+#include "hbn/util/rng.h"
+
+namespace hbn::net {
+namespace {
+
+// Brute force: union of pairwise path edge sets.
+std::set<EdgeId> bruteSteiner(const RootedTree& r,
+                              std::span<const NodeId> terminals) {
+  std::set<EdgeId> edges;
+  for (std::size_t i = 0; i < terminals.size(); ++i) {
+    for (std::size_t j = i + 1; j < terminals.size(); ++j) {
+      r.forEachPathEdge(terminals[i], terminals[j],
+                        [&](EdgeId e) { edges.insert(e); });
+    }
+  }
+  return edges;
+}
+
+TEST(Steiner, EmptyAndSingleton) {
+  const Tree t = makeStar(4);
+  const RootedTree r(t, t.defaultRoot());
+  EXPECT_TRUE(steinerEdges(r, {}).empty());
+  const NodeId p = t.processors().front();
+  const NodeId terminals[] = {p};
+  EXPECT_TRUE(steinerEdges(r, terminals).empty());
+}
+
+TEST(Steiner, DuplicateTerminalsCollapse) {
+  const Tree t = makeStar(4);
+  const RootedTree r(t, t.defaultRoot());
+  const NodeId p = t.processors().front();
+  const NodeId terminals[] = {p, p, p};
+  EXPECT_TRUE(steinerEdges(r, terminals).empty());
+}
+
+TEST(Steiner, TwoLeavesOfStar) {
+  const Tree t = makeStar(4);
+  const RootedTree r(t, t.defaultRoot());
+  const NodeId a = t.processors()[0];
+  const NodeId b = t.processors()[2];
+  const NodeId terminals[] = {a, b};
+  const auto edges = steinerEdges(r, terminals);
+  EXPECT_EQ(edges.size(), 2u);  // two leaf switches through the bus
+}
+
+TEST(Steiner, AllLeavesSpanWholeStar) {
+  const Tree t = makeStar(6);
+  const RootedTree r(t, t.defaultRoot());
+  std::vector<NodeId> terminals(t.processors().begin(), t.processors().end());
+  const auto edges = steinerEdges(r, terminals);
+  EXPECT_EQ(static_cast<int>(edges.size()), t.edgeCount());
+}
+
+TEST(Steiner, MatchesBruteForceOnRandomTrees) {
+  util::Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Tree t = makeRandomTree(20, 6, rng);
+    const RootedTree r(t, t.defaultRoot());
+    // Random terminal set of size 2..6 drawn from all nodes.
+    std::vector<NodeId> terminals;
+    const int k = 2 + static_cast<int>(rng.nextBelow(5));
+    for (int i = 0; i < k; ++i) {
+      terminals.push_back(static_cast<NodeId>(
+          rng.nextBelow(static_cast<std::uint64_t>(t.nodeCount()))));
+    }
+    auto fast = steinerEdges(r, terminals);
+    std::sort(fast.begin(), fast.end());
+    const auto slow = bruteSteiner(r, terminals);
+    EXPECT_TRUE(std::equal(fast.begin(), fast.end(), slow.begin(), slow.end()))
+        << "trial " << trial;
+  }
+}
+
+TEST(Steiner, SteinerTreeIsConnected) {
+  util::Rng rng(321);
+  const Tree t = makeRandomTree(30, 10, rng);
+  const RootedTree r(t, t.defaultRoot());
+  std::vector<NodeId> terminals;
+  for (int i = 0; i < 5; ++i) {
+    terminals.push_back(t.processors()[static_cast<std::size_t>(
+        rng.nextBelow(t.processors().size()))]);
+  }
+  const auto edges = steinerEdges(r, terminals);
+  // Count connected components over the induced edge set: nodes touched by
+  // edges must form a single component.
+  std::set<NodeId> touched;
+  for (const EdgeId e : edges) {
+    touched.insert(t.edge(e).u);
+    touched.insert(t.edge(e).v);
+  }
+  if (touched.empty()) {
+    GTEST_SKIP() << "terminals collapsed to one node";
+  }
+  std::set<EdgeId> edgeSet(edges.begin(), edges.end());
+  std::set<NodeId> visited;
+  std::vector<NodeId> stack{*touched.begin()};
+  visited.insert(*touched.begin());
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const HalfEdge& he : t.neighbors(v)) {
+      if (edgeSet.count(he.edge) && !visited.count(he.to)) {
+        visited.insert(he.to);
+        stack.push_back(he.to);
+      }
+    }
+  }
+  EXPECT_EQ(visited.size(), touched.size());
+}
+
+TEST(Steiner, AddSteinerLoadAccumulates) {
+  const Tree t = makeStar(4);
+  const RootedTree r(t, t.defaultRoot());
+  std::vector<double> load(static_cast<std::size_t>(t.edgeCount()), 0.0);
+  const NodeId terminals[] = {t.processors()[0], t.processors()[1]};
+  addSteinerLoad(r, terminals, 2.5, load);
+  addSteinerLoad(r, terminals, 1.5, load);
+  double total = 0.0;
+  for (const double l : load) total += l;
+  EXPECT_DOUBLE_EQ(total, 2 * 4.0);  // two edges, 4.0 each
+}
+
+TEST(Steiner, AddSteinerLoadSizeMismatchThrows) {
+  const Tree t = makeStar(4);
+  const RootedTree r(t, t.defaultRoot());
+  std::vector<double> wrong(1, 0.0);
+  const NodeId terminals[] = {t.processors()[0], t.processors()[1]};
+  EXPECT_THROW(addSteinerLoad(r, terminals, 1.0, wrong),
+               std::invalid_argument);
+}
+
+TEST(Steiner, TerminalOutOfRangeThrows) {
+  const Tree t = makeStar(4);
+  const RootedTree r(t, t.defaultRoot());
+  const NodeId terminals[] = {0, 99};
+  EXPECT_THROW(steinerEdges(r, terminals), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace hbn::net

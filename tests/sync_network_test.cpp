@@ -1,0 +1,148 @@
+// Tests for the synchronous message-passing engine.
+#include <gtest/gtest.h>
+
+#include "hbn/dist/sync_network.h"
+#include "hbn/net/generators.h"
+#include "hbn/util/rng.h"
+
+namespace hbn::dist {
+namespace {
+
+using net::Tree;
+
+TEST(SyncEngine, ConvergecastSumsLeaves) {
+  const Tree t = net::makeKaryTree(3, 2);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  SyncEngine engine(rooted);
+  Payload result{};
+  ConvergecastWave wave;
+  wave.localValue = [&](net::NodeId v) {
+    return Payload{t.isProcessor(v) ? 1 : 0, v, 0, 0};
+  };
+  wave.combine = [](const Payload& a, const Payload& b) {
+    return Payload{a[0] + b[0], 0, 0, 0};
+  };
+  wave.onResult = [&](const Payload& p) { result = p; };
+  engine.add(std::move(wave));
+  const SyncStats stats = engine.run();
+  EXPECT_EQ(result[0], t.processorCount());
+  // Rounds equal the height of the rooted tree.
+  EXPECT_EQ(stats.rounds, rooted.height());
+  // One message per node except the root.
+  EXPECT_EQ(stats.messages, t.nodeCount() - 1);
+}
+
+TEST(SyncEngine, BroadcastReachesEveryone) {
+  const Tree t = net::makeKaryTree(2, 3);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  SyncEngine engine(rooted);
+  std::vector<int> arrived(static_cast<std::size_t>(t.nodeCount()), 0);
+  BroadcastWave wave;
+  wave.rootValue = Payload{42, 0, 0, 0};
+  wave.childValue = [](net::NodeId, net::NodeId, const Payload& p) {
+    return p;
+  };
+  wave.onArrive = [&](net::NodeId v, const Payload& p) {
+    arrived[static_cast<std::size_t>(v)] = static_cast<int>(p[0]);
+  };
+  engine.add(std::move(wave));
+  const SyncStats stats = engine.run();
+  for (const int a : arrived) EXPECT_EQ(a, 42);
+  EXPECT_EQ(stats.rounds, rooted.height());
+  EXPECT_EQ(stats.messages, t.nodeCount() - 1);
+}
+
+TEST(SyncEngine, PipelinedWavesShareRounds) {
+  // k convergecasts offset by one round each should finish in
+  // height + k - 1 rounds, not k * height.
+  const Tree t = net::makeKaryTree(2, 4);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  SyncEngine engine(rooted);
+  constexpr int kWaves = 10;
+  int completed = 0;
+  for (int w = 0; w < kWaves; ++w) {
+    ConvergecastWave wave;
+    wave.startRound = w;
+    wave.localValue = [](net::NodeId) { return Payload{1, 0, 0, 0}; };
+    wave.combine = [](const Payload& a, const Payload& b) {
+      return Payload{a[0] + b[0], 0, 0, 0};
+    };
+    wave.onResult = [&](const Payload&) { ++completed; };
+    engine.add(std::move(wave));
+  }
+  const SyncStats stats = engine.run();
+  EXPECT_EQ(completed, kWaves);
+  EXPECT_EQ(stats.rounds, rooted.height() + kWaves - 1);
+  // Perfect pipelining: no channel ever queues more than one message.
+  EXPECT_EQ(stats.maxQueueDepth, 1);
+}
+
+TEST(SyncEngine, CollidingWavesQueueButStayCorrect) {
+  // Two convergecasts with the SAME start round contend for channels:
+  // results stay correct; rounds stretch; queue depth reaches 2.
+  const Tree t = net::makeKaryTree(2, 3);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  SyncEngine engine(rooted);
+  std::int64_t sums[2] = {0, 0};
+  for (int w = 0; w < 2; ++w) {
+    ConvergecastWave wave;
+    wave.startRound = 0;
+    wave.localValue = [w](net::NodeId) { return Payload{w + 1, 0, 0, 0}; };
+    wave.combine = [](const Payload& a, const Payload& b) {
+      return Payload{a[0] + b[0], 0, 0, 0};
+    };
+    wave.onResult = [&sums, w](const Payload& p) { sums[w] = p[0]; };
+    engine.add(std::move(wave));
+  }
+  const SyncStats stats = engine.run();
+  EXPECT_EQ(sums[0], t.nodeCount());
+  EXPECT_EQ(sums[1], 2 * t.nodeCount());
+  EXPECT_GE(stats.maxQueueDepth, 2);
+}
+
+TEST(SyncEngine, LanesEliminateContention) {
+  const Tree t = net::makeKaryTree(2, 3);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  SyncEngine engine(rooted);
+  for (int w = 0; w < 2; ++w) {
+    ConvergecastWave wave;
+    wave.startRound = 0;
+    wave.lane = w;
+    wave.localValue = [](net::NodeId) { return Payload{1, 0, 0, 0}; };
+    wave.combine = [](const Payload& a, const Payload& b) {
+      return Payload{a[0] + b[0], 0, 0, 0};
+    };
+    engine.add(std::move(wave));
+  }
+  const SyncStats stats = engine.run();
+  EXPECT_EQ(stats.maxQueueDepth, 1);
+  EXPECT_EQ(stats.rounds, rooted.height());
+}
+
+TEST(SyncEngine, SingleNodeTreeIsInstant) {
+  net::TreeBuilder b;
+  b.addProcessor();
+  const Tree t = b.build();
+  const net::RootedTree rooted(t, 0);
+  SyncEngine engine(rooted);
+  Payload result{};
+  ConvergecastWave wave;
+  wave.localValue = [](net::NodeId) { return Payload{7, 0, 0, 0}; };
+  wave.combine = [](const Payload& a, const Payload&) { return a; };
+  wave.onResult = [&](const Payload& p) { result = p; };
+  engine.add(std::move(wave));
+  const SyncStats stats = engine.run();
+  EXPECT_EQ(result[0], 7);
+  EXPECT_EQ(stats.messages, 0);
+}
+
+TEST(SyncEngine, MissingCallbacksRejected) {
+  const Tree t = net::makeStar(3);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  SyncEngine engine(rooted);
+  EXPECT_THROW(engine.add(ConvergecastWave{}), std::invalid_argument);
+  EXPECT_THROW(engine.add(BroadcastWave{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hbn::dist

@@ -1,0 +1,183 @@
+// Tests for hbn::net::Tree / TreeBuilder — structural invariants of the
+// hierarchical bus network model.
+#include <gtest/gtest.h>
+
+#include "hbn/net/tree.h"
+
+namespace hbn::net {
+namespace {
+
+// The paper's Figure 3 shape: one bus, four processors.
+Tree makeFigure3Star() {
+  TreeBuilder b;
+  const NodeId bus = b.addBus(1000.0);
+  for (int i = 0; i < 4; ++i) {
+    const NodeId p = b.addProcessor();
+    b.connect(bus, p, 1.0);
+  }
+  return b.build();
+}
+
+TEST(TreeBuilder, BuildsStar) {
+  const Tree t = makeFigure3Star();
+  EXPECT_EQ(t.nodeCount(), 5);
+  EXPECT_EQ(t.edgeCount(), 4);
+  EXPECT_EQ(t.processorCount(), 4);
+  EXPECT_EQ(t.busCount(), 1);
+  EXPECT_TRUE(t.isBus(0));
+  for (NodeId v = 1; v <= 4; ++v) EXPECT_TRUE(t.isProcessor(v));
+  EXPECT_EQ(t.maxDegree(), 4);
+  EXPECT_TRUE(t.usesUnitLeafEdges());
+}
+
+TEST(TreeBuilder, SingleProcessorTreeIsValid) {
+  TreeBuilder b;
+  b.addProcessor();
+  const Tree t = b.build();
+  EXPECT_EQ(t.nodeCount(), 1);
+  EXPECT_EQ(t.edgeCount(), 0);
+  EXPECT_EQ(t.defaultRoot(), 0);
+}
+
+TEST(TreeBuilder, EmptyTreeRejected) {
+  TreeBuilder b;
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(TreeBuilder, WrongEdgeCountRejected) {
+  TreeBuilder b;
+  b.addBus();
+  b.addProcessor();
+  b.addProcessor();
+  // 3 nodes, 1 edge: not a tree.
+  b.connect(0, 1);
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(TreeBuilder, DisconnectedRejected) {
+  TreeBuilder b;
+  const NodeId bus1 = b.addBus();
+  const NodeId p1 = b.addProcessor();
+  const NodeId p2 = b.addProcessor();
+  const NodeId p3 = b.addProcessor();
+  b.connect(bus1, p1);
+  b.connect(bus1, p2);
+  // p3 gets an edge to p1? processor-processor is rejected at connect time;
+  // give it a multi-edge instead to keep the count right.
+  EXPECT_THROW(b.connect(p3, p1), std::invalid_argument);
+  b.connect(bus1, p1);  // duplicate edge, keeps |E| = n-1 but creates cycle
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(TreeBuilder, ProcessorProcessorEdgeRejected) {
+  TreeBuilder b;
+  const NodeId p1 = b.addProcessor();
+  const NodeId p2 = b.addProcessor();
+  EXPECT_THROW(b.connect(p1, p2), std::invalid_argument);
+}
+
+TEST(TreeBuilder, SelfLoopRejected) {
+  TreeBuilder b;
+  const NodeId bus = b.addBus();
+  EXPECT_THROW(b.connect(bus, bus), std::invalid_argument);
+}
+
+TEST(TreeBuilder, LeafBusRejected) {
+  TreeBuilder b;
+  const NodeId bus1 = b.addBus();
+  const NodeId bus2 = b.addBus();  // will dangle as a leaf
+  const NodeId p = b.addProcessor();
+  b.connect(bus1, bus2);
+  b.connect(bus1, p);
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(TreeBuilder, ProcessorWithTwoEdgesRejected) {
+  TreeBuilder b;
+  const NodeId bus1 = b.addBus();
+  const NodeId bus2 = b.addBus();
+  const NodeId p = b.addProcessor();
+  // p connects to both buses: degree 2 processor (also makes bus leaves
+  // but the processor check fires first at build).
+  b.connect(bus1, p);
+  b.connect(bus2, p);
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(TreeBuilder, BandwidthBelowOneRejected) {
+  TreeBuilder b;
+  EXPECT_THROW(b.addBus(0.5), std::invalid_argument);
+  const NodeId bus = b.addBus();
+  const NodeId p = b.addProcessor();
+  EXPECT_THROW(b.connect(bus, p, 0.25), std::invalid_argument);
+}
+
+TEST(Tree, NeighborsAndOtherEnd) {
+  const Tree t = makeFigure3Star();
+  EXPECT_EQ(t.degree(0), 4);
+  EXPECT_EQ(t.degree(1), 1);
+  for (const HalfEdge& he : t.neighbors(0)) {
+    EXPECT_EQ(t.otherEnd(he.edge, 0), he.to);
+    EXPECT_EQ(t.otherEnd(he.edge, he.to), 0);
+  }
+  EXPECT_THROW((void)t.otherEnd(0, 3), std::invalid_argument);
+}
+
+TEST(Tree, BusBandwidthAccess) {
+  const Tree t = makeFigure3Star();
+  EXPECT_DOUBLE_EQ(t.busBandwidth(0), 1000.0);
+  EXPECT_THROW((void)t.busBandwidth(1), std::invalid_argument);  // a processor
+}
+
+TEST(Tree, HeightFrom) {
+  // bus0 - bus1 - bus2 chain with processors at each bus.
+  TreeBuilder b;
+  const NodeId b0 = b.addBus();
+  const NodeId b1 = b.addBus();
+  const NodeId b2 = b.addBus();
+  b.connect(b0, b1);
+  b.connect(b1, b2);
+  for (const NodeId bus : {b0, b1, b2}) {
+    const NodeId p = b.addProcessor();
+    b.connect(bus, p);
+  }
+  const Tree t = b.build();
+  EXPECT_EQ(t.heightFrom(b0), 3);  // b0 -> b1 -> b2 -> processor
+  EXPECT_EQ(t.heightFrom(b1), 2);
+}
+
+TEST(Tree, UnitLeafEdgeDetection) {
+  TreeBuilder b;
+  const NodeId bus = b.addBus();
+  const NodeId p1 = b.addProcessor();
+  const NodeId p2 = b.addProcessor();
+  b.connect(bus, p1, 2.0);  // non-unit leaf switch
+  b.connect(bus, p2, 1.0);
+  const Tree t = b.build();
+  EXPECT_FALSE(t.usesUnitLeafEdges());
+}
+
+TEST(Tree, DefaultRootPrefersBus) {
+  const Tree t = makeFigure3Star();
+  EXPECT_TRUE(t.isBus(t.defaultRoot()));
+}
+
+TEST(Tree, OutOfRangeAccessThrows) {
+  const Tree t = makeFigure3Star();
+  EXPECT_THROW((void)t.kind(99), std::out_of_range);
+  EXPECT_THROW((void)t.kind(-1), std::out_of_range);
+  EXPECT_THROW((void)t.edgeBandwidth(99), std::out_of_range);
+}
+
+TEST(Tree, ProcessorAndBusListsAreSortedAndComplete) {
+  const Tree t = makeFigure3Star();
+  ASSERT_EQ(t.processors().size(), 4u);
+  for (std::size_t i = 1; i < t.processors().size(); ++i) {
+    EXPECT_LT(t.processors()[i - 1], t.processors()[i]);
+  }
+  EXPECT_EQ(t.buses().size(), 1u);
+  EXPECT_EQ(t.buses()[0], 0);
+}
+
+}  // namespace
+}  // namespace hbn::net

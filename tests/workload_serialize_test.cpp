@@ -1,0 +1,87 @@
+// Round-trip and error-path tests for workload serialisation.
+#include <gtest/gtest.h>
+
+#include "hbn/net/generators.h"
+#include "hbn/workload/generators.h"
+#include "hbn/workload/serialize.h"
+
+namespace hbn::workload {
+namespace {
+
+TEST(WorkloadSerialize, RoundTripSmall) {
+  Workload w(2, 5);
+  w.addReads(0, 1, 3);
+  w.addWrites(1, 4, 7);
+  const Workload back = parseText(toText(w));
+  EXPECT_EQ(back.numObjects(), 2);
+  EXPECT_EQ(back.numNodes(), 5);
+  EXPECT_EQ(back.reads(0, 1), 3);
+  EXPECT_EQ(back.writes(1, 4), 7);
+  EXPECT_EQ(toText(back), toText(w));
+}
+
+TEST(WorkloadSerialize, RoundTripGeneratedProfiles) {
+  util::Rng rng(55);
+  const net::Tree t = net::makeKaryTree(3, 2);
+  for (int p = 0; p < 6; ++p) {
+    GenParams params;
+    params.numObjects = 6;
+    params.requestsPerProcessor = 20;
+    const Workload w =
+        generate(static_cast<Profile>(p), t, params, rng);
+    const Workload back = parseText(toText(w));
+    EXPECT_EQ(toText(back), toText(w)) << profileName(static_cast<Profile>(p));
+  }
+}
+
+TEST(WorkloadSerialize, EmptyWorkloadRoundTrips) {
+  Workload w(3, 4);
+  const Workload back = parseText(toText(w));
+  EXPECT_EQ(back.grandTotal(), 0);
+  EXPECT_EQ(back.numObjects(), 3);
+}
+
+TEST(WorkloadSerialize, MissingHeaderRejected) {
+  EXPECT_THROW((void)parseText("dims 1 1\n"), std::invalid_argument);
+}
+
+TEST(WorkloadSerialize, MissingDimsRejected) {
+  EXPECT_THROW((void)parseText("hbn-workload v1\n"), std::invalid_argument);
+}
+
+TEST(WorkloadSerialize, UnknownKeywordRejected) {
+  const char* text =
+      "hbn-workload v1\n"
+      "dims 1 2\n"
+      "modify 0 0 1\n";
+  EXPECT_THROW((void)parseText(text), std::invalid_argument);
+}
+
+TEST(WorkloadSerialize, OutOfRangeEntryRejected) {
+  const char* text =
+      "hbn-workload v1\n"
+      "dims 1 2\n"
+      "read 0 9 1\n";
+  EXPECT_THROW((void)parseText(text), std::out_of_range);
+}
+
+TEST(WorkloadSerialize, NegativeCountRejected) {
+  const char* text =
+      "hbn-workload v1\n"
+      "dims 1 2\n"
+      "read 0 0 -5\n";
+  EXPECT_THROW((void)parseText(text), std::invalid_argument);
+}
+
+TEST(WorkloadSerialize, DuplicateEntriesAccumulate) {
+  const char* text =
+      "hbn-workload v1\n"
+      "dims 1 2\n"
+      "read 0 0 2\n"
+      "read 0 0 3\n";
+  const Workload w = parseText(text);
+  EXPECT_EQ(w.reads(0, 0), 5);
+}
+
+}  // namespace
+}  // namespace hbn::workload

@@ -1,0 +1,209 @@
+// Tests for the workload matrix and every generator profile.
+#include <gtest/gtest.h>
+
+#include "hbn/net/generators.h"
+#include "hbn/workload/generators.h"
+#include "hbn/workload/workload.h"
+
+namespace hbn::workload {
+namespace {
+
+TEST(Workload, StartsZeroAndAccumulates) {
+  Workload w(2, 5);
+  EXPECT_EQ(w.reads(0, 0), 0);
+  EXPECT_EQ(w.grandTotal(), 0);
+  w.addReads(0, 1, 3);
+  w.addWrites(0, 2, 4);
+  w.addWrites(1, 1, 2);
+  EXPECT_EQ(w.reads(0, 1), 3);
+  EXPECT_EQ(w.writes(0, 2), 4);
+  EXPECT_EQ(w.total(0, 2), 4);
+  EXPECT_EQ(w.objectReads(0), 3);
+  EXPECT_EQ(w.objectWrites(0), 4);
+  EXPECT_EQ(w.objectTotal(0), 7);
+  EXPECT_EQ(w.objectWrites(1), 2);
+  EXPECT_EQ(w.grandTotal(), 9);
+  EXPECT_EQ(w.maxWriteContention(), 4);
+}
+
+TEST(Workload, SetOverwritesAndFixesTotals) {
+  Workload w(1, 3);
+  w.addReads(0, 0, 10);
+  w.setReads(0, 0, 4);
+  EXPECT_EQ(w.objectReads(0), 4);
+  w.setWrites(0, 1, 6);
+  w.setWrites(0, 1, 2);
+  EXPECT_EQ(w.objectWrites(0), 2);
+}
+
+TEST(Workload, RejectsBadInput) {
+  EXPECT_THROW(Workload(0, 3), std::invalid_argument);
+  Workload w(1, 3);
+  EXPECT_THROW(w.addReads(0, 0, -1), std::invalid_argument);
+  EXPECT_THROW(w.addReads(5, 0, 1), std::out_of_range);
+  EXPECT_THROW(w.addReads(0, 9, 1), std::out_of_range);
+}
+
+TEST(Workload, RowViews) {
+  Workload w(2, 4);
+  w.addReads(1, 2, 5);
+  const auto row = w.readRow(1);
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[2], 5);
+}
+
+TEST(Workload, ValidateProcessorOnly) {
+  const net::Tree t = net::makeStar(3);  // node 0 is the bus
+  Workload good(1, t.nodeCount());
+  good.addReads(0, 1, 2);
+  EXPECT_NO_THROW(good.validateProcessorOnly(t));
+
+  Workload bad(1, t.nodeCount());
+  bad.addReads(0, 0, 1);  // on the bus
+  EXPECT_THROW(bad.validateProcessorOnly(t), std::invalid_argument);
+
+  Workload mismatched(1, 2);
+  EXPECT_THROW(mismatched.validateProcessorOnly(t), std::invalid_argument);
+}
+
+class GeneratorProfileTest : public ::testing::TestWithParam<Profile> {};
+
+TEST_P(GeneratorProfileTest, ProducesValidProcessorOnlyWorkload) {
+  util::Rng rng(1234);
+  const net::Tree t = net::makeKaryTree(3, 2);
+  GenParams params;
+  params.numObjects = 8;
+  params.requestsPerProcessor = 40;
+  const Workload w = generate(GetParam(), t, params, rng);
+  EXPECT_EQ(w.numObjects(), 8);
+  EXPECT_NO_THROW(w.validateProcessorOnly(t));
+  EXPECT_GT(w.grandTotal(), 0);
+}
+
+TEST_P(GeneratorProfileTest, DeterministicUnderSeed) {
+  const net::Tree t = net::makeKaryTree(2, 2);
+  GenParams params;
+  params.numObjects = 4;
+  params.requestsPerProcessor = 16;
+  util::Rng rng1(5);
+  util::Rng rng2(5);
+  const Workload a = generate(GetParam(), t, params, rng1);
+  const Workload b = generate(GetParam(), t, params, rng2);
+  for (ObjectId x = 0; x < a.numObjects(); ++x) {
+    for (net::NodeId v = 0; v < t.nodeCount(); ++v) {
+      EXPECT_EQ(a.reads(x, v), b.reads(x, v));
+      EXPECT_EQ(a.writes(x, v), b.writes(x, v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, GeneratorProfileTest,
+    ::testing::Values(Profile::uniform, Profile::zipf, Profile::hotspot,
+                      Profile::clustered, Profile::producerConsumer,
+                      Profile::adversarial),
+    [](const ::testing::TestParamInfo<Profile>& info) {
+      std::string name = profileName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Generators, UniformSpreadsRequests) {
+  util::Rng rng(3);
+  const net::Tree t = net::makeStar(8);
+  GenParams params;
+  params.numObjects = 4;
+  params.requestsPerProcessor = 100;
+  const Workload w = generateUniform(t, params, rng);
+  // Every processor issued exactly requestsPerProcessor requests.
+  for (const net::NodeId p : t.processors()) {
+    Count total = 0;
+    for (ObjectId x = 0; x < w.numObjects(); ++x) total += w.total(x, p);
+    EXPECT_EQ(total, params.requestsPerProcessor);
+  }
+}
+
+TEST(Generators, ReadFractionRespected) {
+  util::Rng rng(4);
+  const net::Tree t = net::makeStar(16);
+  GenParams params;
+  params.numObjects = 2;
+  params.requestsPerProcessor = 500;
+  params.readFraction = 0.8;
+  const Workload w = generateUniform(t, params, rng);
+  const double reads = static_cast<double>(w.objectReads(0) + w.objectReads(1));
+  const double total = static_cast<double>(w.grandTotal());
+  EXPECT_NEAR(reads / total, 0.8, 0.05);
+}
+
+TEST(Generators, ZipfSkewsTowardLowIds) {
+  util::Rng rng(5);
+  const net::Tree t = net::makeStar(16);
+  GenParams params;
+  params.numObjects = 16;
+  params.requestsPerProcessor = 200;
+  params.zipfAlpha = 1.2;
+  const Workload w = generateZipf(t, params, rng);
+  EXPECT_GT(w.objectTotal(0), w.objectTotal(15) * 2);
+}
+
+TEST(Generators, HotspotConcentratesOnHotObjects) {
+  util::Rng rng(6);
+  const net::Tree t = net::makeStar(16);
+  GenParams params;
+  params.numObjects = 10;
+  params.requestsPerProcessor = 200;
+  params.hotObjects = 1;
+  params.hotFraction = 0.9;
+  const Workload w = generateHotspot(t, params, rng);
+  EXPECT_GT(w.objectTotal(0),
+            w.grandTotal() / 2);  // the single hot object dominates
+}
+
+TEST(Generators, ProducerConsumerHasSingleWriter) {
+  util::Rng rng(7);
+  const net::Tree t = net::makeKaryTree(4, 1);
+  GenParams params;
+  params.numObjects = 6;
+  params.requestsPerProcessor = 60;
+  const Workload w = generateProducerConsumer(t, params, rng);
+  for (ObjectId x = 0; x < w.numObjects(); ++x) {
+    int writers = 0;
+    for (const net::NodeId p : t.processors()) {
+      if (w.writes(x, p) > 0) ++writers;
+    }
+    EXPECT_EQ(writers, 1) << "object " << x;
+  }
+}
+
+TEST(Generators, AdversarialIsWriteHeavy) {
+  util::Rng rng(8);
+  const net::Tree t = net::makeKaryTree(3, 2);
+  GenParams params;
+  params.numObjects = 6;
+  params.requestsPerProcessor = 20;
+  const Workload w = generateAdversarial(t, params, rng);
+  Count reads = 0;
+  Count writes = 0;
+  for (ObjectId x = 0; x < w.numObjects(); ++x) {
+    reads += w.objectReads(x);
+    writes += w.objectWrites(x);
+  }
+  EXPECT_GT(writes, reads);
+}
+
+TEST(Generators, BadParamsRejected) {
+  util::Rng rng(9);
+  const net::Tree t = net::makeStar(4);
+  GenParams params;
+  params.numObjects = 0;
+  EXPECT_THROW(generateUniform(t, params, rng), std::invalid_argument);
+  params.numObjects = 2;
+  params.readFraction = 1.5;
+  EXPECT_THROW(generateUniform(t, params, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hbn::workload

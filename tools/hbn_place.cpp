@@ -1,0 +1,122 @@
+// hbn_place — command-line placement driver.
+//
+// Usage:
+//   hbn_place <tree-file> <workload-file> [strategy]
+//
+// strategy: extended-nibble (default) | nibble | greedy | median |
+//           full-replication
+//
+// Reads a hierarchical bus network (hbn-tree v1 text format, see
+// hbn/net/serialize.h) and a workload (hbn-workload v1, see
+// hbn/workload/serialize.h), computes the placement, and prints each
+// object's copy locations plus the load report (per-edge loads, bus
+// loads, congestion, certified lower bound).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "hbn/baseline/heuristics.h"
+#include "hbn/core/extended_nibble.h"
+#include "hbn/core/lower_bound.h"
+#include "hbn/core/nibble.h"
+#include "hbn/net/serialize.h"
+#include "hbn/util/stats.h"
+#include "hbn/util/table.h"
+#include "hbn/workload/serialize.h"
+
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hbn;
+  if (argc < 3 || argc > 4) {
+    std::cerr << "usage: hbn_place <tree-file> <workload-file> "
+                 "[extended-nibble|nibble|greedy|median|full-replication]\n";
+    return 2;
+  }
+  try {
+    const net::Tree tree = net::parseText(readFile(argv[1]));
+    const workload::Workload load = workload::parseText(readFile(argv[2]));
+    if (load.numNodes() != tree.nodeCount()) {
+      throw std::runtime_error("workload node count does not match tree");
+    }
+    const std::string strategy = argc == 4 ? argv[3] : "extended-nibble";
+
+    core::Placement placement;
+    if (strategy == "extended-nibble") {
+      placement = core::computeExtendedNibblePlacement(tree, load);
+    } else if (strategy == "nibble") {
+      placement = core::nibblePlacement(tree, load);
+    } else if (strategy == "greedy") {
+      placement = baseline::bestSingleCopy(tree, load);
+    } else if (strategy == "median") {
+      placement = baseline::weightedMedian(tree, load);
+    } else if (strategy == "full-replication") {
+      placement = baseline::fullReplication(tree, load);
+    } else {
+      std::cerr << "unknown strategy '" << strategy << "'\n";
+      return 2;
+    }
+
+    std::cout << "strategy: " << strategy << "\n\nplacement:\n";
+    for (workload::ObjectId x = 0; x < load.numObjects(); ++x) {
+      std::cout << "  object " << x << " -> {";
+      bool first = true;
+      for (const net::NodeId v :
+           placement.objects[static_cast<std::size_t>(x)].locations()) {
+        std::cout << (first ? "" : ", ") << v;
+        first = false;
+      }
+      std::cout << "}\n";
+    }
+
+    const net::RootedTree rooted(tree, tree.defaultRoot());
+    const core::LoadMap loads = core::computeLoad(rooted, placement);
+    util::Table edges({"edge", "u", "v", "load", "bandwidth", "relative"});
+    for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
+      const net::Edge& ed = tree.edge(e);
+      edges.addRow({std::to_string(e), std::to_string(ed.u),
+                    std::to_string(ed.v), std::to_string(loads.edgeLoad(e)),
+                    util::formatDouble(ed.bandwidth, 1),
+                    util::formatDouble(static_cast<double>(loads.edgeLoad(e)) /
+                                           ed.bandwidth,
+                                       2)});
+    }
+    std::cout << "\nedge loads:\n";
+    edges.print(std::cout);
+
+    util::Table buses({"bus", "load", "bandwidth", "relative"});
+    for (const net::NodeId b : tree.buses()) {
+      buses.addRow({std::to_string(b),
+                    util::formatDouble(loads.busLoad(tree, b), 1),
+                    util::formatDouble(tree.busBandwidth(b), 1),
+                    util::formatDouble(
+                        loads.busLoad(tree, b) / tree.busBandwidth(b), 2)});
+    }
+    std::cout << "\nbus loads:\n";
+    buses.print(std::cout);
+
+    const double lb = core::analyticLowerBound(rooted, load).congestion;
+    std::cout << "\ncongestion:  " << loads.congestion(tree)
+              << "\nlower bound: " << lb << "\n";
+    if (lb > 0) {
+      std::cout << "ratio:       " << loads.congestion(tree) / lb << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
