@@ -1,73 +1,94 @@
-// Experiment E10 — ablations of the extended-nibble design choices:
-//   (a) skipping the deletion step (step 2),
-//   (b) the acceptable-load multiplier L_acc = factor * L_b (paper: 2).
+// Experiment E10 — ablations of the extended-nibble design choices,
+// expressed as registry option specs:
+//   (a) skipping the deletion step     extended-nibble:deletion=0
+//   (b) the acceptable-load multiplier extended-nibble:acc=N (paper: 2).
 // Reports congestion ratio vs lower bound and how often the mapping step
 // had to violate its free-edge condition (forcedMoves; 0 for the paper's
-// configuration by Lemma 4.1).
+// configuration by Lemma 4.1), read from the strategy's Context metrics.
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "hbn/core/extended_nibble.h"
 #include "hbn/core/lower_bound.h"
+#include "hbn/engine/cli.h"
+#include "hbn/engine/registry.h"
 #include "hbn/net/generators.h"
 #include "hbn/util/rng.h"
 #include "hbn/util/stats.h"
 #include "hbn/util/table.h"
 #include "hbn/workload/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hbn;
-  constexpr std::uint64_t kSeed = 10;
-  constexpr int kTrials = 12;
-  std::cout << "E10 — ablation of the extended-nibble design choices\nseed="
-            << kSeed << ", trials per row=" << kTrials << "\n\n";
-
-  struct Variant {
-    const char* name;
-    core::ExtendedNibbleOptions options;
-  };
-  Variant variants[] = {
-      {"paper (delete, acc=2)", {}},
-      {"no deletion", {false, 2, net::kInvalidNode}},
-      {"acc factor 1", {true, 1, net::kInvalidNode}},
-      {"acc factor 3", {true, 3, net::kInvalidNode}},
-      {"acc factor 8", {true, 8, net::kInvalidNode}},
-  };
-
-  util::Table table({"variant", "mean C/LB", "max C/LB", "forced moves",
-                     "mean tau_max/kappa_max"});
-  util::Rng master(kSeed);
-
-  for (const Variant& variant : variants) {
-    util::Accumulator ratio;
-    util::Accumulator tauShare;
-    long forced = 0;
-    util::Rng trialRng = master;  // same instances for every variant
-    for (int trial = 0; trial < kTrials; ++trial) {
-      util::Rng rng = trialRng.split();
-      const net::Tree tree = net::makeRandomTree(48, 14, rng);
-      const net::RootedTree rooted(tree, tree.defaultRoot());
-      workload::GenParams params;
-      params.numObjects = 16;
-      params.requestsPerProcessor = 30;
-      params.readFraction = 0.2 + 0.6 * rng.nextDouble();
-      const workload::Workload load = workload::generate(
-          static_cast<workload::Profile>(trial % 6), tree, params, rng);
-      const double lb = core::analyticLowerBound(rooted, load).congestion;
-      if (lb <= 0.0) continue;
-      const auto result = core::extendedNibble(tree, load, variant.options);
-      ratio.add(result.report.congestionFinal / lb);
-      forced += result.report.mapping.forcedMoves;
-      if (load.maxWriteContention() > 0) {
-        tauShare.add(static_cast<double>(result.report.mapping.tauMax) /
-                     static_cast<double>(load.maxWriteContention()));
-      }
+  try {
+    const engine::CliOptions cli = engine::parseCli(argc, argv);
+    if (cli.help) {
+      std::cout << "usage: bench_ablation [--strategy SPEC ...] "
+                   "[--threads N] [--seed N]\n\n"
+                << engine::cliHelp();
+      return 0;
     }
-    table.addRow({variant.name, util::formatDouble(ratio.mean(), 3),
-                  util::formatDouble(ratio.max(), 3), std::to_string(forced),
-                  util::formatDouble(tauShare.mean(), 3)});
+    const std::vector<std::string> specs =
+        cli.strategies.empty()
+            ? std::vector<std::string>{"extended-nibble",
+                                       "extended-nibble:deletion=0",
+                                       "extended-nibble:acc=1",
+                                       "extended-nibble:acc=3",
+                                       "extended-nibble:acc=8"}
+            : cli.strategies;
+    engine::requireNoPositional(cli);
+    engine::Context baseCtx = engine::makeContext(cli, /*defaultSeed=*/10);
+    constexpr int kTrials = 12;
+
+    std::cout << "E10 — ablation of the extended-nibble design choices\nseed="
+              << baseCtx.seed << ", trials per row=" << kTrials << "\n\n";
+
+    util::Table table({"variant", "mean C/LB", "max C/LB", "forced moves",
+                       "mean tau_max/kappa_max"});
+    util::Rng master(baseCtx.seed);
+
+    for (const std::string& spec : specs) {
+      const auto strategy = engine::StrategyRegistry::global().create(spec);
+      util::Accumulator ratio;
+      util::Accumulator tauShare;
+      long forced = 0;
+      util::Rng trialRng = master;  // same instances for every variant
+      for (int trial = 0; trial < kTrials; ++trial) {
+        util::Rng rng = trialRng.split();
+        const net::Tree tree = net::makeRandomTree(48, 14, rng);
+        const net::RootedTree rooted(tree, tree.defaultRoot());
+        workload::GenParams params;
+        params.numObjects = 16;
+        params.requestsPerProcessor = 30;
+        params.readFraction = 0.2 + 0.6 * rng.nextDouble();
+        const workload::Workload load = workload::generate(
+            static_cast<workload::Profile>(trial % 6), tree, params, rng);
+        const double lb = core::analyticLowerBound(rooted, load).congestion;
+        if (lb <= 0.0) continue;
+        engine::Context ctx = baseCtx;
+        (void)strategy->place(tree, load, ctx);
+        if (ctx.metrics.count("congestion.final") == 0) {
+          throw std::invalid_argument(
+              "bench_ablation compares extended-nibble variants; '" + spec +
+              "' does not report the pipeline metrics it needs");
+        }
+        ratio.add(ctx.metrics.at("congestion.final") / lb);
+        forced += static_cast<long>(ctx.metrics.at("mapping.forcedMoves"));
+        if (load.maxWriteContention() > 0) {
+          tauShare.add(ctx.metrics.at("mapping.tauMax") /
+                       static_cast<double>(load.maxWriteContention()));
+        }
+      }
+      table.addRow({spec, util::formatDouble(ratio.mean(), 3),
+                    util::formatDouble(ratio.max(), 3), std::to_string(forced),
+                    util::formatDouble(tauShare.mean(), 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(the paper's configuration must show 0 forced moves and "
+                 "tau_max <= 3*kappa_max; ablations may not)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
-  table.print(std::cout);
-  std::cout << "\n(the paper's configuration must show 0 forced moves and "
-               "tau_max <= 3*kappa_max; ablations may not)\n";
-  return 0;
 }

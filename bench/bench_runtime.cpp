@@ -1,12 +1,26 @@
-// Experiment E3 (Theorem 4.3 runtime): sequential running time of the
-// extended-nibble strategy, scaling |X|, |V|, height(T) and degree(T)
-// independently. The theorem claims
-// O(|X| · |P ∪ B| · height(T) · log(degree(T))).
-#include <benchmark/benchmark.h>
+// Experiment E3 (Theorem 4.3 runtime): wall-clock running time of the
+// registry strategies while scaling |X|, |V|, height(T), degree(T), and
+// the worker-thread count. The theorem claims sequential time
+// O(|X| · |P ∪ B| · height(T) · log(degree(T))); the thread-scaling rows
+// time the object-sharded executor (its 1-vs-N bit-identity is pinned
+// down by tests/engine_determinism_test.cpp, not here).
+//
+// Emits a human table and BENCH_runtime.json (strategy, topology, n,
+// objects, threads, wall_ms, congestion) for cross-PR perf trajectories.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
 
-#include "hbn/core/extended_nibble.h"
+#include "hbn/core/load.h"
+#include "hbn/engine/cli.h"
+#include "hbn/engine/registry.h"
 #include "hbn/net/generators.h"
+#include "hbn/util/json.h"
 #include "hbn/util/rng.h"
+#include "hbn/util/stats.h"
+#include "hbn/util/table.h"
+#include "hbn/util/timer.h"
 #include "hbn/workload/generators.h"
 
 namespace {
@@ -23,79 +37,111 @@ workload::Workload makeLoad(const net::Tree& tree, int numObjects,
   return workload::generateUniform(tree, params, rng);
 }
 
-// --- Scale |X| at fixed topology.
-void BM_ScaleObjects(benchmark::State& state) {
-  const net::Tree tree = net::makeKaryTree(4, 3);  // 85 nodes
-  const auto load =
-      makeLoad(tree, static_cast<int>(state.range(0)), 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::extendedNibble(tree, load));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_ScaleObjects)->RangeMultiplier(2)->Range(8, 128)->Complexity(
-    benchmark::oN);
-
-// --- Scale |V| at fixed height (wider k-ary trees).
-void BM_ScaleNodes(benchmark::State& state) {
-  const int arity = static_cast<int>(state.range(0));
-  const net::Tree tree = net::makeKaryTree(arity, 2);
-  const auto load = makeLoad(tree, 16, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::extendedNibble(tree, load));
-  }
-  state.SetComplexityN(tree.nodeCount());
-}
-BENCHMARK(BM_ScaleNodes)->DenseRange(4, 20, 4)->Complexity(benchmark::oN);
-
-// --- Scale height at roughly fixed node count (caterpillars).
-void BM_ScaleHeight(benchmark::State& state) {
-  const int buses = static_cast<int>(state.range(0));
-  const int procsPerBus = std::max(1, 64 / buses);
-  const net::Tree tree = net::makeCaterpillar(buses, procsPerBus);
-  const auto load = makeLoad(tree, 16, 3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::extendedNibble(tree, load));
-  }
-  state.SetComplexityN(buses);
-}
-BENCHMARK(BM_ScaleHeight)->RangeMultiplier(2)->Range(4, 64);
-
-// --- Scale degree at fixed size (stars).
-void BM_ScaleDegree(benchmark::State& state) {
-  const net::Tree tree = net::makeStar(static_cast<int>(state.range(0)));
-  const auto load = makeLoad(tree, 16, 4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::extendedNibble(tree, load));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_ScaleDegree)->RangeMultiplier(2)->Range(8, 256);
-
-// --- The nibble step alone is linear per object (paper §3.1).
-void BM_NibbleOnly(benchmark::State& state) {
-  const int arity = static_cast<int>(state.range(0));
-  const net::Tree tree = net::makeKaryTree(arity, 2);
-  const auto load = makeLoad(tree, 8, 5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::nibblePlacement(tree, load));
-  }
-  state.SetComplexityN(tree.nodeCount());
-}
-BENCHMARK(BM_NibbleOnly)->DenseRange(4, 20, 4)->Complexity(benchmark::oN);
-
-// --- Thread scaling of the per-object steps (result is bit-identical).
-void BM_ThreadScaling(benchmark::State& state) {
-  const net::Tree tree = net::makeKaryTree(4, 4);  // 341 nodes
-  const auto load = makeLoad(tree, 256, 6);
-  core::ExtendedNibbleOptions options;
-  options.threads = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::extendedNibble(tree, load, options));
-  }
-}
-BENCHMARK(BM_ThreadScaling)->RangeMultiplier(2)->Range(1, 8)->UseRealTime();
+struct Case {
+  std::string label;     // scaling axis description
+  std::string topology;
+  net::Tree tree;
+  int objects;
+  int threads;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace hbn;
+  try {
+    const engine::CliOptions cli = engine::parseCli(argc, argv);
+    if (cli.help) {
+      std::cout << "usage: bench_runtime [--strategy SPEC,...] [--threads N] "
+                   "[--seed N]\n\n"
+                << engine::cliHelp();
+      return 0;
+    }
+    const std::vector<std::string> specs =
+        cli.strategies.empty()
+            ? std::vector<std::string>{"nibble", "extended-nibble"}
+            : cli.strategies;
+    engine::requireNoPositional(cli);
+    engine::Context baseCtx = engine::makeContext(cli, /*defaultSeed=*/3);
+
+    std::vector<Case> cases;
+    // --- Scale |X| at fixed topology.
+    for (int objects = 8; objects <= 128; objects *= 2) {
+      cases.push_back({"objects", "kary(4,3)", net::makeKaryTree(4, 3),
+                       objects, baseCtx.threads});
+    }
+    // --- Scale |V| at fixed height (wider k-ary trees).
+    for (int arity = 4; arity <= 20; arity += 4) {
+      cases.push_back({"nodes", "kary(" + std::to_string(arity) + ",2)",
+                       net::makeKaryTree(arity, 2), 16, baseCtx.threads});
+    }
+    // --- Scale height at roughly fixed node count (caterpillars).
+    for (int buses = 4; buses <= 64; buses *= 2) {
+      const int procsPerBus = std::max(1, 64 / buses);
+      cases.push_back({"height",
+                       "caterpillar(" + std::to_string(buses) + "," +
+                           std::to_string(procsPerBus) + ")",
+                       net::makeCaterpillar(buses, procsPerBus), 16,
+                       baseCtx.threads});
+    }
+    // --- Scale degree at fixed size (stars).
+    for (int leaves = 8; leaves <= 256; leaves *= 2) {
+      cases.push_back({"degree", "star(" + std::to_string(leaves) + ")",
+                       net::makeStar(leaves), 16, baseCtx.threads});
+    }
+    // --- Thread scaling on one large instance (result bit-identical).
+    for (int threads = 1; threads <= 8; threads *= 2) {
+      cases.push_back({"threads", "kary(4,4)", net::makeKaryTree(4, 4), 256,
+                       threads});
+    }
+
+    util::Table table({"axis", "strategy", "topology", "n", "objects",
+                       "threads", "wall ms", "congestion"});
+    util::JsonRecords json;
+    for (const std::string& spec : specs) {
+      const auto strategy = engine::StrategyRegistry::global().create(spec);
+      for (const Case& c : cases) {
+        const workload::Workload load =
+            makeLoad(c.tree, c.objects, baseCtx.seed);
+        engine::Context ctx = baseCtx;
+        ctx.threads = c.threads;
+        // Best of three runs: the usual antidote to scheduler noise.
+        double wallMs = 0.0;
+        core::Placement placement;
+        for (int rep = 0; rep < 3; ++rep) {
+          util::Timer timer;
+          placement = strategy->place(c.tree, load, ctx);
+          const double ms = timer.millis();
+          wallMs = rep == 0 ? ms : std::min(wallMs, ms);
+        }
+        const net::RootedTree rooted(c.tree, c.tree.defaultRoot());
+        const double congestion = core::evaluateCongestion(rooted, placement);
+
+        table.addRow({c.label, spec, c.topology,
+                      std::to_string(c.tree.nodeCount()),
+                      std::to_string(c.objects), std::to_string(c.threads),
+                      util::formatDouble(wallMs, 3),
+                      util::formatDouble(congestion, 2)});
+        json.beginRecord();
+        json.field("strategy", spec);
+        json.field("axis", c.label);
+        json.field("topology", c.topology);
+        json.field("n", c.tree.nodeCount());
+        json.field("objects", c.objects);
+        json.field("threads", c.threads);
+        json.field("wall_ms", wallMs);
+        json.field("congestion", congestion);
+      }
+    }
+
+    std::cout << "E3 — runtime scaling (seed=" << baseCtx.seed << ")\n\n";
+    table.print(std::cout);
+    json.writeFile("BENCH_runtime.json");
+    std::cout << "\nwrote BENCH_runtime.json (" << json.recordCount()
+              << " records)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,78 +1,101 @@
 // Experiment E9 (motivation, §1): congestion of the extended-nibble
 // strategy against the baselines across the topology × workload grid —
-// the "who wins, by what factor" table.
+// the "who wins, by what factor" table. Strategies are instantiated from
+// the engine registry, so `--strategy a,b,c` compares any subset.
 #include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "hbn/baseline/heuristics.h"
-#include "hbn/core/extended_nibble.h"
 #include "hbn/core/load.h"
 #include "hbn/core/lower_bound.h"
+#include "hbn/engine/cli.h"
+#include "hbn/engine/registry.h"
 #include "hbn/net/generators.h"
 #include "hbn/util/rng.h"
 #include "hbn/util/stats.h"
 #include "hbn/util/table.h"
 #include "hbn/workload/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hbn;
-  constexpr std::uint64_t kSeed = 9;
-  constexpr int kTrials = 6;
-  std::cout << "E9 — strategy comparison: mean congestion normalised by the "
-               "lower bound (lower is better, 1.0 = optimal)\nseed="
-            << kSeed << ", trials per cell=" << kTrials << "\n\n";
-
-  util::Table table({"topology", "workload", "ext-nibble", "greedy-1",
-                     "median-1", "random-1", "full-repl"});
-  util::Rng master(kSeed);
-
-  for (const auto family :
-       {net::TopologyFamily::kary, net::TopologyFamily::star,
-        net::TopologyFamily::caterpillar, net::TopologyFamily::random,
-        net::TopologyFamily::cluster}) {
-    for (const auto profile :
-         {workload::Profile::uniform, workload::Profile::zipf,
-          workload::Profile::hotspot, workload::Profile::clustered,
-          workload::Profile::producerConsumer,
-          workload::Profile::adversarial}) {
-      util::Accumulator ratios[5];
-      for (int trial = 0; trial < kTrials; ++trial) {
-        util::Rng rng = master.split();
-        const net::Tree tree = net::makeFamilyMember(family, 48, rng);
-        const net::RootedTree rooted(tree, tree.defaultRoot());
-        workload::GenParams params;
-        params.numObjects = 16;
-        params.requestsPerProcessor = 30;
-        params.readFraction = 0.2 + 0.6 * rng.nextDouble();
-        const workload::Workload load =
-            workload::generate(profile, tree, params, rng);
-        const double lb =
-            core::analyticLowerBound(rooted, load).congestion;
-        if (lb <= 0.0) continue;
-        const double values[5] = {
-            core::extendedNibble(tree, load).report.congestionFinal,
-            core::evaluateCongestion(rooted,
-                                     baseline::bestSingleCopy(tree, load)),
-            core::evaluateCongestion(rooted,
-                                     baseline::weightedMedian(tree, load)),
-            core::evaluateCongestion(
-                rooted, baseline::randomSingleCopy(tree, load, rng)),
-            core::evaluateCongestion(rooted,
-                                     baseline::fullReplication(tree, load))};
-        for (int s = 0; s < 5; ++s) ratios[s].add(values[s] / lb);
-      }
-      if (ratios[0].empty()) continue;
-      table.addRow({net::topologyFamilyName(family),
-                    workload::profileName(profile),
-                    util::formatDouble(ratios[0].mean(), 2),
-                    util::formatDouble(ratios[1].mean(), 2),
-                    util::formatDouble(ratios[2].mean(), 2),
-                    util::formatDouble(ratios[3].mean(), 2),
-                    util::formatDouble(ratios[4].mean(), 2)});
+  try {
+    const engine::CliOptions cli = engine::parseCli(argc, argv);
+    if (cli.help) {
+      std::cout << "usage: bench_strategy_comparison [--strategy SPEC,...] "
+                   "[--threads N] [--seed N]\n\n"
+                << engine::cliHelp();
+      return 0;
     }
+    const std::vector<std::string> specs =
+        cli.strategies.empty()
+            ? std::vector<std::string>{"extended-nibble", "best-single-copy",
+                                       "weighted-median", "random-single-copy",
+                                       "full-replication"}
+            : cli.strategies;
+    engine::requireNoPositional(cli);
+    engine::Context baseCtx = engine::makeContext(cli, /*defaultSeed=*/9);
+    constexpr int kTrials = 6;
+
+    std::cout << "E9 — strategy comparison: mean congestion normalised by "
+                 "the lower bound (lower is better, 1.0 = optimal)\nseed="
+              << baseCtx.seed << ", trials per cell=" << kTrials << "\n\n";
+
+    std::vector<std::unique_ptr<engine::PlacementStrategy>> strategies;
+    std::vector<std::string> header{"topology", "workload"};
+    for (const std::string& spec : specs) {
+      strategies.push_back(engine::StrategyRegistry::global().create(spec));
+      header.push_back(spec);
+    }
+    util::Table table(header);
+    util::Rng master(baseCtx.seed);
+
+    for (const auto family :
+         {net::TopologyFamily::kary, net::TopologyFamily::star,
+          net::TopologyFamily::caterpillar, net::TopologyFamily::random,
+          net::TopologyFamily::cluster}) {
+      for (const auto profile :
+           {workload::Profile::uniform, workload::Profile::zipf,
+            workload::Profile::hotspot, workload::Profile::clustered,
+            workload::Profile::producerConsumer,
+            workload::Profile::adversarial}) {
+        std::vector<util::Accumulator> ratios(strategies.size());
+        for (int trial = 0; trial < kTrials; ++trial) {
+          util::Rng rng = master.split();
+          const net::Tree tree = net::makeFamilyMember(family, 48, rng);
+          const net::RootedTree rooted(tree, tree.defaultRoot());
+          workload::GenParams params;
+          params.numObjects = 16;
+          params.requestsPerProcessor = 30;
+          params.readFraction = 0.2 + 0.6 * rng.nextDouble();
+          const workload::Workload load =
+              workload::generate(profile, tree, params, rng);
+          const double lb = core::analyticLowerBound(rooted, load).congestion;
+          if (lb <= 0.0) continue;
+          for (std::size_t s = 0; s < strategies.size(); ++s) {
+            engine::Context ctx = baseCtx;
+            ctx.seed = baseCtx.seed + static_cast<std::uint64_t>(trial);
+            const double congestion = core::evaluateCongestion(
+                rooted, strategies[s]->place(tree, load, ctx));
+            ratios[s].add(congestion / lb);
+          }
+        }
+        if (ratios.empty() || ratios[0].empty()) continue;
+        std::vector<std::string> row{net::topologyFamilyName(family),
+                                     workload::profileName(profile)};
+        for (const util::Accumulator& acc : ratios) {
+          row.push_back(util::formatDouble(acc.mean(), 2));
+        }
+        table.addRow(row);
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\n(extended-nibble carries the only worst-case guarantee; "
+                 "single-copy baselines lose badly on read-heavy or "
+                 "clustered traffic, full replication on write traffic)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
-  table.print(std::cout);
-  std::cout << "\n(extended-nibble carries the only worst-case guarantee; "
-               "single-copy baselines lose badly on read-heavy or "
-               "clustered traffic, full replication on write traffic)\n";
-  return 0;
 }

@@ -1,82 +1,124 @@
 // Experiment E7 (congestion predicts throughput, cf. [8]): deliver the
-// message set of several placement strategies through the store-and-
-// forward simulator and correlate congestion with makespan.
+// message set of the registry strategies through the store-and-forward
+// simulator and correlate congestion with makespan.
+//
+// Emits a human table and BENCH_throughput.json (strategy, n, objects,
+// threads, wall_ms, congestion, makespan, dilation) for cross-PR perf
+// trajectories.
+#include <algorithm>
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "hbn/baseline/heuristics.h"
-#include "hbn/core/extended_nibble.h"
+#include "hbn/engine/cli.h"
+#include "hbn/engine/registry.h"
 #include "hbn/net/generators.h"
 #include "hbn/sim/simulator.h"
+#include "hbn/util/json.h"
 #include "hbn/util/rng.h"
 #include "hbn/util/stats.h"
 #include "hbn/util/table.h"
+#include "hbn/util/timer.h"
 #include "hbn/workload/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hbn;
-  constexpr std::uint64_t kSeed = 7;
-  std::cout << "E7 — congestion vs simulated makespan across strategies "
-               "(store-and-forward delivery of the full message set)\nseed="
-            << kSeed << "\n\n";
+  try {
+    const engine::CliOptions cli = engine::parseCli(argc, argv);
+    if (cli.help) {
+      std::cout << "usage: bench_throughput [--strategy SPEC,...] "
+                   "[--threads N] [--seed N]\n\n"
+                << engine::cliHelp();
+      return 0;
+    }
+    const std::vector<std::string> specs =
+        cli.strategies.empty()
+            ? std::vector<std::string>{"extended-nibble", "best-single-copy",
+                                       "weighted-median", "random-single-copy",
+                                       "full-replication"}
+            : cli.strategies;
+    engine::requireNoPositional(cli);
+    engine::Context baseCtx = engine::makeContext(cli, /*defaultSeed=*/7);
 
-  util::Table table({"strategy", "mean congestion", "mean makespan",
-                     "mean dilation", "makespan/congestion"});
-  util::Rng master(kSeed);
+    std::cout << "E7 — congestion vs simulated makespan across strategies "
+                 "(store-and-forward delivery of the full message set)\nseed="
+              << baseCtx.seed << "\n\n";
 
-  struct StrategyRow {
-    const char* name;
-    util::Accumulator congestion;
-    util::Accumulator makespan;
-    util::Accumulator dilation;
-  };
-  StrategyRow rows[] = {{"extended-nibble", {}, {}, {}},
-                        {"greedy single copy", {}, {}, {}},
-                        {"weighted median", {}, {}, {}},
-                        {"random single copy", {}, {}, {}},
-                        {"full replication", {}, {}, {}}};
-  std::vector<double> allCongestion;
-  std::vector<double> allMakespan;
+    struct StrategyRow {
+      util::Accumulator congestion;
+      util::Accumulator makespan;
+      util::Accumulator dilation;
+      util::Accumulator wallMs;
+    };
+    std::vector<StrategyRow> rows(specs.size());
+    std::vector<double> allCongestion;
+    std::vector<double> allMakespan;
 
-  for (int trial = 0; trial < 8; ++trial) {
-    util::Rng rng = master.split();
+    util::Rng master(baseCtx.seed);
+    constexpr int kTrials = 8;
     const net::Tree tree = net::makeClusterNetwork(4, 5);
     const net::RootedTree rooted(tree, tree.defaultRoot());
-    workload::GenParams params;
-    params.numObjects = 10;
-    params.requestsPerProcessor = 30;
-    params.readFraction = 0.75;
-    const workload::Workload load =
-        workload::generateClustered(tree, params, rng);
+    for (int trial = 0; trial < kTrials; ++trial) {
+      util::Rng rng = master.split();
+      workload::GenParams params;
+      params.numObjects = 10;
+      params.requestsPerProcessor = 30;
+      params.readFraction = 0.75;
+      const workload::Workload load =
+          workload::generateClustered(tree, params, rng);
 
-    core::Placement placements[5] = {
-        core::computeExtendedNibblePlacement(tree, load),
-        baseline::bestSingleCopy(tree, load),
-        baseline::weightedMedian(tree, load),
-        baseline::randomSingleCopy(tree, load, rng),
-        baseline::fullReplication(tree, load)};
-    for (int s = 0; s < 5; ++s) {
-      const sim::SimResult result =
-          sim::simulatePlacement(rooted, load, placements[s]);
-      rows[s].congestion.add(result.congestion);
-      rows[s].makespan.add(static_cast<double>(result.makespan));
-      rows[s].dilation.add(static_cast<double>(result.dilation));
-      allCongestion.push_back(result.congestion);
-      allMakespan.push_back(static_cast<double>(result.makespan));
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        const auto strategy =
+            engine::StrategyRegistry::global().create(specs[s]);
+        engine::Context ctx = baseCtx;
+        ctx.seed = baseCtx.seed + static_cast<std::uint64_t>(trial);
+        util::Timer timer;
+        const core::Placement placement = strategy->place(tree, load, ctx);
+        const double wallMs = timer.millis();
+        const sim::SimResult result =
+            sim::simulatePlacement(rooted, load, placement);
+        rows[s].congestion.add(result.congestion);
+        rows[s].makespan.add(static_cast<double>(result.makespan));
+        rows[s].dilation.add(static_cast<double>(result.dilation));
+        rows[s].wallMs.add(wallMs);
+        allCongestion.push_back(result.congestion);
+        allMakespan.push_back(static_cast<double>(result.makespan));
+      }
     }
+
+    util::Table table({"strategy", "mean congestion", "mean makespan",
+                       "mean dilation", "makespan/congestion"});
+    util::JsonRecords json;
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      table.addRow(
+          {specs[s], util::formatDouble(rows[s].congestion.mean(), 1),
+           util::formatDouble(rows[s].makespan.mean(), 1),
+           util::formatDouble(rows[s].dilation.mean(), 1),
+           util::formatDouble(
+               rows[s].makespan.mean() / rows[s].congestion.mean(), 3)});
+      json.beginRecord();
+      json.field("strategy", specs[s]);
+      json.field("n", tree.nodeCount());
+      json.field("objects", 10);
+      json.field("threads", baseCtx.threads);
+      json.field("wall_ms", rows[s].wallMs.mean());
+      json.field("congestion", rows[s].congestion.mean());
+      json.field("makespan", rows[s].makespan.mean());
+      json.field("dilation", rows[s].dilation.mean());
+    }
+    table.print(std::cout);
+    const double correlation = util::pearson(allCongestion, allMakespan);
+    std::cout << "\nPearson correlation (congestion, makespan) = "
+              << util::formatDouble(correlation, 4)
+              << (correlation > 0.9 ? "  (congestion predicts throughput)"
+                                    : "")
+              << "\n";
+    json.writeFile("BENCH_throughput.json");
+    std::cout << "wrote BENCH_throughput.json (" << json.recordCount()
+              << " records)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
-  for (auto& row : rows) {
-    table.addRow({row.name, util::formatDouble(row.congestion.mean(), 1),
-                  util::formatDouble(row.makespan.mean(), 1),
-                  util::formatDouble(row.dilation.mean(), 1),
-                  util::formatDouble(
-                      row.makespan.mean() / row.congestion.mean(), 3)});
-  }
-  table.print(std::cout);
-  const double correlation = util::pearson(allCongestion, allMakespan);
-  std::cout << "\nPearson correlation (congestion, makespan) = "
-            << util::formatDouble(correlation, 4)
-            << (correlation > 0.9 ? "  (congestion predicts throughput)"
-                                  : "")
-            << "\n";
-  return 0;
 }

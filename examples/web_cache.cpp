@@ -4,10 +4,9 @@
 // and shows where each strategy breaks down.
 #include <iostream>
 
-#include "hbn/baseline/heuristics.h"
-#include "hbn/core/extended_nibble.h"
 #include "hbn/core/load.h"
 #include "hbn/core/lower_bound.h"
+#include "hbn/engine/registry.h"
 #include "hbn/net/generators.h"
 #include "hbn/util/rng.h"
 #include "hbn/util/stats.h"
@@ -39,24 +38,22 @@ int main() {
 
   util::Table table({"strategy", "congestion", "vs lower bound",
                      "total load", "copies"});
-  auto report = [&](const char* name, const core::Placement& placement) {
+  engine::Context ctx;
+  ctx.seed = 1999;
+  for (const char* spec :
+       {"extended-nibble", "best-single-copy", "weighted-median",
+        "random-single-copy", "full-replication"}) {
+    const auto strategy = engine::StrategyRegistry::global().create(spec);
+    const core::Placement placement = strategy->place(tree, pages, ctx);
     const core::LoadMap loads = core::computeLoad(rooted, placement);
     long copies = 0;
     for (const auto& object : placement.objects) {
       copies += static_cast<long>(object.locations().size());
     }
-    table.addRow({name, util::formatDouble(loads.congestion(tree), 1),
+    table.addRow({spec, util::formatDouble(loads.congestion(tree), 1),
                   util::formatDouble(loads.congestion(tree) / lb, 2),
                   std::to_string(loads.totalLoad()), std::to_string(copies)});
-  };
-
-  report("extended-nibble",
-         core::computeExtendedNibblePlacement(tree, pages));
-  report("greedy single copy", baseline::bestSingleCopy(tree, pages));
-  report("weighted median", baseline::weightedMedian(tree, pages));
-  report("random single copy",
-         baseline::randomSingleCopy(tree, pages, rng));
-  report("full replication", baseline::fullReplication(tree, pages));
+  }
 
   table.print(std::cout);
   std::cout << "\nRead-heavy Zipf traffic rewards replication of hot pages "

@@ -1,42 +1,11 @@
 #include "hbn/core/extended_nibble.h"
 
-#include <algorithm>
 #include <stdexcept>
-#include <thread>
 #include <vector>
 
+#include "hbn/core/parallel.h"
+
 namespace hbn::core {
-namespace {
-
-// Runs fn(x) for every object id in [0, numObjects) on `threads` workers.
-// Work is split into contiguous stripes; each worker writes only to its
-// own objects' preallocated slots, so no synchronisation is needed and
-// the result is identical to the sequential loop.
-template <typename Fn>
-void parallelForObjects(int numObjects, int threads, Fn&& fn) {
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::clamp(threads, 1, numObjects);
-  if (threads <= 1) {
-    for (ObjectId x = 0; x < numObjects; ++x) fn(x);
-    return;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    const ObjectId begin = static_cast<ObjectId>(
-        static_cast<long>(numObjects) * t / threads);
-    const ObjectId end = static_cast<ObjectId>(
-        static_cast<long>(numObjects) * (t + 1) / threads);
-    workers.emplace_back([begin, end, &fn] {
-      for (ObjectId x = begin; x < end; ++x) fn(x);
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-}
-
-}  // namespace
 
 ExtendedNibbleResult extendedNibble(const net::Tree& tree,
                                     const workload::Workload& load,
@@ -52,14 +21,23 @@ ExtendedNibbleResult extendedNibble(const net::Tree& tree,
 
   // --- Step 1: nibble. Objects are independent; stripe them over the
   // configured worker threads (bit-identical to the sequential loop).
+  // Each worker owns one NibbleScratch, so the O(|V|) BFS / subtree-weight
+  // vectors are allocated once per thread, not once per object.
+  const int workers = resolveWorkerCount(options.threads, load.numObjects());
   result.gravityCenters.resize(static_cast<std::size_t>(load.numObjects()));
   result.nibble.objects.resize(static_cast<std::size_t>(load.numObjects()));
-  parallelForObjects(load.numObjects(), options.threads, [&](ObjectId x) {
-    NibbleObjectResult one = nibbleObject(tree, load, x);
-    result.gravityCenters[static_cast<std::size_t>(x)] = one.gravityCenter;
-    result.nibble.objects[static_cast<std::size_t>(x)] =
-        std::move(one.placement);
-  });
+  {
+    std::vector<NibbleScratch> scratch(static_cast<std::size_t>(workers));
+    std::vector<NibbleObjectResult> one(static_cast<std::size_t>(workers));
+    parallelForObjects(load.numObjects(), workers, [&](ObjectId x, int w) {
+      NibbleObjectResult& out = one[static_cast<std::size_t>(w)];
+      nibbleObjectInto(tree, load, x, scratch[static_cast<std::size_t>(w)],
+                       out);
+      result.gravityCenters[static_cast<std::size_t>(x)] = out.gravityCenter;
+      result.nibble.objects[static_cast<std::size_t>(x)] =
+          std::move(out.placement);
+    });
+  }
   result.report.congestionNibble = evaluateCongestion(rooted, result.nibble);
 
   // --- Step 2: deletion (only for objects that still use inner nodes;
@@ -69,7 +47,7 @@ ExtendedNibbleResult extendedNibble(const net::Tree& tree,
   std::vector<Count> kappa(static_cast<std::size_t>(load.numObjects()));
   std::vector<DeletionStats> perObjectStats(
       static_cast<std::size_t>(load.numObjects()));
-  parallelForObjects(load.numObjects(), options.threads, [&](ObjectId x) {
+  parallelForObjects(load.numObjects(), workers, [&](ObjectId x, int) {
     kappa[static_cast<std::size_t>(x)] = load.objectWrites(x);
     const ObjectPlacement& nib =
         result.nibble.objects[static_cast<std::size_t>(x)];

@@ -16,6 +16,7 @@
 // Runs in O(|V|) per object as in the paper (no LCA tables needed).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "hbn/core/placement.h"
@@ -28,6 +29,21 @@ namespace hbn::core {
 struct NibbleObjectResult {
   ObjectPlacement placement;           ///< copies + nearest-copy ledgers
   net::NodeId gravityCenter = net::kInvalidNode;
+};
+
+/// Reusable per-worker buffers for nibbleObjectInto. One instance per
+/// thread amortises all O(|V|) allocations across the objects that thread
+/// places (the executor's per-thread scratch); contents are overwritten on
+/// every call and never read between calls.
+struct NibbleScratch {
+  std::vector<net::NodeId> order;   ///< BFS order, root first
+  std::vector<net::NodeId> parent;  ///< BFS parents
+  std::vector<char> seen;
+  std::vector<Count> weights;
+  std::vector<Count> sub;
+  std::vector<char> hasCopy;
+  std::vector<net::NodeId> refOf;
+  std::vector<int> copyIndex;
 };
 
 /// Weighted centre of gravity: a node whose removal splits the tree into
@@ -43,6 +59,24 @@ struct NibbleObjectResult {
 [[nodiscard]] NibbleObjectResult nibbleObject(const net::Tree& tree,
                                               const workload::Workload& load,
                                               ObjectId x);
+
+/// Scratch-reusing core of nibbleObject: identical output, but all working
+/// vectors live in `scratch` so a worker thread placing many objects
+/// performs no per-object allocation beyond the result itself.
+void nibbleObjectInto(const net::Tree& tree, const workload::Workload& load,
+                      ObjectId x, NibbleScratch& scratch,
+                      NibbleObjectResult& out);
+
+/// Builds the ledgered ObjectPlacement for the copy set `hasCopy` (one flag
+/// per node; must be connected and contain `g`), assigning every request to
+/// its nearest copy exactly as the nibble strategy does. Shared by the
+/// sequential nibble and the distributed computation so both produce
+/// bit-identical placements.
+[[nodiscard]] ObjectPlacement assembleCopySet(const net::Tree& tree,
+                                              const workload::Workload& load,
+                                              ObjectId x,
+                                              std::span<const char> hasCopy,
+                                              net::NodeId g);
 
 /// Nibble placement of every object.
 [[nodiscard]] Placement nibblePlacement(const net::Tree& tree,

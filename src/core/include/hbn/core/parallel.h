@@ -1,0 +1,46 @@
+// Object-striped parallel execution.
+//
+// The paper's placement algorithms run in O(|V|) per object, independently
+// per object — so the natural production parallelisation shards the object
+// range over a worker pool. Work is split into contiguous stripes; each
+// worker writes only to its own objects' preallocated slots, so no
+// synchronisation is needed and the merged result is bit-identical to the
+// sequential loop for any worker count.
+#pragma once
+
+#include <thread>
+#include <vector>
+
+#include "hbn/workload/workload.h"
+
+namespace hbn::core {
+
+/// Resolves a requested thread count: 0 = hardware concurrency, and never
+/// more workers than items. Always >= 1 (for items >= 1).
+[[nodiscard]] int resolveWorkerCount(int requested, int items);
+
+/// Runs fn(x, worker) for every object id x in [0, numObjects); `worker`
+/// is the stripe index in [0, resolveWorkerCount(threads, numObjects)),
+/// letting callers hand each worker its own scratch buffers.
+template <typename Fn>
+void parallelForObjects(int numObjects, int threads, Fn&& fn) {
+  const int workers = resolveWorkerCount(threads, numObjects);
+  if (workers <= 1) {
+    for (workload::ObjectId x = 0; x < numObjects; ++x) fn(x, 0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) {
+    const auto begin = static_cast<workload::ObjectId>(
+        static_cast<long>(numObjects) * t / workers);
+    const auto end = static_cast<workload::ObjectId>(
+        static_cast<long>(numObjects) * (t + 1) / workers);
+    pool.emplace_back([begin, end, t, &fn] {
+      for (workload::ObjectId x = begin; x < end; ++x) fn(x, t);
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+}
+
+}  // namespace hbn::core

@@ -6,38 +6,45 @@
 namespace hbn::core {
 namespace {
 
-// BFS order and parent pointers from `root` in O(n); cheaper than a full
-// RootedTree (no LCA tables), keeping nibble linear per object.
-struct BfsView {
-  std::vector<net::NodeId> order;   // root first, parents before children
-  std::vector<net::NodeId> parent;  // kInvalidNode for root
-};
-
-BfsView bfsFrom(const net::Tree& tree, net::NodeId root) {
+// BFS order and parent pointers from `root` in O(n) into caller-owned
+// buffers; cheaper than a full RootedTree (no LCA tables), keeping nibble
+// linear per object and allocation-free when the buffers are reused.
+void bfsInto(const net::Tree& tree, net::NodeId root, NibbleScratch& s) {
   const auto n = static_cast<std::size_t>(tree.nodeCount());
-  BfsView view;
-  view.order.reserve(n);
-  view.parent.assign(n, net::kInvalidNode);
-  std::vector<char> seen(n, 0);
-  view.order.push_back(root);
-  seen[static_cast<std::size_t>(root)] = 1;
-  for (std::size_t head = 0; head < view.order.size(); ++head) {
-    const net::NodeId v = view.order[head];
+  s.order.clear();
+  s.order.reserve(n);
+  s.parent.assign(n, net::kInvalidNode);
+  s.seen.assign(n, 0);
+  s.order.push_back(root);
+  s.seen[static_cast<std::size_t>(root)] = 1;
+  for (std::size_t head = 0; head < s.order.size(); ++head) {
+    const net::NodeId v = s.order[head];
     for (const net::HalfEdge& he : tree.neighbors(v)) {
-      if (!seen[static_cast<std::size_t>(he.to)]) {
-        seen[static_cast<std::size_t>(he.to)] = 1;
-        view.parent[static_cast<std::size_t>(he.to)] = v;
-        view.order.push_back(he.to);
+      if (!s.seen[static_cast<std::size_t>(he.to)]) {
+        s.seen[static_cast<std::size_t>(he.to)] = 1;
+        s.parent[static_cast<std::size_t>(he.to)] = v;
+        s.order.push_back(he.to);
       }
     }
   }
-  return view;
 }
 
-}  // namespace
+// Subtree sums w.r.t. the BFS orientation currently held in `s`:
+// s.sub[v] = Σ weights over the component below v.
+void accumulateSubtreeSums(NibbleScratch& s, std::span<const Count> weights) {
+  s.sub.assign(weights.begin(), weights.end());
+  for (auto it = s.order.rbegin(); it != s.order.rend(); ++it) {
+    const net::NodeId v = *it;
+    const net::NodeId p = s.parent[static_cast<std::size_t>(v)];
+    if (p != net::kInvalidNode) {
+      s.sub[static_cast<std::size_t>(p)] += s.sub[static_cast<std::size_t>(v)];
+    }
+  }
+}
 
-net::NodeId centerOfGravity(const net::Tree& tree,
-                            std::span<const Count> weights) {
+net::NodeId centerOfGravityImpl(const net::Tree& tree,
+                                std::span<const Count> weights,
+                                NibbleScratch& s) {
   if (weights.size() != static_cast<std::size_t>(tree.nodeCount())) {
     throw std::invalid_argument("centerOfGravity: weight size mismatch");
   }
@@ -53,113 +60,141 @@ net::NodeId centerOfGravity(const net::Tree& tree,
   // carries at most half the total weight. The paper allows an arbitrary
   // candidate "e.g., the one with the smallest index" — we return exactly
   // that so the sequential and distributed computations agree.
-  const BfsView view = bfsFrom(tree, 0);
-  std::vector<Count> sub(weights.begin(), weights.end());
-  for (auto it = view.order.rbegin(); it != view.order.rend(); ++it) {
-    const net::NodeId v = *it;
-    const net::NodeId p = view.parent[static_cast<std::size_t>(v)];
-    if (p != net::kInvalidNode) {
-      sub[static_cast<std::size_t>(p)] += sub[static_cast<std::size_t>(v)];
-    }
-  }
+  bfsInto(tree, 0, s);
+  accumulateSubtreeSums(s, weights);
   for (net::NodeId v = 0; v < tree.nodeCount(); ++v) {
-    Count maxComponent = total - sub[static_cast<std::size_t>(v)];
+    Count maxComponent = total - s.sub[static_cast<std::size_t>(v)];
     for (const net::HalfEdge& he : tree.neighbors(v)) {
-      if (view.parent[static_cast<std::size_t>(v)] == he.to) continue;
+      if (s.parent[static_cast<std::size_t>(v)] == he.to) continue;
       maxComponent =
-          std::max(maxComponent, sub[static_cast<std::size_t>(he.to)]);
+          std::max(maxComponent, s.sub[static_cast<std::size_t>(he.to)]);
     }
     if (2 * maxComponent <= total) return v;
   }
   throw std::logic_error("centerOfGravity: no candidate found");
 }
 
-NibbleObjectResult nibbleObject(const net::Tree& tree,
-                                const workload::Workload& load, ObjectId x) {
-  if (load.numNodes() != tree.nodeCount()) {
-    throw std::invalid_argument("nibbleObject: workload dimension mismatch");
-  }
+// Copy assembly shared by assembleCopySet and nibbleObjectInto; expects
+// s.order/s.parent to hold the BFS view rooted at the gravity centre g
+// and s.hasCopy the copy flags.
+void assembleInto(const net::Tree& tree, const workload::Workload& load,
+                  ObjectId x, NibbleScratch& s, ObjectPlacement& out) {
   const auto n = static_cast<std::size_t>(tree.nodeCount());
-  NibbleObjectResult result;
-
-  if (load.objectTotal(x) == 0) {
-    // Never-accessed object: one copy on the first processor.
-    result.gravityCenter = tree.processors().front();
-    Copy c;
-    c.location = result.gravityCenter;
-    result.placement.copies.push_back(std::move(c));
-    return result;
-  }
-
-  std::vector<Count> weights(n, 0);
-  for (net::NodeId v = 0; v < tree.nodeCount(); ++v) {
-    weights[static_cast<std::size_t>(v)] = load.total(x, v);
-  }
-  const net::NodeId g = centerOfGravity(tree, weights);
-  result.gravityCenter = g;
-
-  // Root at g; h(T(v)) via reverse BFS accumulation.
-  const BfsView view = bfsFrom(tree, g);
-  std::vector<Count> sub = weights;
-  for (auto it = view.order.rbegin(); it != view.order.rend(); ++it) {
-    const net::NodeId v = *it;
-    const net::NodeId p = view.parent[static_cast<std::size_t>(v)];
-    if (p != net::kInvalidNode) {
-      sub[static_cast<std::size_t>(p)] += sub[static_cast<std::size_t>(v)];
-    }
-  }
-
-  const Count totalWrites = load.objectWrites(x);
-  std::vector<char> hasCopy(n, 0);
-  hasCopy[static_cast<std::size_t>(g)] = 1;
-  for (const net::NodeId v : view.order) {
-    if (v != g && sub[static_cast<std::size_t>(v)] > totalWrites) {
-      hasCopy[static_cast<std::size_t>(v)] = 1;
-    }
-  }
-
   // Nearest copy: the copy set is a connected subtree containing g, so the
   // nearest copy of v is the first copy node on the path from v to g.
-  std::vector<net::NodeId> refOf(n, net::kInvalidNode);
-  for (const net::NodeId v : view.order) {  // parents precede children
-    if (hasCopy[static_cast<std::size_t>(v)]) {
-      refOf[static_cast<std::size_t>(v)] = v;
+  s.refOf.assign(n, net::kInvalidNode);
+  for (const net::NodeId v : s.order) {  // parents precede children
+    if (s.hasCopy[static_cast<std::size_t>(v)]) {
+      s.refOf[static_cast<std::size_t>(v)] = v;
     } else {
-      refOf[static_cast<std::size_t>(v)] =
-          refOf[static_cast<std::size_t>(
-              view.parent[static_cast<std::size_t>(v)])];
+      s.refOf[static_cast<std::size_t>(v)] =
+          s.refOf[static_cast<std::size_t>(
+              s.parent[static_cast<std::size_t>(v)])];
     }
   }
 
   // Assemble copies with ledgers.
-  std::vector<int> copyIndex(n, -1);
-  for (const net::NodeId v : view.order) {
-    if (hasCopy[static_cast<std::size_t>(v)]) {
-      copyIndex[static_cast<std::size_t>(v)] =
-          static_cast<int>(result.placement.copies.size());
+  out.copies.clear();
+  s.copyIndex.assign(n, -1);
+  for (const net::NodeId v : s.order) {
+    if (s.hasCopy[static_cast<std::size_t>(v)]) {
+      s.copyIndex[static_cast<std::size_t>(v)] =
+          static_cast<int>(out.copies.size());
       Copy c;
       c.location = v;
-      result.placement.copies.push_back(std::move(c));
+      out.copies.push_back(std::move(c));
     }
   }
   for (net::NodeId v = 0; v < tree.nodeCount(); ++v) {
     const Count r = load.reads(x, v);
     const Count w = load.writes(x, v);
     if (r == 0 && w == 0) continue;
-    const net::NodeId ref = refOf[static_cast<std::size_t>(v)];
-    result.placement.copies[static_cast<std::size_t>(
-        copyIndex[static_cast<std::size_t>(ref)])]
+    const net::NodeId ref = s.refOf[static_cast<std::size_t>(v)];
+    out.copies[static_cast<std::size_t>(
+                   s.copyIndex[static_cast<std::size_t>(ref)])]
         .served.push_back(RequestShare{v, r, w});
   }
+}
+
+}  // namespace
+
+net::NodeId centerOfGravity(const net::Tree& tree,
+                            std::span<const Count> weights) {
+  NibbleScratch scratch;
+  return centerOfGravityImpl(tree, weights, scratch);
+}
+
+ObjectPlacement assembleCopySet(const net::Tree& tree,
+                                const workload::Workload& load, ObjectId x,
+                                std::span<const char> hasCopy, net::NodeId g) {
+  if (hasCopy.size() != static_cast<std::size_t>(tree.nodeCount())) {
+    throw std::invalid_argument("assembleCopySet: flag size mismatch");
+  }
+  NibbleScratch s;
+  bfsInto(tree, g, s);
+  s.hasCopy.assign(hasCopy.begin(), hasCopy.end());
+  ObjectPlacement out;
+  assembleInto(tree, load, x, s, out);
+  return out;
+}
+
+void nibbleObjectInto(const net::Tree& tree, const workload::Workload& load,
+                      ObjectId x, NibbleScratch& s, NibbleObjectResult& out) {
+  if (load.numNodes() != tree.nodeCount()) {
+    throw std::invalid_argument("nibbleObject: workload dimension mismatch");
+  }
+  const auto n = static_cast<std::size_t>(tree.nodeCount());
+  out.placement.copies.clear();
+
+  if (load.objectTotal(x) == 0) {
+    // Never-accessed object: one copy on the first processor.
+    out.gravityCenter = tree.processors().front();
+    Copy c;
+    c.location = out.gravityCenter;
+    out.placement.copies.push_back(std::move(c));
+    return;
+  }
+
+  s.weights.assign(n, 0);
+  for (net::NodeId v = 0; v < tree.nodeCount(); ++v) {
+    s.weights[static_cast<std::size_t>(v)] = load.total(x, v);
+  }
+  const net::NodeId g = centerOfGravityImpl(tree, s.weights, s);
+  out.gravityCenter = g;
+
+  // Root at g; h(T(v)) via reverse BFS accumulation.
+  bfsInto(tree, g, s);
+  accumulateSubtreeSums(s, s.weights);
+
+  const Count totalWrites = load.objectWrites(x);
+  s.hasCopy.assign(n, 0);
+  s.hasCopy[static_cast<std::size_t>(g)] = 1;
+  for (const net::NodeId v : s.order) {
+    if (v != g && s.sub[static_cast<std::size_t>(v)] > totalWrites) {
+      s.hasCopy[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+
+  assembleInto(tree, load, x, s, out.placement);
+}
+
+NibbleObjectResult nibbleObject(const net::Tree& tree,
+                                const workload::Workload& load, ObjectId x) {
+  NibbleScratch scratch;
+  NibbleObjectResult result;
+  nibbleObjectInto(tree, load, x, scratch, result);
   return result;
 }
 
 Placement nibblePlacement(const net::Tree& tree,
                           const workload::Workload& load) {
   Placement placement;
-  placement.objects.reserve(static_cast<std::size_t>(load.numObjects()));
+  placement.objects.resize(static_cast<std::size_t>(load.numObjects()));
+  NibbleScratch scratch;
+  NibbleObjectResult one;
   for (ObjectId x = 0; x < load.numObjects(); ++x) {
-    placement.objects.push_back(nibbleObject(tree, load, x).placement);
+    nibbleObjectInto(tree, load, x, scratch, one);
+    placement.objects[static_cast<std::size_t>(x)] = std::move(one.placement);
   }
   return placement;
 }

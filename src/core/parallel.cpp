@@ -1,0 +1,15 @@
+#include "hbn/core/parallel.h"
+
+#include <algorithm>
+
+namespace hbn::core {
+
+int resolveWorkerCount(int requested, int items) {
+  if (requested == 0) {
+    requested = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  return std::clamp(requested, 1, std::max(1, items));
+}
+
+}  // namespace hbn::core

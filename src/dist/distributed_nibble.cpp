@@ -1,0 +1,183 @@
+#include "hbn/dist/distributed_nibble.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hbn/core/nibble.h"
+
+namespace hbn::dist {
+namespace {
+
+using workload::Count;
+using workload::ObjectId;
+
+/// Weight of v's subtree when the tree is re-rooted at g, derived from the
+/// fixed-root subtree sums: unchanged when g is outside v's subtree,
+/// complemented along the g-to-root path otherwise.
+Count subtreeTowards(const net::RootedTree& rooted, net::NodeId v,
+                     net::NodeId g, Count total,
+                     const std::vector<Count>& sub) {
+  if (v == g) return total;
+  if (!rooted.isAncestorOf(v, g)) return sub[static_cast<std::size_t>(v)];
+  for (const net::NodeId c : rooted.children(v)) {
+    if (rooted.isAncestorOf(c, g)) {
+      return total - sub[static_cast<std::size_t>(c)];
+    }
+  }
+  return sub[static_cast<std::size_t>(v)];  // unreachable for valid inputs
+}
+
+}  // namespace
+
+DistributedNibbleResult distributedNibble(const net::RootedTree& rooted,
+                                          const workload::Workload& load) {
+  const net::Tree& tree = rooted.tree();
+  if (load.numNodes() != tree.nodeCount()) {
+    throw std::invalid_argument(
+        "distributedNibble: workload dimension mismatch");
+  }
+  const auto n = static_cast<std::size_t>(tree.nodeCount());
+  const int numObjects = load.numObjects();
+  const int height = rooted.height();
+
+  DistributedNibbleResult result;
+  result.placement.objects.resize(static_cast<std::size_t>(numObjects));
+  result.gravityCenters.assign(static_cast<std::size_t>(numObjects),
+                               net::kInvalidNode);
+
+  // Per-object working state filled in by the wave callbacks.
+  std::vector<std::vector<Count>> sub(static_cast<std::size_t>(numObjects));
+  std::vector<Count> total(static_cast<std::size_t>(numObjects), 0);
+  std::vector<std::vector<char>> candidate(
+      static_cast<std::size_t>(numObjects));
+  std::vector<std::vector<char>> hasCopy(static_cast<std::size_t>(numObjects));
+  std::vector<net::NodeId> center(static_cast<std::size_t>(numObjects),
+                                  net::kInvalidNode);
+
+  SyncEngine engine(rooted);
+  const auto inf = static_cast<std::int64_t>(tree.nodeCount());
+
+  for (ObjectId x = 0; x < numObjects; ++x) {
+    const auto xi = static_cast<std::size_t>(x);
+    if (load.objectTotal(x) == 0) {
+      // Sequential convention: one (unused) copy on the first processor.
+      result.gravityCenters[xi] = tree.processors().front();
+      core::Copy c;
+      c.location = tree.processors().front();
+      result.placement.objects[xi].copies.push_back(std::move(c));
+      continue;
+    }
+    if (height == 0) {
+      // Single-node tree: nothing to communicate.
+      const net::NodeId only = rooted.root();
+      result.gravityCenters[xi] = only;
+      std::vector<char> flags(n, 1);
+      result.placement.objects[xi] =
+          core::assembleCopySet(tree, load, x, flags, only);
+      continue;
+    }
+    sub[xi].assign(n, 0);
+    candidate[xi].assign(n, 0);
+    hasCopy[xi].assign(n, 0);
+    const Count kappa = load.objectWrites(x);
+
+    // Wave A (lane 0, rounds x+1 .. x+h): convergecast of subtree weights
+    // h(T_r(v), x); every node learns its own subtree sum on the way up.
+    ConvergecastWave weightsUp;
+    weightsUp.startRound = x;
+    weightsUp.lane = 0;
+    weightsUp.localValue = [&load, x](net::NodeId v) {
+      return Payload{load.total(x, v), 0, 0, 0};
+    };
+    weightsUp.combine = [](const Payload& a, const Payload& b) {
+      return Payload{a[0] + b[0], 0, 0, 0};
+    };
+    weightsUp.onPartial = [&sub, xi](net::NodeId v, const Payload& p) {
+      sub[xi][static_cast<std::size_t>(v)] = p[0];
+    };
+    weightsUp.onResult = [&sub, &total, xi, &rooted](const Payload& p) {
+      total[xi] = p[0];
+      sub[xi][static_cast<std::size_t>(rooted.root())] = p[0];
+    };
+    engine.add(std::move(weightsUp));
+
+    // Wave B (lane 1, rounds x+h+1 .. x+2h): broadcast of the
+    // parent-side component weight; with the children's subtree sums each
+    // node decides locally whether it is a centre-of-gravity candidate
+    // (every component of T - v at most half the total).
+    BroadcastWave componentsDown;
+    componentsDown.startRound = x + height;
+    componentsDown.lane = 1;
+    componentsDown.rootValue = Payload{0, 0, 0, 0};
+    componentsDown.childValue = [&sub, &total, xi](net::NodeId,
+                                                   net::NodeId to,
+                                                   const Payload&) {
+      return Payload{total[xi] - sub[xi][static_cast<std::size_t>(to)], 0, 0,
+                     0};
+    };
+    componentsDown.onArrive = [&sub, &total, &candidate, xi, &rooted](
+                                  net::NodeId v, const Payload& p) {
+      Count maxComponent = p[0];
+      for (const net::NodeId c : rooted.children(v)) {
+        maxComponent =
+            std::max(maxComponent, sub[xi][static_cast<std::size_t>(c)]);
+      }
+      candidate[xi][static_cast<std::size_t>(v)] =
+          2 * maxComponent <= total[xi] ? 1 : 0;
+    };
+    engine.add(std::move(componentsDown));
+
+    // Wave C (lane 2, rounds x+2h+1 .. x+3h): elect the smallest-index
+    // candidate — the sequential tie-break of centerOfGravity.
+    ConvergecastWave electCenter;
+    electCenter.startRound = x + 2 * height;
+    electCenter.lane = 2;
+    electCenter.localValue = [&candidate, xi, inf](net::NodeId v) {
+      return Payload{candidate[xi][static_cast<std::size_t>(v)]
+                         ? static_cast<std::int64_t>(v)
+                         : inf,
+                     0, 0, 0};
+    };
+    electCenter.combine = [](const Payload& a, const Payload& b) {
+      return Payload{std::min(a[0], b[0]), 0, 0, 0};
+    };
+    electCenter.onResult = [&center, xi](const Payload& p) {
+      center[xi] = static_cast<net::NodeId>(p[0]);
+    };
+    engine.add(std::move(electCenter));
+
+    // Wave D (lane 3, rounds x+3h+1 .. x+4h): announce the centre; each
+    // node derives its g-rooted subtree weight from the wave-A sums and
+    // applies the nibble rule h(T_g(v)) > w(T) locally.
+    BroadcastWave announceCenter;
+    announceCenter.startRound = x + 3 * height;
+    announceCenter.lane = 3;
+    announceCenter.rootValueFn = [&center, xi] {
+      return Payload{center[xi], 0, 0, 0};
+    };
+    announceCenter.childValue = [](net::NodeId, net::NodeId,
+                                   const Payload& p) { return p; };
+    announceCenter.onArrive = [&sub, &total, &hasCopy, xi, kappa, &rooted](
+                                  net::NodeId v, const Payload& p) {
+      const auto g = static_cast<net::NodeId>(p[0]);
+      const Count below =
+          subtreeTowards(rooted, v, g, total[xi], sub[xi]);
+      hasCopy[xi][static_cast<std::size_t>(v)] =
+          (v == g || below > kappa) ? 1 : 0;
+    };
+    engine.add(std::move(announceCenter));
+  }
+
+  result.stats = engine.run();
+
+  for (ObjectId x = 0; x < numObjects; ++x) {
+    const auto xi = static_cast<std::size_t>(x);
+    if (result.gravityCenters[xi] != net::kInvalidNode) continue;  // no waves
+    result.gravityCenters[xi] = center[xi];
+    result.placement.objects[xi] =
+        core::assembleCopySet(tree, load, x, hasCopy[xi], center[xi]);
+  }
+  return result;
+}
+
+}  // namespace hbn::dist

@@ -1,0 +1,33 @@
+// Distributed nibble placement (paper §3.2): each object's placement is
+// computed by four height-deep waves — a subtree-weight convergecast, a
+// component-weight broadcast, a gravity-centre election convergecast, and
+// the centre announcement broadcast — with object x's schedule offset by x
+// rounds. The schedule pipelines perfectly (no lane of a directed edge
+// ever queues two messages), giving O(|X| + height(T)) rounds total, and
+// reproduces the sequential nibble placement bit-exactly, including the
+// smallest-index tie-break for the centre of gravity.
+#pragma once
+
+#include <vector>
+
+#include "hbn/core/placement.h"
+#include "hbn/dist/sync_network.h"
+#include "hbn/net/rooted.h"
+#include "hbn/workload/workload.h"
+
+namespace hbn::dist {
+
+/// Output of the distributed computation.
+struct DistributedNibbleResult {
+  core::Placement placement;                ///< identical to nibblePlacement
+  std::vector<net::NodeId> gravityCenters;  ///< per object
+  SyncStats stats;                          ///< rounds / messages / queueing
+};
+
+/// Runs the wave schedule on `rooted` for every object of `load`.
+/// Objects without any access skip the waves and receive the sequential
+/// convention (a single copy on the first processor).
+[[nodiscard]] DistributedNibbleResult distributedNibble(
+    const net::RootedTree& rooted, const workload::Workload& load);
+
+}  // namespace hbn::dist

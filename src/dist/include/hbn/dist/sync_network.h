@@ -1,0 +1,91 @@
+// Synchronous message-passing engine over a rooted tree.
+//
+// Models the paper's distributed setting: in each round, every directed
+// edge (and, with multiple lanes, every lane of it) carries at most one
+// message; excess messages queue. Computations are expressed as *waves* —
+// convergecasts (leaves-to-root aggregation) and broadcasts (root-to-
+// leaves dissemination) — that can be scheduled at chosen start rounds and
+// on separate lanes, which is exactly the pipelining vocabulary the
+// paper's O(|X| + height) round bound for the nibble computation uses.
+//
+// The engine reports rounds, message count, and the maximum channel queue
+// depth; a schedule pipelines perfectly iff that depth never exceeds 1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hbn/net/rooted.h"
+
+namespace hbn::dist {
+
+/// Fixed-size message payload (the model charges one message per edge per
+/// round regardless of the few words it carries).
+using Payload = std::array<std::int64_t, 4>;
+
+/// Aggregate execution statistics of one SyncEngine::run().
+struct SyncStats {
+  std::int64_t rounds = 0;         ///< round in which the last message moved
+  std::int64_t messages = 0;       ///< total edge-messages delivered
+  std::int64_t maxQueueDepth = 0;  ///< max per-channel backlog observed
+};
+
+/// Leaves-to-root aggregation. Every node contributes localValue(v); a
+/// node forwards combine-folds of its own value and its children's
+/// aggregates. `onResult` fires at the root with the tree-wide aggregate,
+/// `onPartial` at every non-root node with its subtree aggregate as it is
+/// sent (both optional). Callbacks are evaluated lazily, at send time, so
+/// they may depend on the results of waves that completed earlier.
+struct ConvergecastWave {
+  int startRound = 0;
+  int lane = 0;
+  std::function<Payload(net::NodeId)> localValue;
+  std::function<Payload(const Payload&, const Payload&)> combine;
+  std::function<void(const Payload&)> onResult;
+  std::function<void(net::NodeId, const Payload&)> onPartial;
+};
+
+/// Root-to-leaves dissemination. The root's value is transformed per edge
+/// by childValue(parent, child, payload); `onArrive` fires at every node
+/// (the root immediately on wave start). `rootValue` may be overridden
+/// lazily via `rootValueFn`, evaluated when the wave starts.
+struct BroadcastWave {
+  int startRound = 0;
+  int lane = 0;
+  Payload rootValue{};
+  std::function<Payload()> rootValueFn;
+  std::function<Payload(net::NodeId, net::NodeId, const Payload&)> childValue;
+  std::function<void(net::NodeId, const Payload&)> onArrive;
+};
+
+/// Executes a set of waves round-by-round with per-channel FIFO queues.
+class SyncEngine {
+ public:
+  explicit SyncEngine(const net::RootedTree& rooted);
+
+  /// Registers a wave. Throws std::invalid_argument when the wave's
+  /// required callbacks (localValue+combine / childValue) are missing.
+  void add(ConvergecastWave wave);
+  void add(BroadcastWave wave);
+
+  /// Runs all registered waves to completion and returns the statistics.
+  /// The engine is exhausted afterwards (waves are consumed).
+  [[nodiscard]] SyncStats run();
+
+ private:
+  struct Message {
+    int wave = 0;          // index into conv_ / bcast_ (sign via kind)
+    bool broadcast = false;
+    net::NodeId to = net::kInvalidNode;
+    net::NodeId from = net::kInvalidNode;
+    Payload payload{};
+  };
+
+  const net::RootedTree* rooted_;
+  std::vector<ConvergecastWave> conv_;
+  std::vector<BroadcastWave> bcast_;
+};
+
+}  // namespace hbn::dist

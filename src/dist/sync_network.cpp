@@ -1,0 +1,232 @@
+#include "hbn/dist/sync_network.h"
+
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace hbn::dist {
+namespace {
+
+// Channel key: (directed use of an edge, lane). Direction 0 = child to
+// parent (convergecast), 1 = parent to child (broadcast). std::map keeps
+// the per-round service order deterministic.
+using ChannelKey = std::pair<std::int64_t, int>;
+
+ChannelKey channelOf(net::EdgeId edge, int direction, int lane) {
+  return {static_cast<std::int64_t>(edge) * 2 + direction, lane};
+}
+
+}  // namespace
+
+SyncEngine::SyncEngine(const net::RootedTree& rooted) : rooted_(&rooted) {}
+
+void SyncEngine::add(ConvergecastWave wave) {
+  if (!wave.localValue || !wave.combine) {
+    throw std::invalid_argument(
+        "SyncEngine: convergecast wave needs localValue and combine");
+  }
+  conv_.push_back(std::move(wave));
+}
+
+void SyncEngine::add(BroadcastWave wave) {
+  if (!wave.childValue) {
+    throw std::invalid_argument(
+        "SyncEngine: broadcast wave needs childValue");
+  }
+  bcast_.push_back(std::move(wave));
+}
+
+SyncStats SyncEngine::run() {
+  const net::RootedTree& rooted = *rooted_;
+  const net::Tree& tree = rooted.tree();
+  const auto n = static_cast<std::size_t>(tree.nodeCount());
+  const net::NodeId root = rooted.root();
+
+  struct ConvState {
+    std::vector<int> pending;   // children not yet received
+    std::vector<Payload> acc;   // fold of received child aggregates
+    std::vector<char> anyAcc;
+    bool complete = false;
+    // Send frontier: nodes whose subtree completed. Each node enters
+    // exactly once (pending hits zero once), so the enqueue phase visits
+    // senders instead of rescanning the whole tree every round.
+    std::vector<net::NodeId> readyNow;
+    std::vector<net::NodeId> readyNext;  // deliver round t -> send t+1
+  };
+  struct BcastState {
+    std::vector<Payload> value;
+    std::vector<char> arrived;
+    bool started = false;
+    int arrivedCount = 0;
+    std::vector<net::NodeId> forwardNext;  // deliver round t -> forward t+1
+    std::vector<net::NodeId> forwardNow;
+  };
+
+  std::vector<ConvState> conv(conv_.size());
+  for (std::size_t w = 0; w < conv_.size(); ++w) {
+    conv[w].pending.resize(n);
+    conv[w].acc.resize(n);
+    conv[w].anyAcc.assign(n, 0);
+    for (net::NodeId v = 0; v < tree.nodeCount(); ++v) {
+      conv[w].pending[static_cast<std::size_t>(v)] =
+          static_cast<int>(rooted.children(v).size());
+      if (v != root && rooted.children(v).empty()) {
+        conv[w].readyNow.push_back(v);
+      }
+    }
+  }
+  std::vector<BcastState> bcast(bcast_.size());
+  for (auto& state : bcast) {
+    state.value.resize(n);
+    state.arrived.assign(n, 0);
+  }
+
+  std::map<ChannelKey, std::deque<Message>> channels;
+  SyncStats stats;
+  std::int64_t lastDelivery = 0;
+
+  int maxStart = 0;
+  for (const auto& w : conv_) maxStart = std::max(maxStart, w.startRound);
+  for (const auto& w : bcast_) maxStart = std::max(maxStart, w.startRound);
+  const std::int64_t roundCap =
+      maxStart +
+      static_cast<std::int64_t>(conv_.size() + bcast_.size() + 1) *
+          (rooted.height() + 2) * 2 +
+      64;
+
+  auto allComplete = [&] {
+    for (const auto& state : conv) {
+      if (!state.complete) return false;
+    }
+    for (const auto& state : bcast) {
+      if (state.arrivedCount < tree.nodeCount()) return false;
+    }
+    return true;
+  };
+
+  auto convRootResult = [&](std::size_t w) {
+    ConvState& state = conv[w];
+    const auto r = static_cast<std::size_t>(root);
+    const Payload own = conv_[w].localValue(root);
+    const Payload result =
+        state.anyAcc[r] ? conv_[w].combine(own, state.acc[r]) : own;
+    if (conv_[w].onResult) conv_[w].onResult(result);
+    state.complete = true;
+  };
+
+  for (std::int64_t round = 1; !allComplete(); ++round) {
+    if (round > roundCap) {
+      throw std::logic_error("SyncEngine: schedule did not converge");
+    }
+
+    // --- Enqueue phase: ready senders whose wave is active put one
+    // message on their channel.
+    for (std::size_t w = 0; w < conv_.size(); ++w) {
+      if (round <= conv_[w].startRound || conv[w].complete) continue;
+      ConvState& state = conv[w];
+      // Root with no outstanding children completes without sending
+      // (single-node trees, or all children already delivered).
+      if (state.pending[static_cast<std::size_t>(root)] == 0) {
+        convRootResult(w);
+        // fall through: other nodes may still hold undelivered state only
+        // if the root completed early, which cannot happen in a tree.
+        continue;
+      }
+      for (const net::NodeId v : state.readyNow) {
+        const auto vi = static_cast<std::size_t>(v);
+        const Payload own = conv_[w].localValue(v);
+        const Payload out =
+            state.anyAcc[vi] ? conv_[w].combine(own, state.acc[vi]) : own;
+        if (conv_[w].onPartial) conv_[w].onPartial(v, out);
+        channels[channelOf(rooted.parentEdge(v), 0, conv_[w].lane)].push_back(
+            Message{static_cast<int>(w), false, rooted.parent(v), v, out});
+      }
+      state.readyNow.clear();
+    }
+    for (std::size_t w = 0; w < bcast_.size(); ++w) {
+      if (round <= bcast_[w].startRound) continue;
+      BcastState& state = bcast[w];
+      if (!state.started) {
+        state.started = true;
+        const Payload rootVal =
+            bcast_[w].rootValueFn ? bcast_[w].rootValueFn() : bcast_[w].rootValue;
+        state.value[static_cast<std::size_t>(root)] = rootVal;
+        state.arrived[static_cast<std::size_t>(root)] = 1;
+        ++state.arrivedCount;
+        if (bcast_[w].onArrive) bcast_[w].onArrive(root, rootVal);
+        state.forwardNow.push_back(root);
+      }
+      for (const net::NodeId v : state.forwardNow) {
+        const Payload& held = state.value[static_cast<std::size_t>(v)];
+        for (const net::NodeId c : rooted.children(v)) {
+          channels[channelOf(rooted.parentEdge(c), 1, bcast_[w].lane)]
+              .push_back(Message{static_cast<int>(w), true, c, v,
+                                 bcast_[w].childValue(v, c, held)});
+        }
+      }
+      state.forwardNow.clear();
+    }
+
+    // --- Backlog measurement (after enqueues, before service).
+    for (const auto& [key, queue] : channels) {
+      stats.maxQueueDepth = std::max(
+          stats.maxQueueDepth, static_cast<std::int64_t>(queue.size()));
+    }
+
+    // --- Delivery phase: each channel serves one message this round.
+    for (auto& [key, queue] : channels) {
+      if (queue.empty()) continue;
+      const Message msg = queue.front();
+      queue.pop_front();
+      ++stats.messages;
+      lastDelivery = round;
+      if (!msg.broadcast) {
+        ConvState& state = conv[static_cast<std::size_t>(msg.wave)];
+        const auto ti = static_cast<std::size_t>(msg.to);
+        state.acc[ti] = state.anyAcc[ti]
+                            ? conv_[static_cast<std::size_t>(msg.wave)].combine(
+                                  state.acc[ti], msg.payload)
+                            : msg.payload;
+        state.anyAcc[ti] = 1;
+        --state.pending[ti];
+        if (state.pending[ti] == 0) {
+          if (msg.to == root) {
+            convRootResult(static_cast<std::size_t>(msg.wave));
+          } else {
+            state.readyNext.push_back(msg.to);
+          }
+        }
+      } else {
+        BcastState& state = bcast[static_cast<std::size_t>(msg.wave)];
+        const auto ti = static_cast<std::size_t>(msg.to);
+        state.value[ti] = msg.payload;
+        state.arrived[ti] = 1;
+        ++state.arrivedCount;
+        if (bcast_[static_cast<std::size_t>(msg.wave)].onArrive) {
+          bcast_[static_cast<std::size_t>(msg.wave)].onArrive(msg.to,
+                                                              msg.payload);
+        }
+        state.forwardNext.push_back(msg.to);
+      }
+    }
+    for (auto& state : bcast) {
+      state.forwardNow.insert(state.forwardNow.end(),
+                              state.forwardNext.begin(),
+                              state.forwardNext.end());
+      state.forwardNext.clear();
+    }
+    for (auto& state : conv) {
+      state.readyNow.insert(state.readyNow.end(), state.readyNext.begin(),
+                            state.readyNext.end());
+      state.readyNext.clear();
+    }
+  }
+
+  stats.rounds = lastDelivery;
+  conv_.clear();
+  bcast_.clear();
+  return stats;
+}
+
+}  // namespace hbn::dist

@@ -1,0 +1,115 @@
+#include "hbn/engine/cli.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "hbn/engine/registry.h"
+
+namespace hbn::engine {
+namespace {
+
+std::uint64_t parseUint(const std::string& flag, const std::string& text) {
+  try {
+    // std::stoull wraps negative input instead of throwing.
+    if (text.empty() || text[0] == '-') throw std::invalid_argument("");
+    std::size_t used = 0;
+    const unsigned long long value = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument("");
+    return static_cast<std::uint64_t>(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(flag + " expects a non-negative integer, got '" +
+                                text + "'");
+  }
+}
+
+void splitStrategies(const std::string& text,
+                     std::vector<std::string>& out) {
+  // Comma-separated specs, where a spec may itself contain commas inside
+  // its option block: in "a:x=1,y=2,b" the "y=2" continues a's options
+  // (the previous spec has a ':' and the token looks like key=value),
+  // while "b" starts a new spec.
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string token = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    const bool continuesOptions =
+        !out.empty() && out.back().find(':') != std::string::npos &&
+        token.find('=') != std::string::npos &&
+        token.find(':') == std::string::npos;
+    if (continuesOptions) {
+      out.back() += "," + token;
+    } else {
+      out.push_back(token);
+    }
+  }
+}
+
+}  // namespace
+
+CliOptions parseCli(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& flag) -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(flag + " expects a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--strategy" || arg == "-s") {
+      splitStrategies(value(arg), options.strategies);
+    } else if (arg == "--threads" || arg == "-t") {
+      const std::uint64_t threads = parseUint(arg, value(arg));
+      if (threads > 4096) {
+        throw std::invalid_argument(arg + " expects at most 4096, got " +
+                                    std::to_string(threads));
+      }
+      options.threads = static_cast<int>(threads);
+    } else if (arg == "--seed") {
+      options.seed = parseUint(arg, value(arg));
+      options.seedSet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg.size() >= 2 && arg[0] == '-') {
+      // Reject every unknown dash-argument (single or double) so typo'd
+      // flags cannot silently become ignored positionals.
+      throw std::invalid_argument("unknown flag '" + arg + "'");
+    } else {
+      options.positional.push_back(arg);
+    }
+  }
+  return options;
+}
+
+std::string cliHelp() {
+  std::ostringstream oss;
+  oss << "options:\n"
+         "  --strategy SPEC   placement strategy (repeatable; "
+         "name[:key=value,...])\n"
+         "  --threads N       worker threads for object-sharded strategies "
+         "(0 = all cores)\n"
+         "  --seed N          RNG seed for stochastic strategies\n"
+         "  --help            show this text\n\n"
+         "strategies:\n"
+      << StrategyRegistry::global().helpText();
+  return oss.str();
+}
+
+Context makeContext(const CliOptions& options, std::uint64_t defaultSeed) {
+  Context ctx;
+  ctx.threads = options.threads;
+  ctx.seed = options.seedSet ? options.seed : defaultSeed;
+  return ctx;
+}
+
+void requireNoPositional(const CliOptions& options) {
+  if (!options.positional.empty()) {
+    throw std::invalid_argument("unexpected argument '" +
+                                options.positional.front() + "'");
+  }
+}
+
+}  // namespace hbn::engine

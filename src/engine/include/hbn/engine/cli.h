@@ -1,0 +1,45 @@
+// Shared command-line vocabulary of every strategy-driven frontend:
+//     --strategy SPEC[,SPEC...]   (repeatable; registry spec syntax)
+//     --threads N                 (0 = hardware concurrency)
+//     --seed N
+//     --help
+// hbn_place and the benchmarks parse these through one helper, so adding
+// an engine-level knob is a single change and no frontend grows its own
+// string→strategy dispatch again.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hbn/engine/strategy.h"
+
+namespace hbn::engine {
+
+struct CliOptions {
+  std::vector<std::string> strategies;  ///< empty = frontend default
+  int threads = 1;
+  std::uint64_t seed = 0;
+  bool seedSet = false;
+  bool help = false;
+  std::vector<std::string> positional;  ///< non-flag arguments, in order
+};
+
+/// Parses argv (excluding argv[0]). Throws std::invalid_argument on
+/// malformed or unknown `--` flags.
+[[nodiscard]] CliOptions parseCli(int argc, char** argv);
+
+/// Help block describing the shared flags plus the registered strategies.
+[[nodiscard]] std::string cliHelp();
+
+/// Builds an execution Context from parsed options; `defaultSeed` is used
+/// when no --seed was given.
+[[nodiscard]] Context makeContext(const CliOptions& options,
+                                  std::uint64_t defaultSeed);
+
+/// For frontends that take no positional arguments (the benches): throws
+/// std::invalid_argument naming the first stray argument, so typos are
+/// loud instead of silently ignored.
+void requireNoPositional(const CliOptions& options);
+
+}  // namespace hbn::engine

@@ -1,0 +1,98 @@
+// Name→factory registry for placement strategies.
+//
+// A strategy is selected by a spec string `name[:key=value,...]`, e.g.
+//     extended-nibble
+//     extended-nibble:deletion=0,acc=3
+//     local-search:iters=500,init=weighted-median
+// Unknown names list the alternatives; unknown option keys are an error
+// (every factory consumes exactly the keys it understands). Tools and
+// benchmarks derive their --strategy help text from the registry, so a
+// new strategy is a single registration away from every frontend.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hbn/engine/strategy.h"
+
+namespace hbn::engine {
+
+/// Parsed `key=value,...` options with consumption tracking: factories
+/// pull the keys they understand; create() rejects leftovers.
+class StrategyOptions {
+ public:
+  static StrategyOptions parse(std::string_view spec);
+
+  [[nodiscard]] bool has(std::string_view key) const;
+  [[nodiscard]] std::string getString(std::string_view key,
+                                      std::string_view fallback);
+  [[nodiscard]] std::int64_t getInt(std::string_view key,
+                                    std::int64_t fallback);
+  [[nodiscard]] bool getBool(std::string_view key, bool fallback);
+
+  /// Throws std::invalid_argument naming any key no getter consumed.
+  void throwIfUnconsumed(std::string_view strategyName) const;
+
+ private:
+  struct Entry {
+    std::string value;
+    bool consumed = false;
+  };
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// Registry metadata shown in --help / usage text.
+struct StrategyInfo {
+  std::string name;         ///< canonical name
+  std::string summary;      ///< one-line description
+  std::string optionsHelp;  ///< "iters=N,init=SPEC" style, may be empty
+};
+
+class StrategyRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<PlacementStrategy>(StrategyOptions&)>;
+
+  /// The process-wide registry, pre-populated with every built-in
+  /// strategy.
+  [[nodiscard]] static StrategyRegistry& global();
+
+  /// Registers a strategy under its canonical name plus aliases.
+  void add(StrategyInfo info, Factory factory,
+           std::vector<std::string> aliases = {});
+
+  /// Instantiates from a spec string `name[:options]`. Throws
+  /// std::invalid_argument for unknown names or unconsumed options.
+  [[nodiscard]] std::unique_ptr<PlacementStrategy> create(
+      std::string_view spec) const;
+
+  /// Canonical names, sorted; aliases are omitted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Info records for all canonical names, sorted by name.
+  [[nodiscard]] std::vector<StrategyInfo> list() const;
+
+  /// Multi-line help text enumerating strategies and their options.
+  [[nodiscard]] std::string helpText() const;
+
+ private:
+  struct Registered {
+    StrategyInfo info;
+    Factory factory;
+    bool isAlias = false;
+    std::string canonical;
+  };
+  std::map<std::string, Registered, std::less<>> entries_;
+};
+
+namespace detail {
+/// Implemented in strategies.cpp; wires every built-in strategy into the
+/// registry that StrategyRegistry::global() hands out.
+void registerBuiltins(StrategyRegistry& registry);
+}  // namespace detail
+
+}  // namespace hbn::engine

@@ -1,0 +1,54 @@
+// The unified strategy engine: every placement algorithm in the library —
+// the paper's nibble and extended-nibble, the baselines, the exact solver
+// — is exposed through one abstract interface so that tools, benchmarks,
+// and future online wrappers select strategies by name instead of
+// hand-rolled dispatch, and so that the object-sharded parallel executor
+// can drive any of them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "hbn/core/placement.h"
+#include "hbn/net/tree.h"
+#include "hbn/workload/workload.h"
+
+namespace hbn::engine {
+
+/// Per-invocation execution context. The engine owns everything that is
+/// *not* part of a strategy's identity: the RNG seed for stochastic
+/// strategies (derived per object, so results are thread-count
+/// independent), the worker-thread budget, and a diagnostics channel that
+/// strategies may fill with algorithm-specific metrics (congestion per
+/// pipeline stage, forced moves, ...) for benchmark harnesses.
+struct Context {
+  /// Seed for stochastic strategies; deterministic per-object streams are
+  /// derived from it, so a given (seed, strategy) pair is reproducible.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  /// Worker threads for object-sharded strategies; 0 = hardware
+  /// concurrency. The placement is bit-identical for any value.
+  int threads = 1;
+  /// Diagnostics deposited by the last place() call (strategy-specific
+  /// keys such as "congestion.nibble" or "mapping.forcedMoves").
+  std::map<std::string, double> metrics;
+};
+
+/// Abstract placement strategy: a name and a pure tree+workload→placement
+/// map. Implementations must be safe to reuse across place() calls and
+/// must derive all randomness from the Context seed.
+class PlacementStrategy {
+ public:
+  virtual ~PlacementStrategy() = default;
+
+  /// Canonical registry name (e.g. "extended-nibble").
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Computes the placement of every object of `load` on `tree`.
+  [[nodiscard]] virtual core::Placement place(const net::Tree& tree,
+                                              const workload::Workload& load,
+                                              Context& ctx) const = 0;
+};
+
+}  // namespace hbn::engine

@@ -1,0 +1,241 @@
+// Built-in strategy adapters: every placement algorithm of the library
+// registered under a stable name. Per-object strategies run through the
+// ParallelExecutor with per-thread scratch; stochastic strategies derive
+// one RNG stream per object from the Context seed, so every strategy's
+// output is reproducible and independent of the thread count.
+#include <memory>
+#include <utility>
+
+#include "hbn/baseline/exact.h"
+#include "hbn/baseline/heuristics.h"
+#include "hbn/core/extended_nibble.h"
+#include "hbn/core/nibble.h"
+#include "hbn/core/placement.h"
+#include "hbn/engine/parallel_executor.h"
+#include "hbn/engine/registry.h"
+#include "hbn/util/rng.h"
+
+namespace hbn::engine {
+namespace {
+
+/// Generic adapter: a canonical name plus a placement function.
+class LambdaStrategy final : public PlacementStrategy {
+ public:
+  using Fn = std::function<core::Placement(
+      const net::Tree&, const workload::Workload&, Context&)>;
+
+  LambdaStrategy(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  [[nodiscard]] core::Placement place(const net::Tree& tree,
+                                      const workload::Workload& load,
+                                      Context& ctx) const override {
+    // Context promises "diagnostics of the last place() call" — drop any
+    // stale keys an earlier strategy deposited in a reused Context.
+    ctx.metrics.clear();
+    return fn_(tree, load, ctx);
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+std::unique_ptr<PlacementStrategy> makeLambda(std::string name,
+                                              LambdaStrategy::Fn fn) {
+  return std::make_unique<LambdaStrategy>(std::move(name), std::move(fn));
+}
+
+/// Independent per-object RNG stream: mixing the object id into the seed
+/// keeps the draw sequence of object x identical no matter which worker
+/// thread places it.
+util::Rng objectRng(std::uint64_t seed, workload::ObjectId x) {
+  std::uint64_t state =
+      seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(x) + 1);
+  return util::Rng(util::splitmix64(state));
+}
+
+core::Placement placeNibble(const net::Tree& tree,
+                            const workload::Workload& load, Context& ctx) {
+  ParallelExecutor executor(ctx.threads);
+  return executor.placeObjects<core::NibbleScratch>(
+      load.numObjects(),
+      [&](workload::ObjectId x, core::NibbleScratch& scratch) {
+        core::NibbleObjectResult one;
+        core::nibbleObjectInto(tree, load, x, scratch, one);
+        return std::move(one.placement);
+      });
+}
+
+std::unique_ptr<PlacementStrategy> makeExtendedNibble(
+    StrategyOptions& options) {
+  core::ExtendedNibbleOptions base;
+  base.runDeletion = options.getBool("deletion", true);
+  base.accFactor = options.getInt("acc", 2);
+  return makeLambda(
+      "extended-nibble",
+      [base](const net::Tree& tree, const workload::Workload& load,
+             Context& ctx) {
+        core::ExtendedNibbleOptions opts = base;
+        opts.threads = ctx.threads;
+        core::ExtendedNibbleResult result =
+            core::extendedNibble(tree, load, opts);
+        ctx.metrics["congestion.nibble"] = result.report.congestionNibble;
+        ctx.metrics["congestion.modified"] = result.report.congestionModified;
+        ctx.metrics["congestion.final"] = result.report.congestionFinal;
+        ctx.metrics["mapping.forcedMoves"] =
+            static_cast<double>(result.report.mapping.forcedMoves);
+        ctx.metrics["mapping.tauMax"] =
+            static_cast<double>(result.report.mapping.tauMax);
+        ctx.metrics["deletion.copiesDeleted"] =
+            static_cast<double>(result.report.deletion.copiesDeleted);
+        return std::move(result.final);
+      });
+}
+
+std::unique_ptr<PlacementStrategy> makeRandomSingleCopy(StrategyOptions&) {
+  return makeLambda(
+      "random-single-copy",
+      [](const net::Tree& tree, const workload::Workload& load,
+         Context& ctx) {
+        const std::span<const net::NodeId> processors = tree.processors();
+        ParallelExecutor executor(ctx.threads);
+        struct NoScratch {};
+        const std::uint64_t seed = ctx.seed;
+        return executor.placeObjects<NoScratch>(
+            load.numObjects(), [&](workload::ObjectId x, NoScratch&) {
+              util::Rng rng = objectRng(seed, x);
+              const net::NodeId leaf = processors[static_cast<std::size_t>(
+                  rng.nextBelow(processors.size()))];
+              return core::makeNearestPlacement(tree, load, x,
+                                                std::span(&leaf, 1));
+            });
+      });
+}
+
+std::unique_ptr<PlacementStrategy> makeExact(StrategyOptions& options) {
+  baseline::ExactOptions exact;
+  exact.maxCopiesPerObject =
+      static_cast<int>(options.getInt("max-copies", exact.maxCopiesPerObject));
+  exact.nodeBudget = options.getInt("budget", exact.nodeBudget);
+  return makeLambda("exact",
+                    [exact](const net::Tree& tree,
+                            const workload::Workload& load, Context& ctx) {
+                      baseline::ExactResult result =
+                          baseline::solveExact(tree, load, exact);
+                      ctx.metrics["exact.congestion"] = result.congestion;
+                      ctx.metrics["exact.provedOptimal"] =
+                          result.provedOptimal ? 1.0 : 0.0;
+                      ctx.metrics["exact.nodesExplored"] =
+                          static_cast<double>(result.nodesExplored);
+                      return std::move(result.placement);
+                    });
+}
+
+std::unique_ptr<PlacementStrategy> makeLocalSearch(StrategyOptions& options) {
+  baseline::LocalSearchOptions search;
+  search.maxIterations =
+      static_cast<int>(options.getInt("iters", search.maxIterations));
+  search.proposalsPerIteration = static_cast<int>(
+      options.getInt("proposals", search.proposalsPerIteration));
+  const std::string initSpec =
+      options.getString("init", "best-single-copy");
+  return makeLambda(
+      "local-search",
+      [search, initSpec](const net::Tree& tree,
+                         const workload::Workload& load, Context& ctx) {
+        const std::unique_ptr<PlacementStrategy> init =
+            StrategyRegistry::global().create(initSpec);
+        const core::Placement start = init->place(tree, load, ctx);
+        util::Rng rng(ctx.seed);
+        core::Placement refined =
+            baseline::localSearch(tree, load, start, rng, search);
+        // The init strategy's diagnostics describe `start`, not the
+        // placement returned here — drop them rather than misattribute.
+        ctx.metrics.clear();
+        return refined;
+      });
+}
+
+}  // namespace
+
+namespace detail {
+
+void registerBuiltins(StrategyRegistry& registry) {
+  registry.add(
+      {"nibble",
+       "FOCS'97 nibble placement (per-object optimal edge loads; copies may "
+       "sit on buses)",
+       ""},
+      [](StrategyOptions&) { return makeLambda("nibble", placeNibble); });
+
+  registry.add(
+      {"extended-nibble",
+       "the paper's 7-approximation: nibble + deletion + leaf mapping",
+       "deletion=0|1,acc=N"},
+      makeExtendedNibble);
+
+  registry.add(
+      {"best-single-copy",
+       "congestion-aware greedy baseline: one copy per object on the leaf "
+       "minimising running congestion",
+       ""},
+      [](StrategyOptions&) {
+        return makeLambda("best-single-copy",
+                          [](const net::Tree& tree,
+                             const workload::Workload& load, Context&) {
+                            return baseline::bestSingleCopy(tree, load);
+                          });
+      },
+      {"greedy"});
+
+  registry.add(
+      {"weighted-median",
+       "total-load baseline: one copy per object at its weighted tree "
+       "median",
+       ""},
+      [](StrategyOptions&) {
+        return makeLambda("weighted-median",
+                          [](const net::Tree& tree,
+                             const workload::Workload& load, Context&) {
+                            return baseline::weightedMedian(tree, load);
+                          });
+      },
+      {"median"});
+
+  registry.add(
+      {"random-single-copy",
+       "one copy per object on a seed-derived uniformly random processor",
+       ""},
+      makeRandomSingleCopy, {"random"});
+
+  registry.add(
+      {"full-replication",
+       "a copy of every object on every processor (reads free, writes "
+       "broadcast)",
+       ""},
+      [](StrategyOptions&) {
+        return makeLambda("full-replication",
+                          [](const net::Tree& tree,
+                             const workload::Workload& load, Context&) {
+                            return baseline::fullReplication(tree, load);
+                          });
+      });
+
+  registry.add(
+      {"exact",
+       "branch-and-bound congestion minimisation (small instances only)",
+       "max-copies=N,budget=N"},
+      makeExact);
+
+  registry.add(
+      {"local-search",
+       "hill-climbing refinement of another strategy's placement",
+       "iters=N,proposals=N,init=SPEC"},
+      makeLocalSearch);
+}
+
+}  // namespace detail
+}  // namespace hbn::engine

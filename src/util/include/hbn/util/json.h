@@ -1,0 +1,44 @@
+// Minimal flat-record JSON emission for machine-readable benchmark output
+// (an array of objects with string/number fields). Kept deliberately tiny:
+// the perf-trajectory files (BENCH_*.json) need nothing more, and the
+// container ships no JSON library.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hbn::util {
+
+/// Builder for `[{"key": value, ...}, ...]` documents.
+class JsonRecords {
+ public:
+  /// Starts a new record; subsequent field() calls attach to it.
+  void beginRecord();
+
+  void field(std::string_view key, std::string_view value);
+  void field(std::string_view key, std::int64_t value);
+  void field(std::string_view key, int value) {
+    field(key, static_cast<std::int64_t>(value));
+  }
+  void field(std::string_view key, double value);
+
+  [[nodiscard]] std::size_t recordCount() const noexcept {
+    return records_.size();
+  }
+
+  /// Renders the whole array, one record per line.
+  void write(std::ostream& os) const;
+
+  /// Writes to `path`; throws std::runtime_error when the file cannot be
+  /// opened.
+  void writeFile(const std::string& path) const;
+
+ private:
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
+
+}  // namespace hbn::util

@@ -1,0 +1,82 @@
+#include "hbn/util/json.h"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hbn::util {
+namespace {
+
+std::string quoted(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void JsonRecords::beginRecord() { records_.emplace_back(); }
+
+void JsonRecords::field(std::string_view key, std::string_view value) {
+  records_.back().emplace_back(std::string(key), quoted(value));
+}
+
+void JsonRecords::field(std::string_view key, std::int64_t value) {
+  records_.back().emplace_back(std::string(key), std::to_string(value));
+}
+
+void JsonRecords::field(std::string_view key, double value) {
+  std::string rendered;
+  if (std::isfinite(value)) {
+    std::ostringstream oss;
+    oss.precision(12);
+    oss << value;
+    rendered = oss.str();
+  } else {
+    rendered = "null";  // JSON has no Inf/NaN literals
+  }
+  records_.back().emplace_back(std::string(key), std::move(rendered));
+}
+
+void JsonRecords::write(std::ostream& os) const {
+  os << "[\n";
+  for (std::size_t r = 0; r < records_.size(); ++r) {
+    os << "  {";
+    for (std::size_t f = 0; f < records_[r].size(); ++f) {
+      if (f != 0) os << ", ";
+      os << quoted(records_[r][f].first) << ": " << records_[r][f].second;
+    }
+    os << (r + 1 < records_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+}
+
+void JsonRecords::writeFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write " + path);
+  }
+  write(out);
+}
+
+}  // namespace hbn::util

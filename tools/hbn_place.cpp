@@ -1,10 +1,11 @@
 // hbn_place — command-line placement driver.
 //
 // Usage:
-//   hbn_place <tree-file> <workload-file> [strategy]
+//   hbn_place [options] <tree-file> <workload-file>
 //
-// strategy: extended-nibble (default) | nibble | greedy | median |
-//           full-replication
+// Strategies come from the engine registry (see --help for the generated
+// list); --threads shards the per-object work over a pool with
+// bit-identical output for any thread count.
 //
 // Reads a hierarchical bus network (hbn-tree v1 text format, see
 // hbn/net/serialize.h) and a workload (hbn-workload v1, see
@@ -16,10 +17,10 @@
 #include <sstream>
 #include <string>
 
-#include "hbn/baseline/heuristics.h"
-#include "hbn/core/extended_nibble.h"
+#include "hbn/core/load.h"
 #include "hbn/core/lower_bound.h"
-#include "hbn/core/nibble.h"
+#include "hbn/engine/cli.h"
+#include "hbn/engine/registry.h"
 #include "hbn/net/serialize.h"
 #include "hbn/util/stats.h"
 #include "hbn/util/table.h"
@@ -37,40 +38,44 @@ std::string readFile(const std::string& path) {
   return oss.str();
 }
 
+void printUsage(std::ostream& os) {
+  os << "usage: hbn_place [options] <tree-file> <workload-file>\n\n"
+     << hbn::engine::cliHelp();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace hbn;
-  if (argc < 3 || argc > 4) {
-    std::cerr << "usage: hbn_place <tree-file> <workload-file> "
-                 "[extended-nibble|nibble|greedy|median|full-replication]\n";
-    return 2;
-  }
   try {
-    const net::Tree tree = net::parseText(readFile(argv[1]));
-    const workload::Workload load = workload::parseText(readFile(argv[2]));
+    const engine::CliOptions cli = engine::parseCli(argc, argv);
+    if (cli.help) {
+      printUsage(std::cout);
+      return 0;
+    }
+    if (cli.positional.size() != 2) {
+      printUsage(std::cerr);
+      return 2;
+    }
+    if (cli.strategies.size() > 1) {
+      throw std::invalid_argument("hbn_place takes a single --strategy");
+    }
+    const std::string spec =
+        cli.strategies.empty() ? "extended-nibble" : cli.strategies.front();
+
+    const net::Tree tree = net::parseText(readFile(cli.positional[0]));
+    const workload::Workload load =
+        workload::parseText(readFile(cli.positional[1]));
     if (load.numNodes() != tree.nodeCount()) {
       throw std::runtime_error("workload node count does not match tree");
     }
-    const std::string strategy = argc == 4 ? argv[3] : "extended-nibble";
 
-    core::Placement placement;
-    if (strategy == "extended-nibble") {
-      placement = core::computeExtendedNibblePlacement(tree, load);
-    } else if (strategy == "nibble") {
-      placement = core::nibblePlacement(tree, load);
-    } else if (strategy == "greedy") {
-      placement = baseline::bestSingleCopy(tree, load);
-    } else if (strategy == "median") {
-      placement = baseline::weightedMedian(tree, load);
-    } else if (strategy == "full-replication") {
-      placement = baseline::fullReplication(tree, load);
-    } else {
-      std::cerr << "unknown strategy '" << strategy << "'\n";
-      return 2;
-    }
+    const auto strategy = engine::StrategyRegistry::global().create(spec);
+    engine::Context ctx = engine::makeContext(cli, /*defaultSeed=*/1);
+    const core::Placement placement = strategy->place(tree, load, ctx);
 
-    std::cout << "strategy: " << strategy << "\n\nplacement:\n";
+    std::cout << "strategy: " << spec << " (threads=" << ctx.threads
+              << ", seed=" << ctx.seed << ")\n\nplacement:\n";
     for (workload::ObjectId x = 0; x < load.numObjects(); ++x) {
       std::cout << "  object " << x << " -> {";
       bool first = true;
