@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_approx_ratio.dir/bench/bench_approx_ratio.cpp.o"
+  "CMakeFiles/bench_approx_ratio.dir/bench/bench_approx_ratio.cpp.o.d"
+  "bench_approx_ratio"
+  "bench_approx_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approx_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

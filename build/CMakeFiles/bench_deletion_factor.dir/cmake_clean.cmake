@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deletion_factor.dir/bench/bench_deletion_factor.cpp.o"
+  "CMakeFiles/bench_deletion_factor.dir/bench/bench_deletion_factor.cpp.o.d"
+  "bench_deletion_factor"
+  "bench_deletion_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deletion_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distributed_rounds.dir/bench/bench_distributed_rounds.cpp.o"
+  "CMakeFiles/bench_distributed_rounds.dir/bench/bench_distributed_rounds.cpp.o.d"
+  "bench_distributed_rounds"
+  "bench_distributed_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nibble_optimality.dir/bench/bench_nibble_optimality.cpp.o"
+  "CMakeFiles/bench_nibble_optimality.dir/bench/bench_nibble_optimality.cpp.o.d"
+  "bench_nibble_optimality"
+  "bench_nibble_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nibble_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_np_gadget.dir/bench/bench_np_gadget.cpp.o"
+  "CMakeFiles/bench_np_gadget.dir/bench/bench_np_gadget.cpp.o.d"
+  "bench_np_gadget"
+  "bench_np_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_np_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

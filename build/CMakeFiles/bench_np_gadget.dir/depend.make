@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_np_gadget.
+# This may be replaced when dependencies are built.

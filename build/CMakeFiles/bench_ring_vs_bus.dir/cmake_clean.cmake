@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ring_vs_bus.dir/bench/bench_ring_vs_bus.cpp.o"
+  "CMakeFiles/bench_ring_vs_bus.dir/bench/bench_ring_vs_bus.cpp.o.d"
+  "bench_ring_vs_bus"
+  "bench_ring_vs_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ring_vs_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

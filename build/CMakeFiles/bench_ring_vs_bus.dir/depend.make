@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ring_vs_bus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_strategy_comparison.dir/bench/bench_strategy_comparison.cpp.o"
+  "CMakeFiles/bench_strategy_comparison.dir/bench/bench_strategy_comparison.cpp.o.d"
+  "bench_strategy_comparison"
+  "bench_strategy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_strategy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

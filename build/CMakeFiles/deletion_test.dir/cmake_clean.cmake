@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deletion_test.dir/tests/deletion_test.cpp.o"
+  "CMakeFiles/deletion_test.dir/tests/deletion_test.cpp.o.d"
+  "deletion_test"
+  "deletion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deletion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

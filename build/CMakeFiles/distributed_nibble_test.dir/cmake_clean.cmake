@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_nibble_test.dir/tests/distributed_nibble_test.cpp.o"
+  "CMakeFiles/distributed_nibble_test.dir/tests/distributed_nibble_test.cpp.o.d"
+  "distributed_nibble_test"
+  "distributed_nibble_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_nibble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

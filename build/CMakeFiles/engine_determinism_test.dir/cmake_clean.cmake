@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_determinism_test.dir/tests/engine_determinism_test.cpp.o"
+  "CMakeFiles/engine_determinism_test.dir/tests/engine_determinism_test.cpp.o.d"
+  "engine_determinism_test"
+  "engine_determinism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

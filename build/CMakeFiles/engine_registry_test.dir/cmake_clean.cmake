@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_registry_test.dir/tests/engine_registry_test.cpp.o"
+  "CMakeFiles/engine_registry_test.dir/tests/engine_registry_test.cpp.o.d"
+  "engine_registry_test"
+  "engine_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sci_cluster.dir/examples/sci_cluster.cpp.o"
+  "CMakeFiles/example_sci_cluster.dir/examples/sci_cluster.cpp.o.d"
+  "example_sci_cluster"
+  "example_sci_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sci_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

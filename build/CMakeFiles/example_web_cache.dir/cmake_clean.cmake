@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_web_cache.dir/examples/web_cache.cpp.o"
+  "CMakeFiles/example_web_cache.dir/examples/web_cache.cpp.o.d"
+  "example_web_cache"
+  "example_web_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_web_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_nibble_test.dir/tests/extended_nibble_test.cpp.o"
+  "CMakeFiles/extended_nibble_test.dir/tests/extended_nibble_test.cpp.o.d"
+  "extended_nibble_test"
+  "extended_nibble_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_nibble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbn_baseline.dir/src/baseline/exact.cpp.o"
+  "CMakeFiles/hbn_baseline.dir/src/baseline/exact.cpp.o.d"
+  "CMakeFiles/hbn_baseline.dir/src/baseline/heuristics.cpp.o"
+  "CMakeFiles/hbn_baseline.dir/src/baseline/heuristics.cpp.o.d"
+  "libhbn_baseline.a"
+  "libhbn_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbn_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/deletion.cpp" "CMakeFiles/hbn_core.dir/src/core/deletion.cpp.o" "gcc" "CMakeFiles/hbn_core.dir/src/core/deletion.cpp.o.d"
+  "/root/repo/src/core/extended_nibble.cpp" "CMakeFiles/hbn_core.dir/src/core/extended_nibble.cpp.o" "gcc" "CMakeFiles/hbn_core.dir/src/core/extended_nibble.cpp.o.d"
+  "/root/repo/src/core/load.cpp" "CMakeFiles/hbn_core.dir/src/core/load.cpp.o" "gcc" "CMakeFiles/hbn_core.dir/src/core/load.cpp.o.d"
+  "/root/repo/src/core/lower_bound.cpp" "CMakeFiles/hbn_core.dir/src/core/lower_bound.cpp.o" "gcc" "CMakeFiles/hbn_core.dir/src/core/lower_bound.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "CMakeFiles/hbn_core.dir/src/core/mapping.cpp.o" "gcc" "CMakeFiles/hbn_core.dir/src/core/mapping.cpp.o.d"
+  "/root/repo/src/core/nibble.cpp" "CMakeFiles/hbn_core.dir/src/core/nibble.cpp.o" "gcc" "CMakeFiles/hbn_core.dir/src/core/nibble.cpp.o.d"
+  "/root/repo/src/core/parallel.cpp" "CMakeFiles/hbn_core.dir/src/core/parallel.cpp.o" "gcc" "CMakeFiles/hbn_core.dir/src/core/parallel.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "CMakeFiles/hbn_core.dir/src/core/placement.cpp.o" "gcc" "CMakeFiles/hbn_core.dir/src/core/placement.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "CMakeFiles/hbn_core.dir/src/core/report.cpp.o" "gcc" "CMakeFiles/hbn_core.dir/src/core/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/hbn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_net.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

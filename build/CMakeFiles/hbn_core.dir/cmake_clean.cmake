@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbn_core.dir/src/core/deletion.cpp.o"
+  "CMakeFiles/hbn_core.dir/src/core/deletion.cpp.o.d"
+  "CMakeFiles/hbn_core.dir/src/core/extended_nibble.cpp.o"
+  "CMakeFiles/hbn_core.dir/src/core/extended_nibble.cpp.o.d"
+  "CMakeFiles/hbn_core.dir/src/core/load.cpp.o"
+  "CMakeFiles/hbn_core.dir/src/core/load.cpp.o.d"
+  "CMakeFiles/hbn_core.dir/src/core/lower_bound.cpp.o"
+  "CMakeFiles/hbn_core.dir/src/core/lower_bound.cpp.o.d"
+  "CMakeFiles/hbn_core.dir/src/core/mapping.cpp.o"
+  "CMakeFiles/hbn_core.dir/src/core/mapping.cpp.o.d"
+  "CMakeFiles/hbn_core.dir/src/core/nibble.cpp.o"
+  "CMakeFiles/hbn_core.dir/src/core/nibble.cpp.o.d"
+  "CMakeFiles/hbn_core.dir/src/core/parallel.cpp.o"
+  "CMakeFiles/hbn_core.dir/src/core/parallel.cpp.o.d"
+  "CMakeFiles/hbn_core.dir/src/core/placement.cpp.o"
+  "CMakeFiles/hbn_core.dir/src/core/placement.cpp.o.d"
+  "CMakeFiles/hbn_core.dir/src/core/report.cpp.o"
+  "CMakeFiles/hbn_core.dir/src/core/report.cpp.o.d"
+  "libhbn_core.a"
+  "libhbn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

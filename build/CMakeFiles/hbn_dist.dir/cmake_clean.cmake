@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbn_dist.dir/src/dist/distributed_nibble.cpp.o"
+  "CMakeFiles/hbn_dist.dir/src/dist/distributed_nibble.cpp.o.d"
+  "CMakeFiles/hbn_dist.dir/src/dist/sync_network.cpp.o"
+  "CMakeFiles/hbn_dist.dir/src/dist/sync_network.cpp.o.d"
+  "libhbn_dist.a"
+  "libhbn_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbn_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynamic/harness.cpp" "CMakeFiles/hbn_dynamic.dir/src/dynamic/harness.cpp.o" "gcc" "CMakeFiles/hbn_dynamic.dir/src/dynamic/harness.cpp.o.d"
+  "/root/repo/src/dynamic/online_strategy.cpp" "CMakeFiles/hbn_dynamic.dir/src/dynamic/online_strategy.cpp.o" "gcc" "CMakeFiles/hbn_dynamic.dir/src/dynamic/online_strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/hbn_core.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_net.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbn_dynamic.dir/src/dynamic/harness.cpp.o"
+  "CMakeFiles/hbn_dynamic.dir/src/dynamic/harness.cpp.o.d"
+  "CMakeFiles/hbn_dynamic.dir/src/dynamic/online_strategy.cpp.o"
+  "CMakeFiles/hbn_dynamic.dir/src/dynamic/online_strategy.cpp.o.d"
+  "libhbn_dynamic.a"
+  "libhbn_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbn_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

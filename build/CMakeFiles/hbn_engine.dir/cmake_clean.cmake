@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbn_engine.dir/src/engine/cli.cpp.o"
+  "CMakeFiles/hbn_engine.dir/src/engine/cli.cpp.o.d"
+  "CMakeFiles/hbn_engine.dir/src/engine/registry.cpp.o"
+  "CMakeFiles/hbn_engine.dir/src/engine/registry.cpp.o.d"
+  "CMakeFiles/hbn_engine.dir/src/engine/strategies.cpp.o"
+  "CMakeFiles/hbn_engine.dir/src/engine/strategies.cpp.o.d"
+  "libhbn_engine.a"
+  "libhbn_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbn_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

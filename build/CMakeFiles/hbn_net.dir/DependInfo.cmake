@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/generators.cpp" "CMakeFiles/hbn_net.dir/src/net/generators.cpp.o" "gcc" "CMakeFiles/hbn_net.dir/src/net/generators.cpp.o.d"
+  "/root/repo/src/net/rooted.cpp" "CMakeFiles/hbn_net.dir/src/net/rooted.cpp.o" "gcc" "CMakeFiles/hbn_net.dir/src/net/rooted.cpp.o.d"
+  "/root/repo/src/net/serialize.cpp" "CMakeFiles/hbn_net.dir/src/net/serialize.cpp.o" "gcc" "CMakeFiles/hbn_net.dir/src/net/serialize.cpp.o.d"
+  "/root/repo/src/net/steiner.cpp" "CMakeFiles/hbn_net.dir/src/net/steiner.cpp.o" "gcc" "CMakeFiles/hbn_net.dir/src/net/steiner.cpp.o.d"
+  "/root/repo/src/net/tree.cpp" "CMakeFiles/hbn_net.dir/src/net/tree.cpp.o" "gcc" "CMakeFiles/hbn_net.dir/src/net/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/hbn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbn_net.dir/src/net/generators.cpp.o"
+  "CMakeFiles/hbn_net.dir/src/net/generators.cpp.o.d"
+  "CMakeFiles/hbn_net.dir/src/net/rooted.cpp.o"
+  "CMakeFiles/hbn_net.dir/src/net/rooted.cpp.o.d"
+  "CMakeFiles/hbn_net.dir/src/net/serialize.cpp.o"
+  "CMakeFiles/hbn_net.dir/src/net/serialize.cpp.o.d"
+  "CMakeFiles/hbn_net.dir/src/net/steiner.cpp.o"
+  "CMakeFiles/hbn_net.dir/src/net/steiner.cpp.o.d"
+  "CMakeFiles/hbn_net.dir/src/net/tree.cpp.o"
+  "CMakeFiles/hbn_net.dir/src/net/tree.cpp.o.d"
+  "libhbn_net.a"
+  "libhbn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

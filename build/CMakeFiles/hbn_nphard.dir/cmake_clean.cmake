@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbn_nphard.dir/src/nphard/gadget.cpp.o"
+  "CMakeFiles/hbn_nphard.dir/src/nphard/gadget.cpp.o.d"
+  "CMakeFiles/hbn_nphard.dir/src/nphard/partition.cpp.o"
+  "CMakeFiles/hbn_nphard.dir/src/nphard/partition.cpp.o.d"
+  "libhbn_nphard.a"
+  "libhbn_nphard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbn_nphard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hbn_nphard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbn_place.dir/tools/hbn_place.cpp.o"
+  "CMakeFiles/hbn_place.dir/tools/hbn_place.cpp.o.d"
+  "hbn_place"
+  "hbn_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbn_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

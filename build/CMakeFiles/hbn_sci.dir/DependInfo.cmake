@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sci/ring_network.cpp" "CMakeFiles/hbn_sci.dir/src/sci/ring_network.cpp.o" "gcc" "CMakeFiles/hbn_sci.dir/src/sci/ring_network.cpp.o.d"
+  "/root/repo/src/sci/transactions.cpp" "CMakeFiles/hbn_sci.dir/src/sci/transactions.cpp.o" "gcc" "CMakeFiles/hbn_sci.dir/src/sci/transactions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/hbn_core.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_net.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

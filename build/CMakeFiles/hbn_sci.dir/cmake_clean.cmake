@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbn_sci.dir/src/sci/ring_network.cpp.o"
+  "CMakeFiles/hbn_sci.dir/src/sci/ring_network.cpp.o.d"
+  "CMakeFiles/hbn_sci.dir/src/sci/transactions.cpp.o"
+  "CMakeFiles/hbn_sci.dir/src/sci/transactions.cpp.o.d"
+  "libhbn_sci.a"
+  "libhbn_sci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbn_sci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbn_sim.dir/src/sim/simulator.cpp.o"
+  "CMakeFiles/hbn_sim.dir/src/sim/simulator.cpp.o.d"
+  "libhbn_sim.a"
+  "libhbn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbn_util.dir/src/util/json.cpp.o"
+  "CMakeFiles/hbn_util.dir/src/util/json.cpp.o.d"
+  "CMakeFiles/hbn_util.dir/src/util/rng.cpp.o"
+  "CMakeFiles/hbn_util.dir/src/util/rng.cpp.o.d"
+  "CMakeFiles/hbn_util.dir/src/util/stats.cpp.o"
+  "CMakeFiles/hbn_util.dir/src/util/stats.cpp.o.d"
+  "CMakeFiles/hbn_util.dir/src/util/table.cpp.o"
+  "CMakeFiles/hbn_util.dir/src/util/table.cpp.o.d"
+  "libhbn_util.a"
+  "libhbn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generators.cpp" "CMakeFiles/hbn_workload.dir/src/workload/generators.cpp.o" "gcc" "CMakeFiles/hbn_workload.dir/src/workload/generators.cpp.o.d"
+  "/root/repo/src/workload/serialize.cpp" "CMakeFiles/hbn_workload.dir/src/workload/serialize.cpp.o" "gcc" "CMakeFiles/hbn_workload.dir/src/workload/serialize.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "CMakeFiles/hbn_workload.dir/src/workload/workload.cpp.o" "gcc" "CMakeFiles/hbn_workload.dir/src/workload/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/hbn_net.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbn_workload.dir/src/workload/generators.cpp.o"
+  "CMakeFiles/hbn_workload.dir/src/workload/generators.cpp.o.d"
+  "CMakeFiles/hbn_workload.dir/src/workload/serialize.cpp.o"
+  "CMakeFiles/hbn_workload.dir/src/workload/serialize.cpp.o.d"
+  "CMakeFiles/hbn_workload.dir/src/workload/workload.cpp.o"
+  "CMakeFiles/hbn_workload.dir/src/workload/workload.cpp.o.d"
+  "libhbn_workload.a"
+  "libhbn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

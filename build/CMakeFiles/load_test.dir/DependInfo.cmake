@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/load_test.cpp" "CMakeFiles/load_test.dir/tests/load_test.cpp.o" "gcc" "CMakeFiles/load_test.dir/tests/load_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/hbn_engine.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_dist.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_sci.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_nphard.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_core.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_net.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/hbn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

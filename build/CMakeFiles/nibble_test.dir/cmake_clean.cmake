@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nibble_test.dir/tests/nibble_test.cpp.o"
+  "CMakeFiles/nibble_test.dir/tests/nibble_test.cpp.o.d"
+  "nibble_test"
+  "nibble_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nibble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

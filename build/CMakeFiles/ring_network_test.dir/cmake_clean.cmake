@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_network_test.dir/tests/ring_network_test.cpp.o"
+  "CMakeFiles/ring_network_test.dir/tests/ring_network_test.cpp.o.d"
+  "ring_network_test"
+  "ring_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_vs_bus_test.dir/tests/ring_vs_bus_test.cpp.o"
+  "CMakeFiles/ring_vs_bus_test.dir/tests/ring_vs_bus_test.cpp.o.d"
+  "ring_vs_bus_test"
+  "ring_vs_bus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_vs_bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

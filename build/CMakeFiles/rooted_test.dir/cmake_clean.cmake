@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rooted_test.dir/tests/rooted_test.cpp.o"
+  "CMakeFiles/rooted_test.dir/tests/rooted_test.cpp.o.d"
+  "rooted_test"
+  "rooted_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rooted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_network_test.dir/tests/sync_network_test.cpp.o"
+  "CMakeFiles/sync_network_test.dir/tests/sync_network_test.cpp.o.d"
+  "sync_network_test"
+  "sync_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

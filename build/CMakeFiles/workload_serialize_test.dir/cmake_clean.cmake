@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_serialize_test.dir/tests/workload_serialize_test.cpp.o"
+  "CMakeFiles/workload_serialize_test.dir/tests/workload_serialize_test.cpp.o.d"
+  "workload_serialize_test"
+  "workload_serialize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
