@@ -1,0 +1,26 @@
+#include "experiments.h"
+
+namespace hbn::bench {
+
+engine::ExperimentRegistry& experiments() {
+  static const bool populated = [] {
+    engine::ExperimentRegistry& registry =
+        engine::ExperimentRegistry::global();
+    detail::registerApproxRatio(registry);
+    detail::registerNpGadget(registry);
+    detail::registerRuntime(registry);
+    detail::registerNibbleOptimality(registry);
+    detail::registerDeletionFactor(registry);
+    detail::registerRingVsBus(registry);
+    detail::registerThroughput(registry);
+    detail::registerDistributedRounds(registry);
+    detail::registerStrategyComparison(registry);
+    detail::registerAblation(registry);
+    detail::registerDynamic(registry);
+    return true;
+  }();
+  (void)populated;
+  return engine::ExperimentRegistry::global();
+}
+
+}  // namespace hbn::bench

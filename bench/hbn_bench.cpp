@@ -1,0 +1,17 @@
+// hbn_bench — the unified experiment driver.
+//
+// Usage:
+//   hbn_bench --list
+//   hbn_bench approx-ratio runtime:reps=5
+//   hbn_bench --suite=smoke --out results/
+//
+// Every experiment in bench/experiments/ is registered by name (spec
+// syntax `name[:key=value,...]`, shared with strategy specs); each run
+// prints its human-readable tables and writes a schema-versioned
+// BENCH_<experiment>.json for the cross-PR perf trajectory. The same
+// driver is reachable as `hbn_place --bench ...`.
+#include "experiments/experiments.h"
+
+int main(int argc, char** argv) {
+  return hbn::engine::runBenchCli(hbn::bench::experiments(), argc, argv);
+}

@@ -13,6 +13,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,7 +24,9 @@
 namespace hbn::engine {
 
 /// Parsed `key=value,...` options with consumption tracking: factories
-/// pull the keys they understand; create() rejects leftovers.
+/// pull the keys they understand; create() rejects leftovers. Shared by
+/// StrategyRegistry and ExperimentRegistry, so strategy and experiment
+/// specs have one syntax and one error vocabulary.
 class StrategyOptions {
  public:
   static StrategyOptions parse(std::string_view spec);
@@ -35,7 +39,7 @@ class StrategyOptions {
   [[nodiscard]] bool getBool(std::string_view key, bool fallback);
 
   /// Throws std::invalid_argument naming any key no getter consumed.
-  void throwIfUnconsumed(std::string_view strategyName) const;
+  void throwIfUnconsumed(std::string_view ownerName) const;
 
  private:
   struct Entry {
@@ -52,41 +56,100 @@ struct StrategyInfo {
   std::string optionsHelp;  ///< "iters=N,init=SPEC" style, may be empty
 };
 
-class StrategyRegistry {
+/// Shared name→factory machinery behind StrategyRegistry and
+/// ExperimentRegistry (experiment.h): canonical names plus aliases, spec
+/// strings `name[:key=value,...]`, unknown names listing the
+/// alternatives, and unconsumed option keys rejected after the factory
+/// ran. `kind` ("strategy", "experiment") only flavours the error
+/// messages. Info must be an aggregate with a `name` member.
+template <typename Product, typename Info>
+class SpecRegistry {
  public:
-  using Factory =
-      std::function<std::unique_ptr<PlacementStrategy>(StrategyOptions&)>;
+  using Factory = std::function<std::unique_ptr<Product>(StrategyOptions&)>;
+
+  /// Registers a product under its canonical name plus aliases.
+  void add(Info info, Factory factory,
+           std::vector<std::string> aliases = {}) {
+    const std::string canonical = info.name;
+    if (entries_.count(canonical) != 0) {
+      throw std::logic_error(kind_ + " '" + canonical +
+                             "' already registered");
+    }
+    entries_[canonical] =
+        Registered{std::move(info), factory, false, canonical};
+    for (std::string& alias : aliases) {
+      if (entries_.count(alias) != 0) {
+        throw std::logic_error(kind_ + " alias '" + alias +
+                               "' already registered");
+      }
+      entries_[std::move(alias)] = Registered{{}, factory, true, canonical};
+    }
+  }
+
+  /// Instantiates from a spec string `name[:options]`. Throws
+  /// std::invalid_argument for unknown names or unconsumed options.
+  [[nodiscard]] std::unique_ptr<Product> create(std::string_view spec) const {
+    const std::size_t colon = spec.find(':');
+    const std::string_view name = spec.substr(0, colon);
+    const std::string_view optionText =
+        colon == std::string_view::npos ? std::string_view{}
+                                        : spec.substr(colon + 1);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::ostringstream oss;
+      oss << "unknown " << kind_ << " '" << name << "'; available:";
+      for (const std::string& known : names()) oss << ' ' << known;
+      throw std::invalid_argument(oss.str());
+    }
+    StrategyOptions options = StrategyOptions::parse(optionText);
+    std::unique_ptr<Product> product = it->second.factory(options);
+    options.throwIfUnconsumed(it->second.canonical);
+    return product;
+  }
+
+  /// Canonical names, sorted; aliases are omitted.
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    for (const auto& [name, entry] : entries_) {
+      if (!entry.isAlias) out.push_back(name);
+    }
+    return out;
+  }
+
+  /// Info records for all canonical names, sorted by name.
+  [[nodiscard]] std::vector<Info> list() const {
+    std::vector<Info> out;
+    for (const auto& [name, entry] : entries_) {
+      if (!entry.isAlias) out.push_back(entry.info);
+    }
+    return out;
+  }
+
+ protected:
+  explicit SpecRegistry(std::string kind) : kind_(std::move(kind)) {}
+
+ private:
+  struct Registered {
+    Info info;
+    Factory factory;
+    bool isAlias = false;
+    std::string canonical;
+  };
+  std::string kind_;
+  std::map<std::string, Registered, std::less<>> entries_;
+};
+
+class StrategyRegistry
+    : public SpecRegistry<PlacementStrategy, StrategyInfo> {
+ public:
+  StrategyRegistry() : SpecRegistry("strategy") {}
 
   /// The process-wide registry, pre-populated with every built-in
   /// strategy.
   [[nodiscard]] static StrategyRegistry& global();
 
-  /// Registers a strategy under its canonical name plus aliases.
-  void add(StrategyInfo info, Factory factory,
-           std::vector<std::string> aliases = {});
-
-  /// Instantiates from a spec string `name[:options]`. Throws
-  /// std::invalid_argument for unknown names or unconsumed options.
-  [[nodiscard]] std::unique_ptr<PlacementStrategy> create(
-      std::string_view spec) const;
-
-  /// Canonical names, sorted; aliases are omitted.
-  [[nodiscard]] std::vector<std::string> names() const;
-
-  /// Info records for all canonical names, sorted by name.
-  [[nodiscard]] std::vector<StrategyInfo> list() const;
-
   /// Multi-line help text enumerating strategies and their options.
   [[nodiscard]] std::string helpText() const;
-
- private:
-  struct Registered {
-    StrategyInfo info;
-    Factory factory;
-    bool isAlias = false;
-    std::string canonical;
-  };
-  std::map<std::string, Registered, std::less<>> entries_;
 };
 
 namespace detail {

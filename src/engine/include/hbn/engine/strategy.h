@@ -38,6 +38,14 @@ struct Context {
 /// Abstract placement strategy: a name and a pure tree+workload→placement
 /// map. Implementations must be safe to reuse across place() calls and
 /// must derive all randomness from the Context seed.
+///
+/// Strategies are instantiated by spec string through StrategyRegistry
+/// (registry.h) and measured by the experiment harness (experiment.h),
+/// whose Experiment interface is this class's benchmark-side twin: a
+/// strategy computes one placement, an experiment sweeps strategies or
+/// pipeline stages over instance grids and emits the BENCH_*.json
+/// trajectory. docs/architecture.md shows where both sit in the layer
+/// diagram.
 class PlacementStrategy {
  public:
   virtual ~PlacementStrategy() = default;

@@ -16,7 +16,7 @@ StrategyOptions StrategyOptions::parse(std::string_view spec) {
     if (item.empty()) continue;
     const std::size_t eq = item.find('=');
     if (eq == std::string_view::npos || eq == 0) {
-      throw std::invalid_argument("strategy option '" + std::string(item) +
+      throw std::invalid_argument("option '" + std::string(item) +
                                   "' is not of the form key=value");
     }
     options.entries_[std::string(item.substr(0, eq))] =
@@ -48,7 +48,7 @@ std::int64_t StrategyOptions::getInt(std::string_view key,
     if (used != it->second.value.size()) throw std::invalid_argument("");
     return value;
   } catch (const std::exception&) {
-    throw std::invalid_argument("strategy option " + std::string(key) + "=" +
+    throw std::invalid_argument("option " + std::string(key) + "=" +
                                 it->second.value + " is not an integer");
   }
 }
@@ -60,14 +60,14 @@ bool StrategyOptions::getBool(std::string_view key, bool fallback) {
   const std::string& v = it->second.value;
   if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
   if (v == "0" || v == "false" || v == "no" || v == "off") return false;
-  throw std::invalid_argument("strategy option " + std::string(key) + "=" + v +
+  throw std::invalid_argument("option " + std::string(key) + "=" + v +
                               " is not a boolean");
 }
 
-void StrategyOptions::throwIfUnconsumed(std::string_view strategyName) const {
+void StrategyOptions::throwIfUnconsumed(std::string_view ownerName) const {
   for (const auto& [key, entry] : entries_) {
     if (!entry.consumed) {
-      throw std::invalid_argument("strategy '" + std::string(strategyName) +
+      throw std::invalid_argument("'" + std::string(ownerName) +
                                   "' does not understand option '" + key +
                                   "'");
     }
@@ -81,58 +81,6 @@ StrategyRegistry& StrategyRegistry::global() {
     return r;
   }();
   return *registry;
-}
-
-void StrategyRegistry::add(StrategyInfo info, Factory factory,
-                           std::vector<std::string> aliases) {
-  const std::string canonical = info.name;
-  if (entries_.count(canonical) != 0) {
-    throw std::logic_error("strategy '" + canonical + "' already registered");
-  }
-  entries_[canonical] = Registered{std::move(info), factory, false, canonical};
-  for (std::string& alias : aliases) {
-    if (entries_.count(alias) != 0) {
-      throw std::logic_error("strategy alias '" + alias +
-                             "' already registered");
-    }
-    entries_[std::move(alias)] = Registered{{}, factory, true, canonical};
-  }
-}
-
-std::unique_ptr<PlacementStrategy> StrategyRegistry::create(
-    std::string_view spec) const {
-  const std::size_t colon = spec.find(':');
-  const std::string_view name = spec.substr(0, colon);
-  const std::string_view optionText =
-      colon == std::string_view::npos ? std::string_view{}
-                                      : spec.substr(colon + 1);
-  const auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    std::ostringstream oss;
-    oss << "unknown strategy '" << name << "'; available:";
-    for (const std::string& known : names()) oss << ' ' << known;
-    throw std::invalid_argument(oss.str());
-  }
-  StrategyOptions options = StrategyOptions::parse(optionText);
-  std::unique_ptr<PlacementStrategy> strategy = it->second.factory(options);
-  options.throwIfUnconsumed(it->second.canonical);
-  return strategy;
-}
-
-std::vector<std::string> StrategyRegistry::names() const {
-  std::vector<std::string> out;
-  for (const auto& [name, entry] : entries_) {
-    if (!entry.isAlias) out.push_back(name);
-  }
-  return out;
-}
-
-std::vector<StrategyInfo> StrategyRegistry::list() const {
-  std::vector<StrategyInfo> out;
-  for (const auto& [name, entry] : entries_) {
-    if (!entry.isAlias) out.push_back(entry.info);
-  }
-  return out;
 }
 
 std::string StrategyRegistry::helpText() const {

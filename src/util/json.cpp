@@ -1,5 +1,6 @@
 #include "hbn/util/json.h"
 
+#include <cctype>
 #include <cmath>
 #include <fstream>
 #include <ostream>
@@ -45,6 +46,10 @@ void JsonRecords::field(std::string_view key, std::int64_t value) {
   records_.back().emplace_back(std::string(key), std::to_string(value));
 }
 
+void JsonRecords::field(std::string_view key, bool value) {
+  records_.back().emplace_back(std::string(key), value ? "true" : "false");
+}
+
 void JsonRecords::field(std::string_view key, double value) {
   std::string rendered;
   if (std::isfinite(value)) {
@@ -77,6 +82,201 @@ void JsonRecords::writeFile(const std::string& path) const {
     throw std::runtime_error("cannot write " + path);
   }
   write(out);
+}
+
+namespace {
+
+/// Recursive-descent parser over the flat-record subset. Tracks a cursor
+/// into the input and throws std::runtime_error with a byte offset on
+/// any deviation from the grammar.
+class RecordParser {
+ public:
+  explicit RecordParser(std::string_view text) : text_(text) {}
+
+  std::vector<ParsedRecord> parse() {
+    std::vector<ParsedRecord> records;
+    skipSpace();
+    expect('[');
+    skipSpace();
+    if (peek() == ']') {
+      ++pos_;
+    } else {
+      while (true) {
+        records.push_back(parseRecord());
+        skipSpace();
+        const char c = next();
+        if (c == ']') break;
+        if (c != ',') fail("expected ',' or ']' after record");
+      }
+    }
+    skipSpace();
+    if (pos_ != text_.size()) fail("trailing content after array");
+    return records;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char wanted) {
+    if (next() != wanted) {
+      --pos_;
+      fail(std::string("expected '") + wanted + "'");
+    }
+  }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int d = 0; d < 4; ++d) {
+            const char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape digit");
+            }
+          }
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("unknown escape sequence");
+      }
+    }
+  }
+
+  ParsedField parseValue(std::string key) {
+    ParsedField field;
+    field.key = std::move(key);
+    const char c = peek();
+    if (c == '"') {
+      field.kind = ParsedField::Kind::string;
+      field.text = parseString();
+      return field;
+    }
+    if (c == 'n') {
+      if (text_.substr(pos_, 4) != "null") fail("expected 'null'");
+      pos_ += 4;
+      field.kind = ParsedField::Kind::null;
+      return field;
+    }
+    if (c == 't' || c == 'f') {
+      const bool value = c == 't';
+      const std::string_view literal = value ? "true" : "false";
+      if (text_.substr(pos_, literal.size()) != literal) {
+        fail("expected 'true' or 'false'");
+      }
+      pos_ += literal.size();
+      field.kind = ParsedField::Kind::boolean;
+      field.text = std::string(literal);
+      field.number = value ? 1.0 : 0.0;
+      return field;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+              text_[pos_] == '-' || text_[pos_] == '+' ||
+              text_[pos_] == '.' || text_[pos_] == 'e' ||
+              text_[pos_] == 'E')) {
+        ++pos_;
+      }
+      field.kind = ParsedField::Kind::number;
+      field.text = std::string(text_.substr(start, pos_ - start));
+      std::size_t used = 0;
+      try {
+        field.number = std::stod(field.text, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      if (used != field.text.size()) fail("malformed number literal");
+      return field;
+    }
+    fail("values must be strings, numbers, booleans, or null");
+  }
+
+  ParsedRecord parseRecord() {
+    skipSpace();
+    expect('{');
+    ParsedRecord record;
+    skipSpace();
+    if (peek() == '}') {
+      ++pos_;
+      return record;
+    }
+    while (true) {
+      skipSpace();
+      std::string key = parseString();
+      for (const ParsedField& existing : record) {
+        if (existing.key == key) fail("duplicate key '" + key + "'");
+      }
+      skipSpace();
+      expect(':');
+      skipSpace();
+      record.push_back(parseValue(std::move(key)));
+      skipSpace();
+      const char c = next();
+      if (c == '}') return record;
+      if (c != ',') fail("expected ',' or '}' after field");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<ParsedRecord> parseRecords(std::string_view json) {
+  return RecordParser(json).parse();
 }
 
 }  // namespace hbn::util

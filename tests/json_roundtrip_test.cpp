@@ -1,0 +1,149 @@
+// Round-trip coverage for util/json.h: what JsonRecords emits must parse
+// back through util::parseRecords with keys in emission order, values
+// intact, and non-finite doubles mapped to null — the contract every
+// BENCH_*.json trajectory file rests on.
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "hbn/util/json.h"
+
+namespace hbn::util {
+namespace {
+
+std::string render(const JsonRecords& records) {
+  std::ostringstream oss;
+  records.write(oss);
+  return oss.str();
+}
+
+TEST(JsonRoundTrip, EmptyArrayParses) {
+  JsonRecords records;
+  const auto parsed = parseRecords(render(records));
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(JsonRoundTrip, PreservesKeyOrderAndValues) {
+  JsonRecords records;
+  records.beginRecord();
+  records.field("zeta", std::string_view("first"));
+  records.field("alpha", std::int64_t{42});
+  records.field("mid", 2.5);
+  records.beginRecord();
+  records.field("only", std::int64_t{-7});
+
+  const auto parsed = parseRecords(render(records));
+  ASSERT_EQ(parsed.size(), 2u);
+  ASSERT_EQ(parsed[0].size(), 3u);
+  // Emission order survives, not alphabetical order.
+  EXPECT_EQ(parsed[0][0].key, "zeta");
+  EXPECT_EQ(parsed[0][0].kind, ParsedField::Kind::string);
+  EXPECT_EQ(parsed[0][0].text, "first");
+  EXPECT_EQ(parsed[0][1].key, "alpha");
+  EXPECT_EQ(parsed[0][1].kind, ParsedField::Kind::number);
+  EXPECT_DOUBLE_EQ(parsed[0][1].number, 42.0);
+  EXPECT_EQ(parsed[0][1].text, "42");
+  EXPECT_EQ(parsed[0][2].key, "mid");
+  EXPECT_DOUBLE_EQ(parsed[0][2].number, 2.5);
+  ASSERT_EQ(parsed[1].size(), 1u);
+  EXPECT_EQ(parsed[1][0].key, "only");
+  EXPECT_DOUBLE_EQ(parsed[1][0].number, -7.0);
+}
+
+TEST(JsonRoundTrip, NanAndInfinityBecomeNull) {
+  JsonRecords records;
+  records.beginRecord();
+  records.field("nan", std::numeric_limits<double>::quiet_NaN());
+  records.field("pos_inf", std::numeric_limits<double>::infinity());
+  records.field("neg_inf", -std::numeric_limits<double>::infinity());
+  records.field("finite", 1.0);
+
+  const auto parsed = parseRecords(render(records));
+  ASSERT_EQ(parsed.size(), 1u);
+  ASSERT_EQ(parsed[0].size(), 4u);
+  EXPECT_EQ(parsed[0][0].kind, ParsedField::Kind::null);
+  EXPECT_EQ(parsed[0][1].kind, ParsedField::Kind::null);
+  EXPECT_EQ(parsed[0][2].kind, ParsedField::Kind::null);
+  EXPECT_EQ(parsed[0][3].kind, ParsedField::Kind::number);
+}
+
+TEST(JsonRoundTrip, BooleansAreRealJsonBooleans) {
+  JsonRecords records;
+  records.beginRecord();
+  records.field("yes", true);
+  records.field("no", false);
+
+  const std::string text = render(records);
+  EXPECT_NE(text.find("\"yes\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"no\": false"), std::string::npos);
+  const auto parsed = parseRecords(text);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0][0].kind, ParsedField::Kind::boolean);
+  EXPECT_DOUBLE_EQ(parsed[0][0].number, 1.0);
+  EXPECT_EQ(parsed[0][1].kind, ParsedField::Kind::boolean);
+  EXPECT_DOUBLE_EQ(parsed[0][1].number, 0.0);
+  EXPECT_THROW(parseRecords("[{\"a\": tru}]"), std::runtime_error);
+}
+
+TEST(JsonRoundTrip, EscapedStringsSurvive) {
+  JsonRecords records;
+  records.beginRecord();
+  records.field("tricky",
+                std::string_view("quote \" backslash \\ newline \n tab \t"));
+  records.field("control", std::string_view("bell \x07 end"));
+
+  const auto parsed = parseRecords(render(records));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0][0].text, "quote \" backslash \\ newline \n tab \t");
+  EXPECT_EQ(parsed[0][1].text, "bell \x07 end");
+}
+
+TEST(JsonRoundTrip, ExtremeIntegersKeepExactText) {
+  JsonRecords records;
+  records.beginRecord();
+  records.field("max", std::numeric_limits<std::int64_t>::max());
+  records.field("min", std::numeric_limits<std::int64_t>::min());
+
+  const auto parsed = parseRecords(render(records));
+  // Doubles cannot hold int64 max exactly; the preserved literal can.
+  EXPECT_EQ(parsed[0][0].text, "9223372036854775807");
+  EXPECT_EQ(parsed[0][1].text, "-9223372036854775808");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(parseRecords(""), std::runtime_error);
+  EXPECT_THROW(parseRecords("{\"a\": 1}"), std::runtime_error);  // no array
+  EXPECT_THROW(parseRecords("[{\"a\": 1}"), std::runtime_error);
+  EXPECT_THROW(parseRecords("[{\"a\": }]"), std::runtime_error);
+  EXPECT_THROW(parseRecords("[{\"a\": 1,}]"), std::runtime_error);
+  EXPECT_THROW(parseRecords("[{\"a\": 1}] trailing"), std::runtime_error);
+  EXPECT_THROW(parseRecords("[{\"a\": [1]}]"), std::runtime_error);  // nested
+  EXPECT_THROW(parseRecords("[{\"a\": 1, \"a\": 2}]"),
+               std::runtime_error);  // duplicate key
+  EXPECT_THROW(parseRecords("[{\"a\": 1e}]"), std::runtime_error);
+}
+
+TEST(JsonParse, AcceptsWhitespaceAndEmptyRecords) {
+  const auto parsed = parseRecords("  [ { } ,\n {\"k\" : null} ]\n");
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_TRUE(parsed[0].empty());
+  EXPECT_EQ(parsed[1][0].kind, ParsedField::Kind::null);
+}
+
+TEST(JsonRoundTrip, FileWriteMatchesStreamWrite) {
+  JsonRecords records;
+  records.beginRecord();
+  records.field("k", std::int64_t{1});
+  const std::string path = testing::TempDir() + "json_roundtrip_test.json";
+  records.writeFile(path);
+  std::ifstream in(path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  EXPECT_EQ(oss.str(), render(records));
+}
+
+}  // namespace
+}  // namespace hbn::util
