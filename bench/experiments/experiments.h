@@ -27,6 +27,7 @@ void registerDistributedRounds(engine::ExperimentRegistry&); // E8
 void registerStrategyComparison(engine::ExperimentRegistry&);// E9
 void registerAblation(engine::ExperimentRegistry&);          // E10
 void registerDynamic(engine::ExperimentRegistry&);           // E11
+void registerServingThroughput(engine::ExperimentRegistry&); // E12
 }  // namespace detail
 
 }  // namespace hbn::bench

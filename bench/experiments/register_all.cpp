@@ -17,6 +17,7 @@ engine::ExperimentRegistry& experiments() {
     detail::registerStrategyComparison(registry);
     detail::registerAblation(registry);
     detail::registerDynamic(registry);
+    detail::registerServingThroughput(registry);
     return true;
   }();
   (void)populated;

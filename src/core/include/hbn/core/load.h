@@ -13,6 +13,7 @@
 // doubles.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -36,6 +37,9 @@ class LoadMap {
   void addEdgeLoad(net::EdgeId e, Count amount) {
     edgeLoad_.at(static_cast<std::size_t>(e)) += amount;
   }
+  /// Zeroes every edge load, keeping the allocation (per-epoch worker
+  /// maps in the serving engine are reused this way).
+  void clear() noexcept { std::fill(edgeLoad_.begin(), edgeLoad_.end(), 0); }
 
   /// Bus load: half the sum of incident edge loads (exact, may be x.5).
   [[nodiscard]] double busLoad(const net::Tree& tree, net::NodeId bus) const;

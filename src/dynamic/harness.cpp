@@ -77,7 +77,7 @@ CompetitiveResult runCompetitive(const net::RootedTree& rooted,
   result.offlineLowerBound =
       core::analyticLowerBound(rooted, aggregated).congestion;
   result.ratio =
-      result.onlineCongestion / std::max(result.offlineLowerBound, 1.0);
+      competitiveRatio(result.onlineCongestion, result.offlineLowerBound);
   result.replications = strategy.replications();
   result.invalidations = strategy.invalidations();
   return result;

@@ -9,6 +9,7 @@
 // copy).
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "hbn/dynamic/online_strategy.h"
@@ -16,6 +17,18 @@
 #include "hbn/workload/workload.h"
 
 namespace hbn::dynamic {
+
+/// The true online-vs-offline congestion ratio, with the zero lower
+/// bound guarded explicitly (dividing by max(LB, 1) would silently
+/// deflate ratios whenever the bound is sub-1): 1 when both are zero
+/// (trivially optimal), +inf when only the bound is. Shared by the
+/// competitive harness and the serving engine's epoch log.
+[[nodiscard]] inline double competitiveRatio(double onlineCongestion,
+                                             double offlineLowerBound) {
+  if (offlineLowerBound > 0.0) return onlineCongestion / offlineLowerBound;
+  return onlineCongestion == 0.0 ? 1.0
+                                 : std::numeric_limits<double>::infinity();
+}
 
 /// Flattens a static workload into a uniformly shuffled request sequence.
 [[nodiscard]] std::vector<Request> sequenceFromWorkload(
@@ -31,7 +44,8 @@ namespace hbn::dynamic {
 struct CompetitiveResult {
   double onlineCongestion = 0.0;
   double offlineLowerBound = 0.0;
-  /// onlineCongestion / max(offlineLowerBound, 1); the headline number.
+  /// The true ratio onlineCongestion / offlineLowerBound; 1 when both
+  /// are zero (trivially optimal), +inf when only the bound is zero.
   double ratio = 0.0;
   Count replications = 0;
   Count invalidations = 0;

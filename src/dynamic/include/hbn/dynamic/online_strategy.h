@@ -25,6 +25,8 @@
 // frequencies).
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hbn/core/load.h"
@@ -44,11 +46,25 @@ struct OnlineOptions {
   bool contractOnWrite = true;
 };
 
-/// One online request.
-struct Request {
-  ObjectId object = 0;
-  net::NodeId origin = net::kInvalidNode;
-  bool isWrite = false;
+/// One online request (the workload layer's stream event).
+using Request = workload::RequestEvent;
+
+/// Replication/invalidation counts of one serveShard call.
+struct ShardStats {
+  Count replications = 0;
+  Count invalidations = 0;
+};
+
+/// Reusable per-worker buffers for serveShard: entry-point BFS state
+/// (stamp-versioned so it needs no clearing between requests), path
+/// scratch, and the copy-location gather. One instance per worker thread
+/// amortises every per-request allocation away.
+struct ServeScratch {
+  std::vector<std::uint32_t> seenStamp;
+  std::uint32_t stamp = 0;
+  std::vector<net::NodeId> queue;
+  std::vector<net::NodeId> pathNodes;
+  std::vector<net::NodeId> locations;
 };
 
 /// Executes requests online, maintaining per-object copy subtrees and
@@ -64,6 +80,24 @@ class OnlineTreeStrategy {
 
   /// Serves one request, updating loads and the copy set.
   void serve(const Request& request);
+
+  /// Shard-serving entry point for the epoch server: serves `requests`
+  /// (each of which must target object `x`, in arrival order) against x's
+  /// copy-subtree state, accumulating load into the caller's `loads`
+  /// instead of the strategy-owned map. Calls for distinct objects touch
+  /// disjoint state and only read the shared tree, so the epoch server
+  /// may run them concurrently — one worker per object stripe, each with
+  /// its own scratch and LoadMap.
+  ShardStats serveShard(ObjectId x, std::span<const Request> requests,
+                        core::LoadMap& loads, ServeScratch& scratch);
+
+  /// Replaces x's copy set with `locations` (non-empty; must form a
+  /// connected subtree, e.g. a nibble copy set) and resets x's read
+  /// counters: the dynamic-to-static handoff of the epoch server's
+  /// re-placement pass. Migration traffic is accounted by the caller.
+  /// Per-object like serveShard, so safe to call concurrently for
+  /// distinct objects.
+  void resetCopySet(ObjectId x, std::span<const net::NodeId> locations);
 
   /// Loads accumulated so far (service + update + migration traffic).
   [[nodiscard]] const core::LoadMap& loads() const noexcept { return loads_; }
@@ -85,9 +119,16 @@ class OnlineTreeStrategy {
     int copyCount = 0;
   };
 
-  /// Entry point of `v` into the copy subtree of `state` (nearest copy).
+  /// Entry point of `v` into the copy subtree of `state` (nearest copy),
+  /// via stamp-versioned BFS over `scratch`.
   [[nodiscard]] net::NodeId entryPoint(const ObjectState& state,
-                                       net::NodeId v) const;
+                                       net::NodeId v,
+                                       ServeScratch& scratch) const;
+
+  /// Serves one request against `state`, charging `loads` and `stats`.
+  void serveOne(ObjectState& state, const Request& request,
+                core::LoadMap& loads, ShardStats& stats,
+                ServeScratch& scratch) const;
 
   const net::RootedTree* rooted_;
   OnlineOptions options_;
@@ -95,6 +136,7 @@ class OnlineTreeStrategy {
   core::LoadMap loads_;
   Count replications_ = 0;
   Count invalidations_ = 0;
+  ServeScratch scratch_;  ///< backs the sequential serve() path
 };
 
 }  // namespace hbn::dynamic

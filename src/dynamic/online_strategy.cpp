@@ -37,76 +37,94 @@ OnlineTreeStrategy::OnlineTreeStrategy(const net::RootedTree& rooted,
 }
 
 net::NodeId OnlineTreeStrategy::entryPoint(const ObjectState& state,
-                                           net::NodeId v) const {
+                                           net::NodeId v,
+                                           ServeScratch& scratch) const {
   // BFS from v until the first copy node: the copy set is connected, so
-  // this is the unique entry point.
+  // this is the unique entry point. The visited set is stamp-versioned,
+  // so repeated calls reuse the buffers without clearing them.
   if (state.hasCopy[static_cast<std::size_t>(v)]) return v;
   const net::Tree& tree = rooted_->tree();
-  std::vector<char> seen(static_cast<std::size_t>(tree.nodeCount()), 0);
-  std::vector<net::NodeId> queue{v};
-  seen[static_cast<std::size_t>(v)] = 1;
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const net::NodeId u = queue[head];
+  const auto n = static_cast<std::size_t>(tree.nodeCount());
+  if (scratch.seenStamp.size() != n) {
+    scratch.seenStamp.assign(n, 0);
+    scratch.stamp = 0;
+  }
+  const std::uint32_t stamp = ++scratch.stamp;
+  if (stamp == 0) {  // wrapped: restart the versioning
+    scratch.seenStamp.assign(n, 0);
+    scratch.stamp = 1;
+  }
+  scratch.queue.clear();
+  scratch.queue.push_back(v);
+  scratch.seenStamp[static_cast<std::size_t>(v)] = scratch.stamp;
+  for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
+    const net::NodeId u = scratch.queue[head];
     if (state.hasCopy[static_cast<std::size_t>(u)]) return u;
     for (const net::HalfEdge& he : tree.neighbors(u)) {
-      if (!seen[static_cast<std::size_t>(he.to)]) {
-        seen[static_cast<std::size_t>(he.to)] = 1;
-        queue.push_back(he.to);
+      if (scratch.seenStamp[static_cast<std::size_t>(he.to)] !=
+          scratch.stamp) {
+        scratch.seenStamp[static_cast<std::size_t>(he.to)] = scratch.stamp;
+        scratch.queue.push_back(he.to);
       }
     }
   }
   throw std::logic_error("entryPoint: copy set empty");
 }
 
-void OnlineTreeStrategy::serve(const Request& request) {
-  if (request.object < 0 ||
-      request.object >= static_cast<ObjectId>(objects_.size())) {
-    throw std::out_of_range("serve: object id");
-  }
-  const net::Tree& tree = rooted_->tree();
-  ObjectState& state = objects_[static_cast<std::size_t>(request.object)];
+void OnlineTreeStrategy::serveOne(ObjectState& state, const Request& request,
+                                  core::LoadMap& loads, ShardStats& stats,
+                                  ServeScratch& scratch) const {
   const net::NodeId origin = request.origin;
-  const net::NodeId entry = entryPoint(state, origin);
+  const net::NodeId entry = entryPoint(state, origin, scratch);
+
+  // Edge between adjacent path nodes a/b: the parent edge of the deeper
+  // one. (RootedTree::forEachPathEdge is not used here — its internal
+  // scratch is not safe for concurrent shards.)
+  const auto edgeBetween = [&](net::NodeId a, net::NodeId b) {
+    return rooted_->depth(a) > rooted_->depth(b) ? rooted_->parentEdge(a)
+                                                 : rooted_->parentEdge(b);
+  };
 
   if (!request.isWrite) {
-    // Service load on the origin→entry path; bump counters; replicate
+    // Service load on the entry→origin path; bump counters; replicate
     // across saturated edges adjacent to the copy set, cascading toward
     // the reader.
-    const auto pathNodes = rooted_->pathNodes(entry, origin);
-    for (std::size_t i = 1; i < pathNodes.size(); ++i) {
-      // Edge between pathNodes[i-1] (closer to entry) and pathNodes[i].
-      net::EdgeId edge = net::kInvalidEdge;
-      for (const net::HalfEdge& he : tree.neighbors(pathNodes[i - 1])) {
-        if (he.to == pathNodes[i]) {
-          edge = he.edge;
-          break;
-        }
-      }
-      loads_.addEdgeLoad(edge, 1);
+    scratch.pathNodes.clear();
+    const net::NodeId a = rooted_->lca(entry, origin);
+    for (net::NodeId x = entry; x != a; x = rooted_->parent(x)) {
+      scratch.pathNodes.push_back(x);
+    }
+    scratch.pathNodes.push_back(a);
+    const std::size_t downStart = scratch.pathNodes.size();
+    for (net::NodeId x = origin; x != a; x = rooted_->parent(x)) {
+      scratch.pathNodes.push_back(x);
+    }
+    std::reverse(scratch.pathNodes.begin() +
+                     static_cast<std::ptrdiff_t>(downStart),
+                 scratch.pathNodes.end());
+
+    for (std::size_t i = 1; i < scratch.pathNodes.size(); ++i) {
+      const net::EdgeId edge =
+          edgeBetween(scratch.pathNodes[i - 1], scratch.pathNodes[i]);
+      loads.addEdgeLoad(edge, 1);
       ++state.readCounter[static_cast<std::size_t>(edge)];
     }
     // Cascade replication from the entry outwards while thresholds hold.
-    for (std::size_t i = 1; i < pathNodes.size(); ++i) {
-      const net::NodeId from = pathNodes[i - 1];
-      const net::NodeId to = pathNodes[i];
+    for (std::size_t i = 1; i < scratch.pathNodes.size(); ++i) {
+      const net::NodeId from = scratch.pathNodes[i - 1];
+      const net::NodeId to = scratch.pathNodes[i];
       if (!state.hasCopy[static_cast<std::size_t>(from)]) break;
       if (state.hasCopy[static_cast<std::size_t>(to)]) continue;
-      net::EdgeId edge = net::kInvalidEdge;
-      for (const net::HalfEdge& he : tree.neighbors(from)) {
-        if (he.to == to) {
-          edge = he.edge;
-          break;
-        }
-      }
+      const net::EdgeId edge = edgeBetween(from, to);
       if (state.readCounter[static_cast<std::size_t>(edge)] <
           options_.replicationThreshold) {
         break;
       }
       // Replicate across: one object migration message.
-      loads_.addEdgeLoad(edge, 1);
+      loads.addEdgeLoad(edge, 1);
       state.hasCopy[static_cast<std::size_t>(to)] = 1;
       ++state.copyCount;
-      ++replications_;
+      ++stats.replications;
       state.readCounter[static_cast<std::size_t>(edge)] = 0;
     }
     return;
@@ -114,30 +132,89 @@ void OnlineTreeStrategy::serve(const Request& request) {
 
   // WRITE: origin→entry path plus broadcast over the copy subtree.
   if (origin != entry) {
-    rooted_->forEachPathEdge(origin, entry,
-                             [&](net::EdgeId e) { loads_.addEdgeLoad(e, 1); });
+    const net::NodeId a = rooted_->lca(origin, entry);
+    for (net::NodeId x = origin; x != a; x = rooted_->parent(x)) {
+      loads.addEdgeLoad(rooted_->parentEdge(x), 1);
+    }
+    for (net::NodeId x = entry; x != a; x = rooted_->parent(x)) {
+      loads.addEdgeLoad(rooted_->parentEdge(x), 1);
+    }
   }
   if (state.copyCount > 1) {
-    std::vector<net::NodeId> locations;
+    scratch.locations.clear();
+    const net::Tree& tree = rooted_->tree();
     for (net::NodeId v = 0; v < tree.nodeCount(); ++v) {
       if (state.hasCopy[static_cast<std::size_t>(v)]) {
-        locations.push_back(v);
+        scratch.locations.push_back(v);
       }
     }
-    const auto steiner = net::steinerEdges(*rooted_, locations);
-    for (const net::EdgeId e : steiner) loads_.addEdgeLoad(e, 1);
+    const auto steiner = net::steinerEdges(*rooted_, scratch.locations);
+    for (const net::EdgeId e : steiner) loads.addEdgeLoad(e, 1);
     if (options_.contractOnWrite) {
       // Invalidate every replica except the writer-side entry copy.
-      for (const net::NodeId v : locations) {
+      for (const net::NodeId v : scratch.locations) {
         if (v != entry) {
           state.hasCopy[static_cast<std::size_t>(v)] = 0;
-          ++invalidations_;
+          ++stats.invalidations;
         }
       }
       state.copyCount = 1;
       std::fill(state.readCounter.begin(), state.readCounter.end(), 0);
     }
   }
+}
+
+void OnlineTreeStrategy::serve(const Request& request) {
+  if (request.object < 0 ||
+      request.object >= static_cast<ObjectId>(objects_.size())) {
+    throw std::out_of_range("serve: object id");
+  }
+  ObjectState& state = objects_[static_cast<std::size_t>(request.object)];
+  ShardStats stats;
+  serveOne(state, request, loads_, stats, scratch_);
+  replications_ += stats.replications;
+  invalidations_ += stats.invalidations;
+}
+
+ShardStats OnlineTreeStrategy::serveShard(ObjectId x,
+                                          std::span<const Request> requests,
+                                          core::LoadMap& loads,
+                                          ServeScratch& scratch) {
+  if (x < 0 || x >= static_cast<ObjectId>(objects_.size())) {
+    throw std::out_of_range("serveShard: object id");
+  }
+  ObjectState& state = objects_[static_cast<std::size_t>(x)];
+  ShardStats stats;
+  for (const Request& request : requests) {
+    if (request.object != x) {
+      throw std::invalid_argument("serveShard: request targets wrong object");
+    }
+    serveOne(state, request, loads, stats, scratch);
+  }
+  return stats;
+}
+
+void OnlineTreeStrategy::resetCopySet(ObjectId x,
+                                      std::span<const net::NodeId> locations) {
+  if (x < 0 || x >= static_cast<ObjectId>(objects_.size())) {
+    throw std::out_of_range("resetCopySet: object id");
+  }
+  if (locations.empty()) {
+    throw std::invalid_argument("resetCopySet: empty copy set");
+  }
+  ObjectState& state = objects_[static_cast<std::size_t>(x)];
+  std::fill(state.hasCopy.begin(), state.hasCopy.end(), 0);
+  state.copyCount = 0;
+  for (const net::NodeId v : locations) {
+    if (v < 0 || v >= rooted_->tree().nodeCount()) {
+      throw std::out_of_range("resetCopySet: location");
+    }
+    if (!state.hasCopy[static_cast<std::size_t>(v)]) {
+      state.hasCopy[static_cast<std::size_t>(v)] = 1;
+      ++state.copyCount;
+    }
+  }
+  std::fill(state.readCounter.begin(), state.readCounter.end(), 0);
 }
 
 std::vector<net::NodeId> OnlineTreeStrategy::copySet(ObjectId x) const {

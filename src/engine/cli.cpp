@@ -6,21 +6,40 @@
 #include "hbn/engine/registry.h"
 
 namespace hbn::engine {
-namespace {
 
-std::uint64_t parseUint(const std::string& flag, const std::string& text) {
-  try {
-    // std::stoull wraps negative input instead of throwing.
-    if (text.empty() || text[0] == '-') throw std::invalid_argument("");
-    std::size_t used = 0;
-    const unsigned long long value = std::stoull(text, &used);
-    if (used != text.size()) throw std::invalid_argument("");
-    return static_cast<std::uint64_t>(value);
-  } catch (const std::exception&) {
-    throw std::invalid_argument(flag + " expects a non-negative integer, got '" +
-                                text + "'");
+std::uint64_t parseUintFlag(const std::string& flag, const std::string& text,
+                            std::uint64_t max) {
+  // Hand-rolled instead of std::stoull: stoull silently skips leading
+  // whitespace, accepts '+'/'-' signs (wrapping negatives), and stops at
+  // the first non-digit — all of which used to let partial parses like
+  // '12x' or ' 7' through. Every deviation is rejected here with one
+  // error vocabulary across --seed, --threads, and the serve flags.
+  if (text.empty()) {
+    throw std::invalid_argument(flag +
+                                " expects a non-negative integer, got ''");
   }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument(flag +
+                                  " expects a non-negative integer, got '" +
+                                  text + "'");
+    }
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      throw std::invalid_argument(flag + " value '" + text +
+                                  "' is out of range");
+    }
+    value = value * 10 + digit;
+  }
+  if (value > max) {
+    throw std::invalid_argument(flag + " expects at most " +
+                                std::to_string(max) + ", got '" + text + "'");
+  }
+  return value;
 }
+
+namespace {
 
 void splitStrategies(const std::string& text,
                      std::vector<std::string>& out) {
@@ -62,14 +81,10 @@ CliOptions parseCli(int argc, char** argv) {
     if (arg == "--strategy" || arg == "-s") {
       splitStrategies(value(arg), options.strategies);
     } else if (arg == "--threads" || arg == "-t") {
-      const std::uint64_t threads = parseUint(arg, value(arg));
-      if (threads > 4096) {
-        throw std::invalid_argument(arg + " expects at most 4096, got " +
-                                    std::to_string(threads));
-      }
-      options.threads = static_cast<int>(threads);
+      options.threads =
+          static_cast<int>(parseUintFlag(arg, value(arg), /*max=*/4096));
     } else if (arg == "--seed") {
-      options.seed = parseUint(arg, value(arg));
+      options.seed = parseUintFlag(arg, value(arg));
       options.seedSet = true;
     } else if (arg == "--help" || arg == "-h") {
       options.help = true;

@@ -29,6 +29,14 @@ struct CliOptions {
 /// malformed or unknown `--` flags.
 [[nodiscard]] CliOptions parseCli(int argc, char** argv);
 
+/// Strict non-negative integer flag parser shared by every frontend:
+/// digits only (no sign, whitespace, or trailing garbage — `12x` is an
+/// error, not 12), overflow and values above `max` rejected with errors
+/// naming `flag`, the limit, and the offending text. Returns the value.
+[[nodiscard]] std::uint64_t parseUintFlag(
+    const std::string& flag, const std::string& text,
+    std::uint64_t max = UINT64_MAX);
+
 /// Help block describing the shared flags plus the registered strategies.
 [[nodiscard]] std::string cliHelp();
 

@@ -1,0 +1,208 @@
+#include "hbn/serve/epoch_server.h"
+
+#include <span>
+#include <stdexcept>
+
+#include "hbn/core/lower_bound.h"
+#include "hbn/core/nibble.h"
+#include "hbn/core/parallel.h"
+#include "hbn/dynamic/harness.h"
+#include "hbn/net/steiner.h"
+#include "hbn/util/stats.h"
+#include "hbn/util/timer.h"
+
+namespace hbn::serve {
+
+EpochServer::EpochServer(const net::RootedTree& rooted, int numObjects,
+                         const ServeOptions& options)
+    : rooted_(&rooted),
+      numObjects_(numObjects),
+      options_(options),
+      strategy_(rooted, numObjects, rooted.tree().processors().front(),
+                options.online),
+      aggregated_(numObjects, rooted.tree().nodeCount()),
+      loads_(rooted.tree().edgeCount()) {
+  if (options.epochSize < 1) {
+    throw std::invalid_argument("EpochServer: epochSize >= 1");
+  }
+}
+
+ServeReport EpochServer::serve(RequestStream& stream) {
+  const net::Tree& tree = rooted_->tree();
+  const int edgeCount = tree.edgeCount();
+  const int workers = core::resolveWorkerCount(options_.threads, numObjects_);
+
+  // The only per-request buffering: one epoch in arrival order plus one
+  // epoch bucketed by object (stable, preserving per-object order). The
+  // stream itself is never materialised.
+  std::vector<RequestEvent> buffer(options_.epochSize);
+  std::vector<RequestEvent> bucketed(options_.epochSize);
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(numObjects_) + 1);
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(numObjects_));
+
+  std::vector<core::LoadMap> workerLoads;
+  workerLoads.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) workerLoads.emplace_back(edgeCount);
+  std::vector<dynamic::ShardStats> workerStats(
+      static_cast<std::size_t>(workers));
+  std::vector<dynamic::ServeScratch> workerScratch(
+      static_cast<std::size_t>(workers));
+
+  ServeReport report;
+  report.epochBufferBytes =
+      static_cast<std::uint64_t>(buffer.capacity() + bucketed.capacity()) *
+          sizeof(RequestEvent) +
+      static_cast<std::uint64_t>(offsets.capacity() + cursor.capacity()) *
+          sizeof(std::size_t);
+  util::Accumulator epochMs;
+  util::Timer total;
+
+  while (true) {
+    const std::size_t n = stream.fill(std::span<RequestEvent>(buffer));
+    if (n == 0) break;
+    util::Timer epochTimer;
+
+    // Validate, aggregate frequencies, and bucket by object id (CSR).
+    std::fill(offsets.begin(), offsets.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const RequestEvent& ev = buffer[i];
+      if (ev.object < 0 || ev.object >= numObjects_) {
+        throw std::out_of_range("EpochServer: request object out of range");
+      }
+      if (ev.origin < 0 || ev.origin >= tree.nodeCount()) {
+        throw std::out_of_range("EpochServer: request origin out of range");
+      }
+      if (ev.isWrite) {
+        aggregated_.addWrites(ev.object, ev.origin, 1);
+      } else {
+        aggregated_.addReads(ev.object, ev.origin, 1);
+      }
+      ++offsets[static_cast<std::size_t>(ev.object) + 1];
+    }
+    for (std::size_t x = 0; x < static_cast<std::size_t>(numObjects_); ++x) {
+      offsets[x + 1] += offsets[x];
+      cursor[x] = offsets[x];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      bucketed[cursor[static_cast<std::size_t>(buffer[i].object)]++] =
+          buffer[i];
+    }
+
+    // Shard the epoch over the object range: whole objects per worker,
+    // per-worker loads/stats/scratch, no shared mutable state.
+    for (int w = 0; w < workers; ++w) {
+      workerLoads[static_cast<std::size_t>(w)].clear();
+      workerStats[static_cast<std::size_t>(w)] = {};
+    }
+    core::parallelForObjects(
+        numObjects_, options_.threads, [&](ObjectId x, int worker) {
+          const std::size_t begin = offsets[static_cast<std::size_t>(x)];
+          const std::size_t end = offsets[static_cast<std::size_t>(x) + 1];
+          if (begin == end) return;
+          const auto w = static_cast<std::size_t>(worker);
+          const dynamic::ShardStats stats = strategy_.serveShard(
+              x, std::span<const RequestEvent>(bucketed.data() + begin,
+                                              end - begin),
+              workerLoads[w], workerScratch[w]);
+          workerStats[w].replications += stats.replications;
+          workerStats[w].invalidations += stats.invalidations;
+        });
+
+    // Deterministic merge: integer edge loads and counters sum the same
+    // for any worker count.
+    for (int w = 0; w < workers; ++w) {
+      const auto& partial = workerLoads[static_cast<std::size_t>(w)];
+      for (net::EdgeId e = 0; e < edgeCount; ++e) {
+        const core::Count load = partial.edgeLoad(e);
+        if (load != 0) loads_.addEdgeLoad(e, load);
+      }
+      replications_ += workerStats[static_cast<std::size_t>(w)].replications;
+      invalidations_ +=
+          workerStats[static_cast<std::size_t>(w)].invalidations;
+    }
+    servedTotal_ += n;
+
+    // Epoch bookkeeping and the adaptive re-placement pass.
+    EpochRecord record;
+    record.index = static_cast<std::uint64_t>(log_.size());
+    record.requests = n;
+    record.lowerBound =
+        core::analyticLowerBound(*rooted_, aggregated_).congestion;
+    record.congestion = loads_.congestion(tree);
+    // Drift is measured since the last re-placement: how much realised
+    // congestion grew against how much the offline bound says *had* to
+    // be paid for the traffic of the same period. A cumulative ratio
+    // would either never fire or fire forever; the delta resets.
+    const double congestionGrowth = record.congestion - congestionMark_;
+    const double lowerBoundGrowth = record.lowerBound - lowerBoundMark_;
+    if (options_.replaceDrift > 0.0 && lowerBoundGrowth > 0.0 &&
+        congestionGrowth > options_.replaceDrift * lowerBoundGrowth) {
+      replace(workerLoads, workers);
+      ++replacements_;
+      record.replaced = true;
+      record.congestion = loads_.congestion(tree);  // migration included
+      congestionMark_ = record.congestion;
+      lowerBoundMark_ = record.lowerBound;
+    }
+    record.ratio =
+        dynamic::competitiveRatio(record.congestion, record.lowerBound);
+    record.wallMs = epochTimer.millis();
+    epochMs.add(record.wallMs);
+    log_.push_back(record);
+    ++report.epochs;
+    report.totalRequests += n;
+  }
+
+  report.wallMs = total.millis();
+  report.requestsPerSec =
+      report.wallMs > 0.0
+          ? static_cast<double>(report.totalRequests) / report.wallMs * 1e3
+          : 0.0;
+  report.epochMsP50 = epochMs.empty() ? 0.0 : epochMs.percentile(50.0);
+  report.epochMsP99 = epochMs.empty() ? 0.0 : epochMs.percentile(99.0);
+  report.congestion = loads_.congestion(tree);
+  report.lowerBound =
+      core::analyticLowerBound(*rooted_, aggregated_).congestion;
+  report.ratio =
+      dynamic::competitiveRatio(report.congestion, report.lowerBound);
+  report.replacements = replacements_;
+  report.replications = replications_;
+  report.invalidations = invalidations_;
+  return report;
+}
+
+void EpochServer::replace(std::vector<core::LoadMap>& workerLoads,
+                          int workers) {
+  // Dynamic-to-static handoff: nibble the aggregated frequencies and
+  // migrate every copy subtree to its nibble copy set (connected by
+  // Theorem 3.1), charging the Steiner tree spanning old ∪ new locations
+  // with one object-migration message per edge.
+  const net::Tree& tree = rooted_->tree();
+  for (int w = 0; w < workers; ++w) {
+    workerLoads[static_cast<std::size_t>(w)].clear();
+  }
+  std::vector<core::NibbleScratch> scratch(
+      static_cast<std::size_t>(workers));
+  core::parallelForObjects(
+      numObjects_, options_.threads, [&](ObjectId x, int worker) {
+        const auto w = static_cast<std::size_t>(worker);
+        core::NibbleObjectResult result;
+        core::nibbleObjectInto(tree, aggregated_, x, scratch[w], result);
+        std::vector<net::NodeId> target = result.placement.locations();
+        std::vector<net::NodeId> terminals = strategy_.copySet(x);
+        terminals.insert(terminals.end(), target.begin(), target.end());
+        for (const net::EdgeId e : net::steinerEdges(*rooted_, terminals)) {
+          workerLoads[w].addEdgeLoad(e, 1);
+        }
+        strategy_.resetCopySet(x, target);
+      });
+  for (int w = 0; w < workers; ++w) {
+    const auto& partial = workerLoads[static_cast<std::size_t>(w)];
+    for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
+      const core::Count load = partial.edgeLoad(e);
+      if (load != 0) loads_.addEdgeLoad(e, load);
+    }
+  }
+}
+
+}  // namespace hbn::serve

@@ -1,0 +1,93 @@
+// Pull-based request streams for the serving engine.
+//
+// A RequestStream hands out RequestEvents in batches of at most one
+// epoch, so streams of tens of millions of requests are served without
+// ever materialising in memory: the generator-backed source synthesises
+// events on demand, the trace-backed source reads its file
+// incrementally, and the in-memory source exists for tests.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hbn/net/tree.h"
+#include "hbn/workload/generators.h"
+#include "hbn/workload/serialize.h"
+#include "hbn/workload/workload.h"
+
+namespace hbn::serve {
+
+using workload::RequestEvent;
+
+/// Abstract pull source of request events.
+class RequestStream {
+ public:
+  virtual ~RequestStream() = default;
+
+  /// Fills up to out.size() events into the front of `out` and returns
+  /// how many were produced; 0 means the stream is exhausted. A stream
+  /// never buffers more than one such batch internally.
+  [[nodiscard]] virtual std::size_t fill(std::span<RequestEvent> out) = 0;
+};
+
+/// Bounded stream drawing from a generator function (e.g. one of the
+/// workload stream generators); O(1) memory regardless of `total`.
+class GeneratorStream final : public RequestStream {
+ public:
+  GeneratorStream(std::function<RequestEvent()> generator,
+                  std::uint64_t total);
+
+  [[nodiscard]] std::size_t fill(std::span<RequestEvent> out) override;
+
+ private:
+  std::function<RequestEvent()> generator_;
+  std::uint64_t remaining_;
+};
+
+/// Trace-file-backed stream (hbn-trace v1), read incrementally.
+class TraceFileStream final : public RequestStream {
+ public:
+  /// Opens `path` and parses the header; throws std::runtime_error when
+  /// the file cannot be opened, std::invalid_argument on a bad header.
+  explicit TraceFileStream(const std::string& path);
+
+  [[nodiscard]] int numObjects() const noexcept {
+    return reader_->numObjects();
+  }
+  [[nodiscard]] int numNodes() const noexcept { return reader_->numNodes(); }
+
+  [[nodiscard]] std::size_t fill(std::span<RequestEvent> out) override;
+
+ private:
+  std::ifstream in_;
+  std::unique_ptr<workload::TraceReader> reader_;
+};
+
+/// In-memory stream over a fixed vector; for tests and replay of short
+/// sequences.
+class VectorStream final : public RequestStream {
+ public:
+  explicit VectorStream(std::vector<RequestEvent> events)
+      : events_(std::move(events)) {}
+
+  [[nodiscard]] std::size_t fill(std::span<RequestEvent> out) override;
+
+ private:
+  std::vector<RequestEvent> events_;
+  std::size_t cursor_ = 0;
+};
+
+/// Builds a bounded stream over one of the named workload stream
+/// generators: "skewed", "bursty", or "diurnal". Throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<RequestStream> makeGeneratedStream(
+    const std::string& name, const net::Tree& tree,
+    const workload::StreamParams& params, std::uint64_t seed,
+    std::uint64_t total);
+
+}  // namespace hbn::serve

@@ -1,0 +1,70 @@
+#include "hbn/serve/request_stream.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace hbn::serve {
+
+GeneratorStream::GeneratorStream(std::function<RequestEvent()> generator,
+                                 std::uint64_t total)
+    : generator_(std::move(generator)), remaining_(total) {
+  if (!generator_) {
+    throw std::invalid_argument("GeneratorStream: null generator");
+  }
+}
+
+std::size_t GeneratorStream::fill(std::span<RequestEvent> out) {
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(remaining_, out.size()));
+  for (std::size_t i = 0; i < n; ++i) out[i] = generator_();
+  remaining_ -= n;
+  return n;
+}
+
+TraceFileStream::TraceFileStream(const std::string& path) : in_(path) {
+  if (!in_) {
+    throw std::runtime_error("cannot open trace " + path);
+  }
+  reader_ = std::make_unique<workload::TraceReader>(in_);
+}
+
+std::size_t TraceFileStream::fill(std::span<RequestEvent> out) {
+  std::size_t n = 0;
+  while (n < out.size() && reader_->next(out[n])) ++n;
+  return n;
+}
+
+std::size_t VectorStream::fill(std::span<RequestEvent> out) {
+  const std::size_t n = std::min(out.size(), events_.size() - cursor_);
+  std::copy(events_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+            events_.begin() + static_cast<std::ptrdiff_t>(cursor_ + n),
+            out.begin());
+  cursor_ += n;
+  return n;
+}
+
+std::unique_ptr<RequestStream> makeGeneratedStream(
+    const std::string& name, const net::Tree& tree,
+    const workload::StreamParams& params, std::uint64_t seed,
+    std::uint64_t total) {
+  if (name == "skewed") {
+    auto gen = std::make_shared<workload::SkewedStream>(tree, params, seed);
+    return std::make_unique<GeneratorStream>(
+        [gen] { return gen->next(); }, total);
+  }
+  if (name == "bursty") {
+    auto gen = std::make_shared<workload::BurstyStream>(tree, params, seed);
+    return std::make_unique<GeneratorStream>(
+        [gen] { return gen->next(); }, total);
+  }
+  if (name == "diurnal") {
+    auto gen = std::make_shared<workload::DiurnalStream>(tree, params, seed);
+    return std::make_unique<GeneratorStream>(
+        [gen] { return gen->next(); }, total);
+  }
+  throw std::invalid_argument("unknown stream '" + name +
+                              "'; available: skewed bursty diurnal");
+}
+
+}  // namespace hbn::serve

@@ -56,7 +56,10 @@ struct ParsedField {
   std::string key;
   Kind kind = Kind::null;
   std::string text;  ///< unescaped string, or the number/bool literal
-  double number = 0.0;  ///< valid for number (value) and boolean (0/1)
+  /// Value for number, 0/1 for boolean, quiet NaN for null (emission
+  /// turns non-finite doubles into null, so parse→emit→parse of such
+  /// fields is a fixed point).
+  double number = 0.0;
 };
 
 using ParsedRecord = std::vector<ParsedField>;

@@ -1,8 +1,11 @@
 #include "hbn/util/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <fstream>
+#include <limits>
+#include <locale>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -54,6 +57,10 @@ void JsonRecords::field(std::string_view key, double value) {
   std::string rendered;
   if (std::isfinite(value)) {
     std::ostringstream oss;
+    // The classic locale pins the decimal separator to '.': under a
+    // locale-imbued global stream state "1.5" would otherwise render as
+    // "1,5" and the emitted file would no longer be JSON.
+    oss.imbue(std::locale::classic());
     oss.precision(12);
     oss << value;
     rendered = oss.str();
@@ -206,6 +213,9 @@ class RecordParser {
       if (text_.substr(pos_, 4) != "null") fail("expected 'null'");
       pos_ += 4;
       field.kind = ParsedField::Kind::null;
+      // Emission maps non-finite doubles to null; mapping null back to
+      // NaN makes parse→emit→parse a fixed point for such fields.
+      field.number = std::numeric_limits<double>::quiet_NaN();
       return field;
     }
     if (c == 't' || c == 'f') {
@@ -231,13 +241,15 @@ class RecordParser {
       }
       field.kind = ParsedField::Kind::number;
       field.text = std::string(text_.substr(start, pos_ - start));
-      std::size_t used = 0;
-      try {
-        field.number = std::stod(field.text, &used);
-      } catch (const std::exception&) {
-        used = 0;
-      }
-      if (used != field.text.size()) fail("malformed number literal");
+      // std::from_chars instead of std::stod: stod honours the global
+      // locale (a ','-decimal locale would truncate "1.5" at the dot)
+      // and accepts hex floats and leading whitespace. from_chars is
+      // locale-independent and consumes either the whole literal or
+      // fails — exactly the JSON number grammar discipline needed here.
+      const char* begin = field.text.data();
+      const char* end = begin + field.text.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, field.number);
+      if (ec != std::errc{} || ptr != end) fail("malformed number literal");
       return field;
     }
     fail("values must be strings, numbers, booleans, or null");

@@ -200,6 +200,128 @@ Workload generateProducerConsumer(const net::Tree& tree,
   return w;
 }
 
+namespace {
+
+std::vector<net::NodeId> copyProcessors(const net::Tree& tree) {
+  const auto procs = tree.processors();
+  if (procs.empty()) {
+    throw std::invalid_argument("stream generator: tree has no processors");
+  }
+  return {procs.begin(), procs.end()};
+}
+
+void checkStreamParams(const StreamParams& params) {
+  if (params.numObjects < 1) {
+    throw std::invalid_argument("StreamParams: numObjects >= 1");
+  }
+  if (params.readFraction < 0.0 || params.readFraction > 1.0) {
+    throw std::invalid_argument("StreamParams: readFraction in [0,1]");
+  }
+  if (params.burstLength < 1) {
+    throw std::invalid_argument("StreamParams: burstLength >= 1");
+  }
+  if (params.period < 1) {
+    throw std::invalid_argument("StreamParams: period >= 1");
+  }
+  if (params.amplitude < 0.0 || params.amplitude > 1.0) {
+    throw std::invalid_argument("StreamParams: amplitude in [0,1]");
+  }
+}
+
+}  // namespace
+
+SkewedStream::SkewedStream(const net::Tree& tree, const StreamParams& params,
+                           std::uint64_t seed)
+    : procs_(copyProcessors(tree)),
+      readFraction_(params.readFraction),
+      rng_(seed) {
+  checkStreamParams(params);
+  // Cumulative Zipf weights: binary search keeps next() at O(log |X|)
+  // even for millions of objects (nextWeighted would be O(|X|)).
+  cdf_.resize(static_cast<std::size_t>(params.numObjects));
+  double total = 0.0;
+  for (int i = 0; i < params.numObjects; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), params.zipfAlpha);
+    cdf_[static_cast<std::size_t>(i)] = total;
+  }
+}
+
+RequestEvent SkewedStream::next() {
+  const double u = rng_.nextDouble() * cdf_.back();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto rank = static_cast<ObjectId>(
+      std::min<std::size_t>(static_cast<std::size_t>(it - cdf_.begin()),
+                            cdf_.size() - 1));
+  const net::NodeId origin = procs_[static_cast<std::size_t>(
+      rng_.nextBelow(static_cast<std::uint64_t>(procs_.size())))];
+  return RequestEvent{rank, origin, !rng_.nextBool(readFraction_)};
+}
+
+BurstyStream::BurstyStream(const net::Tree& tree, const StreamParams& params,
+                           std::uint64_t seed)
+    : procs_(copyProcessors(tree)),
+      numObjects_(params.numObjects),
+      burstLength_(params.burstLength),
+      readFraction_(params.readFraction),
+      rng_(seed) {
+  checkStreamParams(params);
+}
+
+RequestEvent BurstyStream::next() {
+  if (remaining_ <= 0) {
+    burstObject_ = static_cast<ObjectId>(
+        rng_.nextBelow(static_cast<std::uint64_t>(numObjects_)));
+    burstOrigin_ = procs_[static_cast<std::size_t>(
+        rng_.nextBelow(static_cast<std::uint64_t>(procs_.size())))];
+    remaining_ = burstLength_;
+  }
+  --remaining_;
+  return RequestEvent{burstObject_, burstOrigin_,
+                      !rng_.nextBool(readFraction_)};
+}
+
+DiurnalStream::DiurnalStream(const net::Tree& tree,
+                             const StreamParams& params, std::uint64_t seed)
+    : procs_(copyProcessors(tree)),
+      numObjects_(params.numObjects),
+      period_(params.period),
+      amplitude_(params.amplitude),
+      readFraction_(params.readFraction),
+      rng_(seed) {
+  checkStreamParams(params);
+}
+
+RequestEvent DiurnalStream::next() {
+  const double phase =
+      static_cast<double>(count_ % period_) / static_cast<double>(period_);
+  ++count_;
+  ObjectId object = 0;
+  net::NodeId origin = net::kInvalidNode;
+  if (rng_.nextBool(amplitude_)) {
+    // Hot window (an eighth of each space) centred on the current phase,
+    // wrapping; load migrates between regions over the day.
+    const auto procWindow =
+        std::max<std::uint64_t>(1, procs_.size() / 8);
+    const auto objWindow = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(numObjects_) / 8);
+    const auto procBase = static_cast<std::uint64_t>(
+        phase * static_cast<double>(procs_.size()));
+    const auto objBase = static_cast<std::uint64_t>(
+        phase * static_cast<double>(numObjects_));
+    origin = procs_[static_cast<std::size_t>(
+        (procBase + rng_.nextBelow(procWindow)) % procs_.size())];
+    object = static_cast<ObjectId>(
+        (objBase + rng_.nextBelow(objWindow)) %
+        static_cast<std::uint64_t>(numObjects_));
+  } else {
+    origin = procs_[static_cast<std::size_t>(
+        rng_.nextBelow(static_cast<std::uint64_t>(procs_.size())))];
+    object = static_cast<ObjectId>(
+        rng_.nextBelow(static_cast<std::uint64_t>(numObjects_)));
+  }
+  return RequestEvent{object, origin, !rng_.nextBool(readFraction_)};
+}
+
 Workload generateAdversarial(const net::Tree& tree, const GenParams& params,
                              util::Rng& rng) {
   checkParams(params);

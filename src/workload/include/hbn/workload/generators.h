@@ -93,4 +93,83 @@ struct GenParams {
                                            const GenParams& params,
                                            util::Rng& rng);
 
+// ---------------------------------------------------------------------------
+// Request-stream generators.
+//
+// Where the matrix generators above produce aggregated frequencies, these
+// produce an *online* stream of individual RequestEvents, one at a time,
+// so request sequences of arbitrary length never materialise in memory.
+// Each generator is deterministic from its seed; the serve layer wraps
+// them into pull-based RequestStreams.
+// ---------------------------------------------------------------------------
+
+/// Knobs shared by the stream generators.
+struct StreamParams {
+  int numObjects = 1024;
+  /// Probability that an individual request is a read.
+  double readFraction = 0.9;
+  /// skewed: Zipf exponent of the object popularity law.
+  double zipfAlpha = 1.1;
+  /// bursty: consecutive requests a burst pins to one (object, origin).
+  int burstLength = 64;
+  /// diurnal: requests per simulated day (one full rotation of the hot
+  /// region over processors and objects).
+  std::uint64_t period = 1 << 16;
+  /// diurnal: fraction of traffic following the rotating hot region.
+  double amplitude = 0.8;
+};
+
+/// WWW-like skew: object popularity Zipf(α), origins uniform over
+/// processors. O(log |X|) per event (binary search on the popularity CDF).
+class SkewedStream {
+ public:
+  SkewedStream(const net::Tree& tree, const StreamParams& params,
+               std::uint64_t seed);
+  [[nodiscard]] RequestEvent next();
+
+ private:
+  std::vector<net::NodeId> procs_;
+  std::vector<double> cdf_;  ///< cumulative Zipf weights
+  double readFraction_;
+  util::Rng rng_;
+};
+
+/// Bursty traffic: requests arrive in runs of `burstLength` pinned to one
+/// (object, origin) pair before the stream jumps to the next pair.
+class BurstyStream {
+ public:
+  BurstyStream(const net::Tree& tree, const StreamParams& params,
+               std::uint64_t seed);
+  [[nodiscard]] RequestEvent next();
+
+ private:
+  std::vector<net::NodeId> procs_;
+  int numObjects_;
+  int burstLength_;
+  double readFraction_;
+  int remaining_ = 0;  ///< events left in the current burst
+  ObjectId burstObject_ = 0;
+  net::NodeId burstOrigin_ = net::kInvalidNode;
+  util::Rng rng_;
+};
+
+/// Diurnal traffic: a hot window over processors and objects rotates once
+/// per `period` events (time-of-day shifting load between regions);
+/// `amplitude` of the traffic follows the window, the rest is uniform.
+class DiurnalStream {
+ public:
+  DiurnalStream(const net::Tree& tree, const StreamParams& params,
+                std::uint64_t seed);
+  [[nodiscard]] RequestEvent next();
+
+ private:
+  std::vector<net::NodeId> procs_;
+  int numObjects_;
+  std::uint64_t period_;
+  double amplitude_;
+  double readFraction_;
+  std::uint64_t count_ = 0;
+  util::Rng rng_;
+};
+
 }  // namespace hbn::workload

@@ -27,4 +27,44 @@ void writeText(const Workload& load, std::ostream& os);
 /// syntax or range error.
 [[nodiscard]] Workload parseText(std::string_view text);
 
+// ---------------------------------------------------------------------------
+// Request traces (round-trip exactly, order-preserving):
+//
+//   hbn-trace v1
+//   dims <numObjects> <numNodes>
+//   r <object> <node>
+//   w <object> <node>
+//
+// One line per request event, in arrival order. The reader is streaming —
+// it pulls events one at a time off the istream, so traces of hundreds of
+// millions of requests are served without ever materialising in memory.
+// ---------------------------------------------------------------------------
+
+/// Writes the trace header; follow with writeTraceEvent per event.
+void writeTraceHeader(std::ostream& os, int numObjects, int numNodes);
+
+/// Writes one event line.
+void writeTraceEvent(std::ostream& os, const RequestEvent& event);
+
+/// Incremental reader over an open istream. Validates the header in the
+/// constructor and every event line against the declared dims; throws
+/// std::invalid_argument (with a line number) on any syntax/range error.
+class TraceReader {
+ public:
+  explicit TraceReader(std::istream& in);
+
+  [[nodiscard]] int numObjects() const noexcept { return numObjects_; }
+  [[nodiscard]] int numNodes() const noexcept { return numNodes_; }
+
+  /// Reads the next event into `out`; false once the trace is exhausted.
+  [[nodiscard]] bool next(RequestEvent& out);
+
+ private:
+  std::istream* in_;
+  int numObjects_ = 0;
+  int numNodes_ = 0;
+  std::uint64_t line_ = 2;  ///< last header line; event lines count from 3
+  std::string buffer_;      ///< reused per line, no per-event allocation
+};
+
 }  // namespace hbn::workload

@@ -19,6 +19,16 @@ namespace hbn::workload {
 using ObjectId = std::int32_t;
 using Count = std::int64_t;
 
+/// One online request event: node `origin` issues a read or write to
+/// `object`. This is the unit of the streaming layers — request-stream
+/// generators produce it, traces serialise it, and the dynamic/serve
+/// modules consume it.
+struct RequestEvent {
+  ObjectId object = 0;
+  net::NodeId origin = net::kInvalidNode;
+  bool isWrite = false;
+};
+
 /// Dense read/write frequency matrix with cached per-object totals.
 class Workload {
  public:

@@ -1,5 +1,7 @@
 #include "hbn/workload/serialize.h"
 
+#include <charconv>
+#include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -64,6 +66,94 @@ Workload parseText(std::string_view text) {
     }
   }
   return load;
+}
+
+void writeTraceHeader(std::ostream& os, int numObjects, int numNodes) {
+  if (numObjects < 1 || numNodes < 1) {
+    throw std::invalid_argument("writeTraceHeader: positive dims");
+  }
+  os << "hbn-trace v1\ndims " << numObjects << ' ' << numNodes << '\n';
+}
+
+void writeTraceEvent(std::ostream& os, const RequestEvent& event) {
+  os << (event.isWrite ? 'w' : 'r') << ' ' << event.object << ' '
+     << event.origin << '\n';
+}
+
+namespace {
+
+[[noreturn]] void traceFail(std::uint64_t line, const std::string& what) {
+  throw std::invalid_argument("trace line " + std::to_string(line) + ": " +
+                              what);
+}
+
+/// Parses a base-10 int32 starting at text[pos] (after mandatory spaces),
+/// advancing pos past it; rejects anything std::from_chars would not
+/// consume entirely up to the next space or end of line.
+std::int32_t parseTraceInt(const std::string& text, std::size_t& pos,
+                           std::uint64_t line) {
+  while (pos < text.size() && text[pos] == ' ') ++pos;
+  const char* begin = text.data() + pos;
+  const char* end = text.data() + text.size();
+  std::int32_t value = 0;
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin ||
+      (ptr != end && *ptr != ' ')) {
+    traceFail(line, "malformed integer in '" + text + "'");
+  }
+  pos = static_cast<std::size_t>(ptr - text.data());
+  return value;
+}
+
+}  // namespace
+
+TraceReader::TraceReader(std::istream& in) : in_(&in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "hbn-trace v1") {
+    throw std::invalid_argument("TraceReader: missing 'hbn-trace v1' header");
+  }
+  if (!std::getline(in, line)) {
+    throw std::invalid_argument("TraceReader: missing dims line");
+  }
+  std::istringstream dims{line};
+  std::string keyword;
+  if (!(dims >> keyword >> numObjects_ >> numNodes_) || keyword != "dims" ||
+      numObjects_ < 1 || numNodes_ < 1) {
+    throw std::invalid_argument("TraceReader: malformed dims line '" + line +
+                                "'");
+  }
+}
+
+bool TraceReader::next(RequestEvent& out) {
+  // Hand-rolled line parse (no istringstream): this is the per-request
+  // hot path when serving multi-million-event trace files.
+  while (std::getline(*in_, buffer_)) {
+    ++line_;
+    if (buffer_.empty()) continue;
+    const char kind = buffer_[0];
+    if (kind != 'r' && kind != 'w') {
+      traceFail(line_, "expected 'r' or 'w', got '" + buffer_ + "'");
+    }
+    if (buffer_.size() < 2 || buffer_[1] != ' ') {
+      traceFail(line_, "expected ' ' after the r/w keyword");
+    }
+    std::size_t pos = 1;
+    const std::int32_t object = parseTraceInt(buffer_, pos, line_);
+    const std::int32_t node = parseTraceInt(buffer_, pos, line_);
+    while (pos < buffer_.size() && buffer_[pos] == ' ') ++pos;
+    if (pos != buffer_.size()) {
+      traceFail(line_, "trailing content in '" + buffer_ + "'");
+    }
+    if (object < 0 || object >= numObjects_) {
+      traceFail(line_, "object id out of range");
+    }
+    if (node < 0 || node >= numNodes_) {
+      traceFail(line_, "node id out of range");
+    }
+    out = RequestEvent{object, node, kind == 'w'};
+    return true;
+  }
+  return false;
 }
 
 }  // namespace hbn::workload

@@ -1,0 +1,104 @@
+// Tests for the shared CLI parser: strict numeric flag parsing (no
+// partial parses, uniform out-of-range errors), strategy spec splitting,
+// and unknown-flag rejection.
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hbn/engine/cli.h"
+
+namespace hbn::engine {
+namespace {
+
+CliOptions parse(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  static std::string program = "test";
+  argv.push_back(program.data());
+  for (std::string& arg : args) argv.push_back(arg.data());
+  return parseCli(static_cast<int>(argv.size()), argv.data());
+}
+
+std::string parseError(std::vector<std::string> args) {
+  try {
+    (void)parse(std::move(args));
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(Cli, ParsesValidFlags) {
+  const CliOptions options =
+      parse({"--seed", "42", "--threads", "8", "input.tree"});
+  EXPECT_EQ(options.seed, 42u);
+  EXPECT_TRUE(options.seedSet);
+  EXPECT_EQ(options.threads, 8);
+  ASSERT_EQ(options.positional.size(), 1u);
+  EXPECT_EQ(options.positional.front(), "input.tree");
+}
+
+TEST(Cli, RejectsTrailingGarbageOnBothNumericFlags) {
+  // '12x' must not partial-parse as 12.
+  EXPECT_NE(parseError({"--seed", "12x"}).find("--seed"),
+            std::string::npos);
+  EXPECT_NE(parseError({"--seed", "12x"}).find("12x"), std::string::npos);
+  EXPECT_NE(parseError({"--threads", "8x"}).find("--threads"),
+            std::string::npos);
+  EXPECT_THROW((void)parse({"--seed", "0x10"}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"--threads", "1e3"}), std::invalid_argument);
+}
+
+TEST(Cli, RejectsSignsAndWhitespace) {
+  for (const char* flag : {"--seed", "--threads"}) {
+    EXPECT_THROW((void)parse({flag, "+5"}), std::invalid_argument) << flag;
+    EXPECT_THROW((void)parse({flag, "-5"}), std::invalid_argument) << flag;
+    EXPECT_THROW((void)parse({flag, " 12"}), std::invalid_argument) << flag;
+    EXPECT_THROW((void)parse({flag, "12 "}), std::invalid_argument) << flag;
+    EXPECT_THROW((void)parse({flag, ""}), std::invalid_argument) << flag;
+  }
+}
+
+TEST(Cli, RejectsOutOfRangeValuesUniformly) {
+  // Above the thread cap: names the limit and the offending text.
+  const std::string threadsError = parseError({"--threads", "999999999999"});
+  EXPECT_NE(threadsError.find("at most 4096"), std::string::npos);
+  EXPECT_NE(threadsError.find("999999999999"), std::string::npos);
+  // Above uint64: overflow detected during accumulation, not wrapped.
+  const std::string seedError =
+      parseError({"--seed", "18446744073709551616"});
+  EXPECT_NE(seedError.find("out of range"), std::string::npos);
+  // The extremes that do fit are accepted exactly.
+  EXPECT_EQ(parse({"--seed", "18446744073709551615"}).seed,
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(parse({"--threads", "4096"}).threads, 4096);
+  EXPECT_EQ(parse({"--threads", "0"}).threads, 0);
+}
+
+TEST(Cli, ParseUintFlagEnforcesCallerBound) {
+  EXPECT_EQ(parseUintFlag("--epoch", "65536"), 65536u);
+  EXPECT_EQ(parseUintFlag("--n", "7", 7), 7u);
+  EXPECT_THROW((void)parseUintFlag("--n", "8", 7), std::invalid_argument);
+  EXPECT_THROW((void)parseUintFlag("--n", "abc"), std::invalid_argument);
+}
+
+TEST(Cli, RejectsUnknownFlagsAndMissingValues) {
+  EXPECT_THROW((void)parse({"--sede", "1"}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"-x"}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"--seed"}), std::invalid_argument);
+}
+
+TEST(Cli, SplitsStrategySpecsWithOptionCommas) {
+  const CliOptions options =
+      parse({"--strategy", "a:x=1,y=2,b", "--strategy", "c"});
+  ASSERT_EQ(options.strategies.size(), 3u);
+  EXPECT_EQ(options.strategies[0], "a:x=1,y=2");
+  EXPECT_EQ(options.strategies[1], "b");
+  EXPECT_EQ(options.strategies[2], "c");
+}
+
+}  // namespace
+}  // namespace hbn::engine

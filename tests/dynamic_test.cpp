@@ -1,4 +1,7 @@
 // Tests for the online (dynamic) strategy and its competitive harness.
+#include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "hbn/dynamic/harness.h"
@@ -129,9 +132,55 @@ TEST(Harness, CompetitiveRatioModestOnRandomWorkloads) {
     const auto requests = sequenceFromWorkload(load, rng);
     const CompetitiveResult result = runCompetitive(rooted, 4, requests);
     EXPECT_GT(result.onlineCongestion, 0.0);
-    // Loose sanity bound; the bench reports the measured distribution.
-    EXPECT_LT(result.ratio, 40.0) << "trial " << trial;
+    if (result.offlineLowerBound > 0.0) {
+      // Loose sanity bound; the bench reports the measured distribution.
+      EXPECT_LT(result.ratio, 40.0) << "trial " << trial;
+    } else {
+      EXPECT_TRUE(std::isinf(result.ratio)) << "trial " << trial;
+    }
   }
+}
+
+TEST(Harness, RatioIsTrueRatioForSubUnitLowerBounds) {
+  // Bandwidth-2 edges make the offline lower bound land in (0, 1); the
+  // ratio must divide by it, not by max(LB, 1) (which silently deflated
+  // ratios below 1 for exactly these instances).
+  net::TreeBuilder builder;
+  const net::NodeId bus = builder.addBus(2.0);
+  const net::NodeId writer = builder.addProcessor();
+  const net::NodeId reader = builder.addProcessor();
+  builder.connect(bus, writer, 2.0);
+  builder.connect(bus, reader, 2.0);
+  const net::Tree t = builder.build();
+  const net::RootedTree rooted(t, t.defaultRoot());
+
+  // One write from the initial location, one read from the other leaf:
+  // online pays the 2-edge read path (congestion 0.5), and the offline
+  // bound of the aggregated frequencies is 0.5 as well.
+  const std::vector<Request> requests = {{0, writer, true},
+                                         {0, reader, false}};
+  const CompetitiveResult result = runCompetitive(rooted, 1, requests);
+  ASSERT_GT(result.offlineLowerBound, 0.0);
+  ASSERT_LT(result.offlineLowerBound, 1.0);
+  EXPECT_DOUBLE_EQ(result.ratio,
+                   result.onlineCongestion / result.offlineLowerBound);
+  EXPECT_GE(result.ratio, 1.0);
+}
+
+TEST(Harness, RatioGuardsZeroLowerBoundExplicitly) {
+  const net::Tree t = net::makeStar(3);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  // A single remote read: online pays, but with zero write contention
+  // the per-edge bound is zero — the ratio must be reported as infinite,
+  // not silently divided by 1.
+  const CompetitiveResult paying =
+      runCompetitive(rooted, 1, {{0, 2, false}});
+  EXPECT_EQ(paying.offlineLowerBound, 0.0);
+  EXPECT_GT(paying.onlineCongestion, 0.0);
+  EXPECT_TRUE(std::isinf(paying.ratio));
+  // No requests at all: trivially optimal.
+  const CompetitiveResult idle = runCompetitive(rooted, 1, {});
+  EXPECT_DOUBLE_EQ(idle.ratio, 1.0);
 }
 
 TEST(Harness, PingPongSequenceShape) {

@@ -126,6 +126,45 @@ TEST(JsonParse, RejectsMalformedInput) {
   EXPECT_THROW(parseRecords("[{\"a\": 1e}]"), std::runtime_error);
 }
 
+TEST(JsonRoundTrip, NullIsAFixedPointAcrossASecondRoundTrip) {
+  // parse→emit→parse: a field that was NaN/inf (emitted as null) must
+  // come back as null again when the parsed record is re-emitted through
+  // the double overload — ParsedField::number carries NaN for null.
+  JsonRecords first;
+  first.beginRecord();
+  first.field("v", std::numeric_limits<double>::quiet_NaN());
+  first.field("w", std::numeric_limits<double>::infinity());
+  const auto onceParsed = parseRecords(render(first));
+  ASSERT_EQ(onceParsed.size(), 1u);
+  EXPECT_TRUE(std::isnan(onceParsed[0][0].number));
+  EXPECT_TRUE(std::isnan(onceParsed[0][1].number));
+
+  JsonRecords second;
+  second.beginRecord();
+  for (const ParsedField& field : onceParsed[0]) {
+    second.field(field.key, field.number);
+  }
+  EXPECT_EQ(render(second), render(first));
+  const auto twiceParsed = parseRecords(render(second));
+  EXPECT_EQ(twiceParsed[0][0].kind, ParsedField::Kind::null);
+  EXPECT_EQ(twiceParsed[0][1].kind, ParsedField::Kind::null);
+}
+
+TEST(JsonParse, NumberParsingIsStrictAndLocaleIndependent) {
+  // Trailing garbage inside a number literal must fail loudly, not
+  // partial-parse (std::stod semantics this parser must not have).
+  EXPECT_THROW(parseRecords("[{\"a\": 1.5e}]"), std::runtime_error);
+  EXPECT_THROW(parseRecords("[{\"a\": 1.2.3}]"), std::runtime_error);
+  EXPECT_THROW(parseRecords("[{\"a\": 12-3}]"), std::runtime_error);
+  EXPECT_THROW(parseRecords("[{\"a\": --5}]"), std::runtime_error);
+  // The literal forms the emitter produces all parse exactly.
+  const auto parsed =
+      parseRecords("[{\"a\": 1.5, \"b\": -2e-3, \"c\": 1.2e+10}]");
+  EXPECT_DOUBLE_EQ(parsed[0][0].number, 1.5);
+  EXPECT_DOUBLE_EQ(parsed[0][1].number, -2e-3);
+  EXPECT_DOUBLE_EQ(parsed[0][2].number, 1.2e10);
+}
+
 TEST(JsonParse, AcceptsWhitespaceAndEmptyRecords) {
   const auto parsed = parseRecords("  [ { } ,\n {\"k\" : null} ]\n");
   ASSERT_EQ(parsed.size(), 2u);

@@ -1,0 +1,300 @@
+// Tests for the streaming serving engine: request streams, epoch
+// batching, shard determinism (1 vs N threads bit-identical), the
+// adaptive re-placement pass, and the memory bound that proves streams
+// are never materialised.
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hbn/dynamic/online_strategy.h"
+#include "hbn/net/generators.h"
+#include "hbn/serve/epoch_server.h"
+#include "hbn/serve/request_stream.h"
+#include "hbn/util/json.h"
+#include "hbn/util/rng.h"
+#include "hbn/workload/serialize.h"
+
+namespace hbn::serve {
+namespace {
+
+long maxRssKb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+/// Every deterministic observable of a server, rendered through the JSON
+/// emitter: copy sets, cumulative edge loads, counters. Two runs are
+/// bit-identical iff these strings are.
+std::string stateJson(const EpochServer& server,
+                      const ServeReport& report) {
+  util::JsonRecords records;
+  records.beginRecord();
+  records.field("requests", static_cast<std::int64_t>(report.totalRequests));
+  records.field("epochs", static_cast<std::int64_t>(report.epochs));
+  records.field("congestion", report.congestion);
+  records.field("lower_bound", report.lowerBound);
+  records.field("ratio", report.ratio);
+  records.field("replacements",
+                static_cast<std::int64_t>(report.replacements));
+  records.field("replications",
+                static_cast<std::int64_t>(report.replications));
+  records.field("invalidations",
+                static_cast<std::int64_t>(report.invalidations));
+  for (workload::ObjectId x = 0; x < server.numObjects(); ++x) {
+    records.beginRecord();
+    std::ostringstream copies;
+    for (const net::NodeId v : server.copySet(x)) copies << v << ' ';
+    records.field("object", static_cast<std::int64_t>(x));
+    records.field("copies", copies.str());
+  }
+  records.beginRecord();
+  std::ostringstream loads;
+  for (const core::Count load : server.loads().edgeLoads()) {
+    loads << load << ' ';
+  }
+  records.field("edge_loads", loads.str());
+  std::ostringstream oss;
+  records.write(oss);
+  return oss.str();
+}
+
+TEST(RequestStream, GeneratorStreamIsBoundedAndBatched) {
+  int counter = 0;
+  GeneratorStream stream(
+      [&] {
+        return RequestEvent{counter++ % 3, 1, false};
+      },
+      1000);
+  std::vector<RequestEvent> batch(256);
+  std::size_t total = 0;
+  std::size_t fills = 0;
+  while (const std::size_t n = stream.fill(batch)) {
+    total += n;
+    ++fills;
+    ASSERT_LE(n, batch.size());
+  }
+  EXPECT_EQ(total, 1000u);
+  EXPECT_EQ(fills, 4u);  // 256 + 256 + 256 + 232
+  EXPECT_EQ(stream.fill(batch), 0u);  // stays exhausted
+}
+
+TEST(RequestStream, GeneratedStreamsAreSeedDeterministicAndInRange) {
+  const net::Tree tree = net::makeClusterNetwork(3, 4);
+  workload::StreamParams params;
+  params.numObjects = 17;
+  for (const char* name : {"skewed", "bursty", "diurnal"}) {
+    const auto a = makeGeneratedStream(name, tree, params, 5, 500);
+    const auto b = makeGeneratedStream(name, tree, params, 5, 500);
+    std::vector<RequestEvent> batchA(500);
+    std::vector<RequestEvent> batchB(500);
+    ASSERT_EQ(a->fill(batchA), 500u) << name;
+    ASSERT_EQ(b->fill(batchB), 500u) << name;
+    for (std::size_t i = 0; i < batchA.size(); ++i) {
+      EXPECT_EQ(batchA[i].object, batchB[i].object) << name;
+      EXPECT_EQ(batchA[i].origin, batchB[i].origin) << name;
+      EXPECT_EQ(batchA[i].isWrite, batchB[i].isWrite) << name;
+      EXPECT_GE(batchA[i].object, 0) << name;
+      EXPECT_LT(batchA[i].object, params.numObjects) << name;
+      EXPECT_TRUE(tree.isProcessor(batchA[i].origin)) << name;
+    }
+  }
+  EXPECT_THROW((void)makeGeneratedStream("nope", tree, params, 1, 10),
+               std::invalid_argument);
+}
+
+TEST(RequestStream, TraceFileStreamReadsWhatWasWritten) {
+  const net::Tree tree = net::makeStar(4);
+  std::vector<RequestEvent> events;
+  util::Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    events.push_back(RequestEvent{
+        static_cast<workload::ObjectId>(rng.nextBelow(3)),
+        tree.processors()[static_cast<std::size_t>(
+            rng.nextBelow(tree.processors().size()))],
+        rng.nextBool(0.3)});
+  }
+  const std::string path = testing::TempDir() + "serve_test_trace.txt";
+  {
+    std::ofstream out(path);
+    workload::writeTraceHeader(out, 3, tree.nodeCount());
+    for (const RequestEvent& ev : events) workload::writeTraceEvent(out, ev);
+  }
+  TraceFileStream stream(path);
+  EXPECT_EQ(stream.numObjects(), 3);
+  EXPECT_EQ(stream.numNodes(), tree.nodeCount());
+  std::vector<RequestEvent> batch(64);
+  std::vector<RequestEvent> all;
+  while (const std::size_t n = stream.fill(batch)) {
+    all.insert(all.end(), batch.begin(),
+               batch.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  ASSERT_EQ(all.size(), events.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].object, events[i].object);
+    EXPECT_EQ(all[i].origin, events[i].origin);
+    EXPECT_EQ(all[i].isWrite, events[i].isWrite);
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW(TraceFileStream("/nonexistent/trace.txt"),
+               std::runtime_error);
+}
+
+TEST(EpochServer, MatchesSequentialOnlineStrategy) {
+  // With re-placement disabled, epoch-batched sharded serving is exactly
+  // the sequential online strategy: same loads, same copy sets, same
+  // counters — for an epoch size that slices the stream mid-object.
+  util::Rng rng(31);
+  const net::Tree tree = net::makeClusterNetwork(2, 3);
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  const int numObjects = 5;
+  std::vector<RequestEvent> events;
+  for (int i = 0; i < 2000; ++i) {
+    events.push_back(RequestEvent{
+        static_cast<workload::ObjectId>(rng.nextBelow(numObjects)),
+        tree.processors()[static_cast<std::size_t>(
+            rng.nextBelow(tree.processors().size()))],
+        rng.nextBool(0.25)});
+  }
+
+  dynamic::OnlineTreeStrategy sequential(rooted, numObjects,
+                                         tree.processors().front());
+  for (const RequestEvent& ev : events) sequential.serve(ev);
+
+  ServeOptions options;
+  options.epochSize = 37;  // deliberately odd, crossing object runs
+  options.replaceDrift = 0.0;
+  EpochServer server(rooted, numObjects, options);
+  VectorStream stream(events);
+  const ServeReport report = server.serve(stream);
+
+  EXPECT_EQ(report.totalRequests, events.size());
+  EXPECT_EQ(report.replications, sequential.replications());
+  EXPECT_EQ(report.invalidations, sequential.invalidations());
+  for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
+    EXPECT_EQ(server.loads().edgeLoad(e), sequential.loads().edgeLoad(e))
+        << "edge " << e;
+  }
+  for (workload::ObjectId x = 0; x < numObjects; ++x) {
+    EXPECT_EQ(server.copySet(x), sequential.copySet(x)) << "object " << x;
+  }
+  EXPECT_EQ(server.aggregated().grandTotal(),
+            static_cast<workload::Count>(events.size()));
+}
+
+TEST(EpochServer, BitIdenticalAcrossThreadCounts) {
+  const net::Tree tree = net::makeClusterNetwork(4, 8);
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  workload::StreamParams params;
+  params.numObjects = 96;
+  const auto run = [&](int threads) {
+    const auto stream = makeGeneratedStream("skewed", tree, params, 21,
+                                            60'000);
+    ServeOptions options;
+    options.epochSize = 1 << 12;
+    options.threads = threads;
+    options.replaceDrift = 1.5;  // exercise the re-placement path too
+    EpochServer server(rooted, params.numObjects, options);
+    const ServeReport report = server.serve(*stream);
+    return stateJson(server, report);
+  };
+  const std::string sequential = run(1);
+  EXPECT_EQ(sequential, run(2));
+  EXPECT_EQ(sequential, run(5));
+  EXPECT_EQ(sequential, run(0));  // hardware concurrency
+}
+
+TEST(EpochServer, ReplacementFiresUnderSlowAdaptationAndHelps) {
+  const net::Tree tree = net::makeClusterNetwork(4, 8);
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  workload::StreamParams params;
+  params.numObjects = 64;
+  params.readFraction = 0.995;
+  struct Outcome {
+    ServeReport report;
+    std::uint64_t markedEpochs = 0;
+  };
+  const auto run = [&](double drift) {
+    const auto stream =
+        makeGeneratedStream("skewed", tree, params, 9, 120'000);
+    ServeOptions options;
+    options.epochSize = 1 << 13;
+    options.replaceDrift = drift;
+    options.online.replicationThreshold = 64;  // slow online adaptation
+    EpochServer server(rooted, params.numObjects, options);
+    Outcome outcome{server.serve(*stream), 0};
+    for (const EpochRecord& record : server.epochLog()) {
+      outcome.markedEpochs += record.replaced ? 1 : 0;
+    }
+    return outcome;
+  };
+  const Outcome off = run(0.0);
+  const Outcome on = run(2.0);
+  EXPECT_EQ(off.report.replacements, 0u);
+  EXPECT_GT(on.report.replacements, 0u);
+  EXPECT_LE(on.report.congestion, off.report.congestion);
+  // The epoch log marks exactly the re-placed epochs.
+  EXPECT_EQ(on.markedEpochs, on.report.replacements);
+}
+
+TEST(EpochServer, EpochLogIsConsistent) {
+  const net::Tree tree = net::makeClusterNetwork(2, 4);
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  workload::StreamParams params;
+  params.numObjects = 8;
+  const auto stream = makeGeneratedStream("bursty", tree, params, 3, 10'000);
+  ServeOptions options;
+  options.epochSize = 1 << 10;
+  EpochServer server(rooted, params.numObjects, options);
+  const ServeReport report = server.serve(*stream);
+  EXPECT_EQ(report.epochs, server.epochLog().size());
+  std::uint64_t total = 0;
+  for (const EpochRecord& record : server.epochLog()) {
+    total += record.requests;
+    EXPECT_GT(record.requests, 0u);
+    EXPECT_LE(record.requests, options.epochSize);
+    EXPECT_GE(record.ratio, 0.0);
+  }
+  EXPECT_EQ(total, report.totalRequests);
+  EXPECT_EQ(report.totalRequests, 10'000u);
+}
+
+TEST(EpochServer, MillionRequestStreamNeverMaterialises) {
+  // Two million requests through a small epoch buffer: RSS must grow by
+  // far less than the ~24 MB the materialised stream would take, and the
+  // server's own per-request buffering stays at two epochs.
+  const net::Tree tree = net::makeClusterNetwork(4, 8);
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  workload::StreamParams params;
+  params.numObjects = 256;
+  constexpr std::uint64_t kRequests = 2'000'000;
+  const auto stream =
+      makeGeneratedStream("skewed", tree, params, 17, kRequests);
+  ServeOptions options;
+  options.epochSize = 1 << 14;
+  options.threads = 2;
+  EpochServer server(rooted, params.numObjects, options);
+
+  const long rssBefore = maxRssKb();
+  const ServeReport report = server.serve(*stream);
+  const long rssAfter = maxRssKb();
+
+  EXPECT_EQ(report.totalRequests, kRequests);
+  EXPECT_GE(report.epochs, kRequests / options.epochSize);
+  // Buffering: one arrival-order epoch + one bucketed epoch + offsets.
+  EXPECT_LT(report.epochBufferBytes,
+            2 * options.epochSize * sizeof(RequestEvent) +
+                (static_cast<std::uint64_t>(params.numObjects) + 258) *
+                    sizeof(std::size_t));
+  EXPECT_LT(rssAfter - rssBefore, 16 * 1024)  // < 16 MB growth
+      << "serving resident set grew as if the stream were materialised";
+}
+
+}  // namespace
+}  // namespace hbn::serve

@@ -1,4 +1,8 @@
 // Round-trip and error-path tests for workload serialisation.
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "hbn/net/generators.h"
@@ -81,6 +85,59 @@ TEST(WorkloadSerialize, DuplicateEntriesAccumulate) {
       "read 0 0 3\n";
   const Workload w = parseText(text);
   EXPECT_EQ(w.reads(0, 0), 5);
+}
+
+TEST(TraceSerialize, RoundTripPreservesOrder) {
+  std::vector<RequestEvent> events = {
+      {0, 3, false}, {2, 1, true}, {0, 3, false}, {1, 4, true}};
+  std::ostringstream oss;
+  writeTraceHeader(oss, 3, 5);
+  for (const RequestEvent& ev : events) writeTraceEvent(oss, ev);
+
+  std::istringstream in(oss.str());
+  TraceReader reader(in);
+  EXPECT_EQ(reader.numObjects(), 3);
+  EXPECT_EQ(reader.numNodes(), 5);
+  RequestEvent ev;
+  for (const RequestEvent& expected : events) {
+    ASSERT_TRUE(reader.next(ev));
+    EXPECT_EQ(ev.object, expected.object);
+    EXPECT_EQ(ev.origin, expected.origin);
+    EXPECT_EQ(ev.isWrite, expected.isWrite);
+  }
+  EXPECT_FALSE(reader.next(ev));
+  EXPECT_FALSE(reader.next(ev));  // stays exhausted
+}
+
+TEST(TraceSerialize, MissingHeaderRejected) {
+  std::istringstream in("r 0 0\n");
+  EXPECT_THROW(TraceReader reader(in), std::invalid_argument);
+}
+
+TEST(TraceSerialize, MalformedLinesRejected) {
+  const auto readAll = [](const std::string& body) {
+    std::istringstream in("hbn-trace v1\ndims 2 4\n" + body);
+    TraceReader reader(in);
+    RequestEvent ev;
+    while (reader.next(ev)) {
+    }
+  };
+  EXPECT_THROW(readAll("x 0 0\n"), std::invalid_argument);   // bad keyword
+  EXPECT_THROW(readAll("r 0\n"), std::invalid_argument);     // missing field
+  EXPECT_THROW(readAll("r 0 0 9\n"), std::invalid_argument); // trailing
+  EXPECT_THROW(readAll("r 0 0x\n"), std::invalid_argument);  // partial parse
+  EXPECT_THROW(readAll("r 2 0\n"), std::invalid_argument);   // object range
+  EXPECT_THROW(readAll("w 0 4\n"), std::invalid_argument);   // node range
+  EXPECT_THROW(readAll("r -1 0\n"), std::invalid_argument);  // negative
+}
+
+TEST(TraceSerialize, BlankLinesAreSkipped) {
+  std::istringstream in("hbn-trace v1\ndims 1 2\n\nr 0 1\n\n");
+  TraceReader reader(in);
+  RequestEvent ev;
+  ASSERT_TRUE(reader.next(ev));
+  EXPECT_EQ(ev.origin, 1);
+  EXPECT_FALSE(reader.next(ev));
 }
 
 }  // namespace

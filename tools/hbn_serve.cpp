@@ -1,0 +1,296 @@
+// hbn_serve — the streaming request-serving frontend.
+//
+// Usage:
+//   hbn_serve [options] [<tree-file>]
+//
+// Serves an online stream of read/write requests through the epoch-batched
+// serving engine (hbn/serve/epoch_server.h): requests are consumed in
+// epochs, sharded over worker threads by object id (bit-identical output
+// for any --threads value), and between epochs the engine re-runs the
+// nibble placement on the aggregated frequencies whenever realised
+// congestion drifts above the analytic offline lower bound.
+//
+// The stream comes either from a trace file (hbn-trace v1, --trace) or
+// from one of the generated profiles (--stream skewed|bursty|diurnal,
+// bounded by --requests). Without a tree file a two-level cluster network
+// is generated (--clusters/--procs).
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hbn/engine/cli.h"
+#include "hbn/net/generators.h"
+#include "hbn/net/serialize.h"
+#include "hbn/serve/epoch_server.h"
+#include "hbn/serve/request_stream.h"
+#include "hbn/util/json.h"
+#include "hbn/util/stats.h"
+#include "hbn/util/table.h"
+
+namespace {
+
+/// Cap for every int-typed count flag: without it the uint64→int cast
+/// would silently wrap values >= 2^32.
+constexpr std::uint64_t kMaxInt = std::numeric_limits<int>::max();
+
+struct ServeCli {
+  std::string trace;            ///< trace file; empty = generated stream
+  std::string stream = "skewed";
+  std::uint64_t requests = 1'000'000;
+  std::size_t epoch = 1 << 16;
+  int objects = 1024;
+  int clusters = 4;
+  int procs = 8;                ///< processors per cluster
+  double drift = 3.0;
+  double reads = 0.9;              ///< stream read fraction
+  hbn::core::Count threshold = 2;  ///< online replication threshold D
+  std::string jsonOut;          ///< empty = no JSON report
+  hbn::engine::CliOptions shared;
+};
+
+/// Strict double flag parser matching parseUintFlag's discipline: the
+/// whole text must be one finite number inside [lo, hi] — '2x', 'nan',
+/// and '' are errors, not partial parses.
+double parseDoubleFlag(const std::string& flag, const std::string& text,
+                       double lo, double hi) {
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || !std::isfinite(value) ||
+      value < lo || value > hi) {
+    std::ostringstream range;
+    range << flag << " expects a number in [" << lo << ", " << hi
+          << "], got '" << text << "'";
+    throw std::invalid_argument(range.str());
+  }
+  return value;
+}
+
+ServeCli parseServeCli(int argc, char** argv) {
+  ServeCli cli;
+  std::vector<char*> rest;
+  rest.reserve(static_cast<std::size_t>(argc));
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& flag) -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(flag + " expects a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace") {
+      cli.trace = value(arg);
+    } else if (arg == "--stream") {
+      cli.stream = value(arg);
+    } else if (arg == "--requests" || arg == "-n") {
+      cli.requests = hbn::engine::parseUintFlag(arg, value(arg));
+    } else if (arg == "--epoch" || arg == "-e") {
+      const std::uint64_t epoch =
+          hbn::engine::parseUintFlag(arg, value(arg));
+      if (epoch < 1) throw std::invalid_argument("--epoch expects >= 1");
+      cli.epoch = static_cast<std::size_t>(epoch);
+    } else if (arg == "--objects") {
+      cli.objects = static_cast<int>(
+          hbn::engine::parseUintFlag(arg, value(arg), kMaxInt));
+    } else if (arg == "--clusters") {
+      cli.clusters = static_cast<int>(
+          hbn::engine::parseUintFlag(arg, value(arg), kMaxInt));
+    } else if (arg == "--procs") {
+      cli.procs = static_cast<int>(
+          hbn::engine::parseUintFlag(arg, value(arg), kMaxInt));
+    } else if (arg == "--reads") {
+      cli.reads = parseDoubleFlag(arg, value(arg), 0.0, 1.0);
+    } else if (arg == "--threshold") {
+      cli.threshold = static_cast<hbn::core::Count>(
+          hbn::engine::parseUintFlag(arg, value(arg)));
+    } else if (arg == "--drift") {
+      cli.drift = parseDoubleFlag(arg, value(arg), 0.0, 1e9);
+    } else if (arg == "--json") {
+      cli.jsonOut = value(arg);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  cli.shared = hbn::engine::parseCli(static_cast<int>(rest.size()),
+                                     rest.data());
+  return cli;
+}
+
+void printUsage(std::ostream& os) {
+  os << "usage: hbn_serve [options] [<tree-file>]\n"
+        "\n"
+        "Streams requests through the epoch-batched serving engine and\n"
+        "reports throughput, epoch latency, and the realised-congestion\n"
+        "ratio against the offline lower bound.\n"
+        "\n"
+        "options:\n"
+        "  --trace FILE      serve a trace file (hbn-trace v1) instead of\n"
+        "                    a generated stream\n"
+        "  --stream NAME     generated stream profile: skewed | bursty |\n"
+        "                    diurnal (default skewed)\n"
+        "  --requests N      generated stream length (default 1000000)\n"
+        "  --epoch N         requests per epoch (default 65536)\n"
+        "  --objects N       shared objects for generated streams\n"
+        "                    (default 1024)\n"
+        "  --clusters N      generated topology: cluster count (default 4)\n"
+        "  --procs N         processors per cluster (default 8)\n"
+        "  --reads F         generated stream read fraction (default 0.9)\n"
+        "  --threshold D     online replication threshold (default 2)\n"
+        "  --drift F         re-place when congestion growth > F x lower-\n"
+        "                    bound growth since the last re-placement;\n"
+        "                    0 disables (default 3.0)\n"
+        "  --json FILE       also write the serve report as JSON records\n"
+        "  --threads N       worker threads (0 = all cores)\n"
+        "  --seed N          stream RNG seed\n"
+        "  --help            show this text\n";
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hbn;
+  try {
+    const ServeCli cli = parseServeCli(argc, argv);
+    if (cli.shared.help) {
+      printUsage(std::cout);
+      return 0;
+    }
+    if (cli.shared.positional.size() > 1) {
+      printUsage(std::cerr);
+      return 2;
+    }
+    if (!cli.shared.strategies.empty()) {
+      throw std::invalid_argument(
+          "hbn_serve runs the online strategy; --strategy is not accepted");
+    }
+
+    const net::Tree tree =
+        cli.shared.positional.empty()
+            ? net::makeClusterNetwork(cli.clusters, cli.procs)
+            : net::parseText(readFile(cli.shared.positional.front()));
+    const net::RootedTree rooted(tree, tree.defaultRoot());
+    const std::uint64_t seed = cli.shared.seedSet ? cli.shared.seed : 12;
+
+    std::unique_ptr<serve::RequestStream> stream;
+    int numObjects = cli.objects;
+    if (!cli.trace.empty()) {
+      auto traceStream = std::make_unique<serve::TraceFileStream>(cli.trace);
+      if (traceStream->numNodes() != tree.nodeCount()) {
+        throw std::runtime_error("trace node count does not match tree");
+      }
+      numObjects = traceStream->numObjects();
+      stream = std::move(traceStream);
+    } else {
+      workload::StreamParams params;
+      params.numObjects = numObjects;
+      params.readFraction = cli.reads;
+      stream = serve::makeGeneratedStream(cli.stream, tree, params, seed,
+                                          cli.requests);
+    }
+
+    serve::ServeOptions options;
+    options.epochSize = cli.epoch;
+    options.threads = cli.shared.threads;
+    options.replaceDrift = cli.drift;
+    options.online.replicationThreshold = cli.threshold;
+    serve::EpochServer server(rooted, numObjects, options);
+
+    std::cout << "serving "
+              << (cli.trace.empty() ? "stream '" + cli.stream + "'"
+                                    : "trace " + cli.trace)
+              << " over " << tree.processorCount() << " processors, "
+              << numObjects << " objects (epoch=" << cli.epoch
+              << ", threads=" << options.threads << ", seed=" << seed
+              << ", drift=" << cli.drift << ")\n\n";
+
+    const serve::ServeReport report = server.serve(*stream);
+
+    util::Table epochs({"epoch", "requests", "ms", "congestion",
+                        "lower bound", "ratio", "re-placed"});
+    // The log can run to thousands of epochs; print the first and last
+    // few, eliding the middle.
+    const std::size_t logSize = server.epochLog().size();
+    for (std::size_t i = 0; i < logSize; ++i) {
+      if (logSize > 12 && i == 6) {
+        epochs.addRow({"...", "...", "...", "...", "...", "...", "..."});
+      }
+      if (logSize > 12 && i >= 6 && i + 6 < logSize) continue;
+      const serve::EpochRecord& r = server.epochLog()[i];
+      epochs.addRow({std::to_string(r.index), std::to_string(r.requests),
+                     util::formatDouble(r.wallMs, 1),
+                     util::formatDouble(r.congestion, 1),
+                     util::formatDouble(r.lowerBound, 1),
+                     util::formatDouble(r.ratio, 2),
+                     r.replaced ? "yes" : ""});
+    }
+    epochs.print(std::cout);
+
+    std::cout << "\nserved " << report.totalRequests << " requests in "
+              << report.epochs << " epochs, "
+              << util::formatDouble(report.wallMs, 1) << " ms ("
+              << util::formatDouble(report.requestsPerSec / 1e6, 2)
+              << " M req/s)\n"
+              << "epoch latency p50/p99: "
+              << util::formatDouble(report.epochMsP50, 2) << " / "
+              << util::formatDouble(report.epochMsP99, 2) << " ms\n"
+              << "congestion " << util::formatDouble(report.congestion, 1)
+              << " vs offline lower bound "
+              << util::formatDouble(report.lowerBound, 1) << " — ratio "
+              << util::formatDouble(report.ratio, 2) << "\n"
+              << report.replacements << " re-placements, "
+              << report.replications << " replications, "
+              << report.invalidations << " invalidations\n";
+
+    if (!cli.jsonOut.empty()) {
+      util::JsonRecords records;
+      for (const serve::EpochRecord& r : server.epochLog()) {
+        records.beginRecord();
+        records.field("kind", "epoch");
+        records.field("epoch", static_cast<std::int64_t>(r.index));
+        records.field("requests", static_cast<std::int64_t>(r.requests));
+        records.field("wall_ms", r.wallMs);
+        records.field("congestion", r.congestion);
+        records.field("lower_bound", r.lowerBound);
+        records.field("ratio", r.ratio);
+        records.field("replaced", r.replaced);
+      }
+      records.beginRecord();
+      records.field("kind", "summary");
+      records.field("requests",
+                    static_cast<std::int64_t>(report.totalRequests));
+      records.field("epochs", static_cast<std::int64_t>(report.epochs));
+      records.field("wall_ms", report.wallMs);
+      records.field("requests_per_sec", report.requestsPerSec);
+      records.field("epoch_ms_p50", report.epochMsP50);
+      records.field("epoch_ms_p99", report.epochMsP99);
+      records.field("congestion", report.congestion);
+      records.field("lower_bound", report.lowerBound);
+      records.field("ratio", report.ratio);
+      records.field("replacements",
+                    static_cast<std::int64_t>(report.replacements));
+      records.field("seed", static_cast<std::int64_t>(seed));
+      records.field("threads", options.threads);
+      records.writeFile(cli.jsonOut);
+      std::cout << "wrote " << cli.jsonOut << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
