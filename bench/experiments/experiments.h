@@ -28,6 +28,7 @@ void registerStrategyComparison(engine::ExperimentRegistry&);// E9
 void registerAblation(engine::ExperimentRegistry&);          // E10
 void registerDynamic(engine::ExperimentRegistry&);           // E11
 void registerServingThroughput(engine::ExperimentRegistry&); // E12
+void registerLoadEngine(engine::ExperimentRegistry&);        // E13
 }  // namespace detail
 
 }  // namespace hbn::bench

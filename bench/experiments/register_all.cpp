@@ -18,6 +18,7 @@ engine::ExperimentRegistry& experiments() {
     detail::registerAblation(registry);
     detail::registerDynamic(registry);
     detail::registerServingThroughput(registry);
+    detail::registerLoadEngine(registry);
     return true;
   }();
   (void)populated;

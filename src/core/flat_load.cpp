@@ -1,0 +1,230 @@
+#include "hbn/core/flat_load.h"
+
+#include <stdexcept>
+
+namespace hbn::core {
+
+FlatTreeView::FlatTreeView(const net::RootedTree& rooted) : rooted_(&rooted) {
+  const auto order = rooted.preorder();
+  const auto n = order.size();
+  posOf_.resize(static_cast<std::size_t>(rooted.tree().nodeCount()));
+  nodeAt_.resize(n);
+  parentPos_.resize(n);
+  parentEdgeAt_.resize(n);
+  depthAt_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::NodeId v = order[i];
+    posOf_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+    nodeAt_[i] = v;
+    parentEdgeAt_[i] = rooted.parentEdge(v);
+    depthAt_[i] = rooted.depth(v);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::NodeId p = rooted.parent(nodeAt_[i]);
+    parentPos_[i] =
+        p == net::kInvalidNode ? -1 : posOf_[static_cast<std::size_t>(p)];
+  }
+  steps_.resize(n);
+  for (net::NodeId v = 0; v < static_cast<net::NodeId>(n); ++v) {
+    steps_[static_cast<std::size_t>(v)] =
+        NodeStep{rooted.parent(v), rooted.parentEdge(v), rooted.depth(v),
+                 posOf_[static_cast<std::size_t>(v)]};
+  }
+
+  // Euler tour by positions: an iterative DFS that re-appends a node each
+  // time the walk returns from a child, so any two nodes' LCA is the
+  // minimum-depth entry between their first occurrences.
+  euler_.reserve(2 * n);
+  firstEuler_.assign(n, -1);
+  struct Frame {
+    std::int32_t pos;
+    std::size_t child;  ///< next child index to descend into
+  };
+  // Child positions in preorder are contiguous? Not necessarily — walk via
+  // the rooted children lists, mapping nodes to positions.
+  std::vector<Frame> stack;
+  stack.push_back({0, 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const net::NodeId v = nodeAt_[static_cast<std::size_t>(frame.pos)];
+    const auto children = rooted.children(v);
+    if (frame.child == 0) {
+      firstEuler_[static_cast<std::size_t>(frame.pos)] =
+          static_cast<std::int32_t>(euler_.size());
+      euler_.push_back(frame.pos);
+    } else {
+      euler_.push_back(frame.pos);  // back from a child
+    }
+    if (frame.child < children.size()) {
+      const std::int32_t childPos =
+          posOf_[static_cast<std::size_t>(children[frame.child])];
+      ++frame.child;
+      stack.push_back({childPos, 0});
+    } else {
+      stack.pop_back();
+    }
+  }
+
+  // Sparse min-depth table over the Euler sequence, flattened row-major.
+  const std::size_t m = euler_.size();
+  eulerLen_ = m;
+  eulerDepth_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    eulerDepth_[i] = depthAt_[static_cast<std::size_t>(euler_[i])];
+  }
+  log2_.assign(m + 1, 0);
+  for (std::size_t i = 2; i <= m; ++i) {
+    log2_[i] = log2_[i / 2] + 1;
+  }
+  const int levels = log2_[m] + 1;
+  table_.assign(static_cast<std::size_t>(levels) * m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    table_[i] = static_cast<std::int32_t>(i);
+  }
+  for (int k = 1; k < levels; ++k) {
+    const std::size_t span = std::size_t{1} << k;
+    const std::size_t row = static_cast<std::size_t>(k) * m;
+    const std::size_t prev = static_cast<std::size_t>(k - 1) * m;
+    for (std::size_t i = 0; i + span <= m; ++i) {
+      const std::int32_t left = table_[prev + i];
+      const std::int32_t right = table_[prev + i + span / 2];
+      table_[row + i] = eulerDepth_[static_cast<std::size_t>(left)] <=
+                                eulerDepth_[static_cast<std::size_t>(right)]
+                            ? left
+                            : right;
+    }
+  }
+}
+
+FlatLoadAccumulator::FlatLoadAccumulator(const FlatTreeView& flat)
+    : flat_(&flat) {
+  const auto n = static_cast<std::size_t>(flat.nodeCount());
+  delta_.assign(n, 0);
+  minTouched_ = static_cast<std::int32_t>(n);
+  steinerCount_.assign(n, 0);
+  steinerStamp_.assign(n, 0);
+  steinerBuckets_.resize(static_cast<std::size_t>(flat.height()) + 1);
+}
+
+void FlatLoadAccumulator::chargePath(net::NodeId u, net::NodeId v,
+                                     Count amount) {
+  if (amount == 0 || u == v) return;
+  const std::int32_t pu = flat_->posOf(u);
+  const std::int32_t pv = flat_->posOf(v);
+  const std::int32_t pa = flat_->lcaPos(pu, pv);
+  delta_[static_cast<std::size_t>(pu)] += amount;
+  delta_[static_cast<std::size_t>(pv)] += amount;
+  delta_[static_cast<std::size_t>(pa)] -= 2 * amount;
+  // pa <= min(pu, pv) in preorder (ancestors precede descendants).
+  if (pa < minTouched_) minTouched_ = pa;
+  const std::int32_t hi = pu > pv ? pu : pv;
+  if (hi > maxTouched_) maxTouched_ = hi;
+}
+
+void FlatLoadAccumulator::flush(LoadMap& out) {
+  // Reverse-preorder subtree sums over the touched range: scanning
+  // positions descending drains every child into its parent before the
+  // parent itself is visited (preorder puts parents first). Every
+  // nonzero subtree sum lies strictly below some charge's LCA, and all
+  // LCA positions are >= minTouched_, so nothing propagates out of the
+  // range; sums cancel exactly at the LCAs.
+  for (std::int32_t pos = maxTouched_; pos >= minTouched_; --pos) {
+    const Count sum = delta_[static_cast<std::size_t>(pos)];
+    if (sum == 0) continue;
+    delta_[static_cast<std::size_t>(pos)] = 0;
+    if (pos == 0) continue;  // defensive: the root owns no parent edge
+    out.addEdgeLoad(flat_->parentEdgeAt(pos), sum);
+    const std::int32_t parent = flat_->parentPos(pos);
+    delta_[static_cast<std::size_t>(parent)] += sum;
+    if (parent < minTouched_) minTouched_ = parent;  // defensive
+  }
+  minTouched_ = static_cast<std::int32_t>(delta_.size());
+  maxTouched_ = -1;
+}
+
+void FlatLoadAccumulator::chargeSteiner(
+    std::span<const net::NodeId> terminals, Count amount, LoadMap& out) {
+  if (terminals.size() < 2 || amount == 0) return;
+  if (++sStamp_ == 0) {
+    std::fill(steinerStamp_.begin(), steinerStamp_.end(), 0);
+    sStamp_ = 1;
+  }
+  // Collapse duplicate terminals onto their position; count distinct.
+  Count distinct = 0;
+  int maxDepth = -1;
+  for (const net::NodeId t : terminals) {
+    if (t < 0 || t >= flat_->rooted().tree().nodeCount()) {
+      throw std::out_of_range("chargeSteiner: terminal out of range");
+    }
+    const std::int32_t pos = flat_->posOf(t);
+    auto& mark = steinerStamp_[static_cast<std::size_t>(pos)];
+    if (mark == sStamp_) continue;
+    mark = sStamp_;
+    steinerCount_[static_cast<std::size_t>(pos)] = 1;
+    const int depth = flat_->depthAt(pos);
+    steinerBuckets_[static_cast<std::size_t>(depth)].push_back(pos);
+    if (depth > maxDepth) maxDepth = depth;
+    ++distinct;
+  }
+  if (distinct < 2) {
+    for (int d = maxDepth; d >= 0; --d) {
+      steinerBuckets_[static_cast<std::size_t>(d)].clear();
+    }
+    return;
+  }
+  // Propagate terminal counts up, charging parentEdge(v) while the
+  // subtree below strictly separates the terminal set (0 < cnt < k); a
+  // subtree holding every terminal ends the walk — all its ancestors
+  // hold them too.
+  for (int d = maxDepth; d >= 0; --d) {
+    auto& bucket = steinerBuckets_[static_cast<std::size_t>(d)];
+    for (const std::int32_t pos : bucket) {
+      const Count count = steinerCount_[static_cast<std::size_t>(pos)];
+      if (count == distinct) continue;
+      out.addEdgeLoad(flat_->parentEdgeAt(pos), amount);
+      const std::int32_t parent = flat_->parentPos(pos);
+      auto& mark = steinerStamp_[static_cast<std::size_t>(parent)];
+      if (mark != sStamp_) {
+        mark = sStamp_;
+        steinerCount_[static_cast<std::size_t>(parent)] = 0;
+        steinerBuckets_[static_cast<std::size_t>(d - 1)].push_back(parent);
+      }
+      steinerCount_[static_cast<std::size_t>(parent)] += count;
+    }
+    bucket.clear();
+  }
+}
+
+void accumulateObjectLoad(FlatLoadAccumulator& acc,
+                          const ObjectPlacement& object, LoadMap& loads) {
+  std::size_t shares = 0;
+  for (const Copy& c : object.copies) shares += c.served.size();
+  if (shares < kFlatLoadCutover) {
+    accumulateObjectLoad(acc.flat().rooted(), object, loads);
+    return;
+  }
+  Count kappa = 0;
+  for (const Copy& c : object.copies) {
+    for (const RequestShare& share : c.served) {
+      kappa += share.writes;
+      const Count amount = share.total();
+      if (amount > 0) acc.chargePath(share.origin, c.location, amount);
+    }
+  }
+  if (kappa > 0) {
+    const auto locations = object.locations();
+    acc.chargeSteiner(locations, kappa, loads);
+  }
+}
+
+LoadMap computeLoad(const FlatTreeView& flat, const Placement& placement) {
+  LoadMap loads(flat.rooted().tree().edgeCount());
+  FlatLoadAccumulator acc(flat);
+  for (const ObjectPlacement& object : placement.objects) {
+    accumulateObjectLoad(acc, object, loads);
+  }
+  acc.flush(loads);
+  return loads;
+}
+
+}  // namespace hbn::core

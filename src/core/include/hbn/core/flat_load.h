@@ -1,0 +1,203 @@
+// Batched difference-counting load accounting.
+//
+// Every layer of the repository charges edge/bus congestion (paper §1.1)
+// by walking origin→copy paths edge-by-edge, i.e. O(path length) per
+// request share. This module replaces those walks with epoch aggregation:
+//
+//   * charging a path u→v with amount a becomes three array additions
+//     delta[u] += a, delta[v] += a, delta[lca(u,v)] -= 2a, and
+//   * one reverse-preorder subtree-sum pass (the flush) converts the
+//     accumulated deltas into exact per-edge loads,
+//
+// so a batch of R requests costs O(R + touched nodes) instead of
+// O(R × path length). Steiner (write-broadcast) charging is batched the
+// same way: terminals are counted per subtree in the flattened view and
+// the parent edge of v is charged iff 0 < cnt(v) < |terminals| — the
+// same predicate net::steinerEdges uses, but without materialising an
+// edge vector or scanning all n nodes per object.
+//
+// All loads are exact integers, and integer addition is associative and
+// commutative, so any charging route (legacy walk, difference counting,
+// any interleaving) produces bit-identical LoadMaps — the property the
+// randomized equivalence suite (tests/flat_load_test.cpp) pins down and
+// the 1-vs-N-thread serving digests rely on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hbn/core/load.h"
+#include "hbn/core/placement.h"
+#include "hbn/net/rooted.h"
+
+namespace hbn::core {
+
+/// Preorder/CSR flattening of a RootedTree: contiguous position-indexed
+/// parent/depth/parent-edge arrays (position = preorder index, so every
+/// parent position precedes its children) plus an O(1) LCA via Euler
+/// tour + sparse-table RMQ. Construction is O(n log n); the view is
+/// immutable and safe to share across worker threads.
+class FlatTreeView {
+ public:
+  /// Packed per-node walk record: one aligned 16-byte load hands the
+  /// serving hot loops parent, parent edge, depth, and preorder position
+  /// together, where the rooted view scatters them over three arrays.
+  struct NodeStep {
+    net::NodeId parent;
+    net::EdgeId parentEdge;
+    std::int32_t depth;
+    std::int32_t pos;
+  };
+
+  explicit FlatTreeView(const net::RootedTree& rooted);
+
+  [[nodiscard]] const net::RootedTree& rooted() const noexcept {
+    return *rooted_;
+  }
+  [[nodiscard]] int nodeCount() const noexcept {
+    return static_cast<int>(posOf_.size());
+  }
+
+  /// Preorder position of node v (root is 0; parents precede children).
+  [[nodiscard]] std::int32_t posOf(net::NodeId v) const {
+    return posOf_[static_cast<std::size_t>(v)];
+  }
+  /// Packed walk record of node v (node-id indexed).
+  [[nodiscard]] const NodeStep& step(net::NodeId v) const {
+    return steps_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] net::NodeId nodeAt(std::int32_t pos) const {
+    return nodeAt_[static_cast<std::size_t>(pos)];
+  }
+  /// Preorder position of the parent of the node at `pos`; -1 for the root.
+  [[nodiscard]] std::int32_t parentPos(std::int32_t pos) const {
+    return parentPos_[static_cast<std::size_t>(pos)];
+  }
+  /// Edge to the parent of the node at `pos`; kInvalidEdge for the root.
+  [[nodiscard]] net::EdgeId parentEdgeAt(std::int32_t pos) const {
+    return parentEdgeAt_[static_cast<std::size_t>(pos)];
+  }
+  [[nodiscard]] int depthAt(std::int32_t pos) const {
+    return depthAt_[static_cast<std::size_t>(pos)];
+  }
+  [[nodiscard]] int height() const noexcept { return rooted_->height(); }
+
+  /// Lowest common ancestor in O(1) (Euler tour + sparse table), versus
+  /// the O(log n) binary lifting of RootedTree::lca.
+  [[nodiscard]] net::NodeId lca(net::NodeId u, net::NodeId v) const {
+    return nodeAt(lcaPos(posOf(u), posOf(v)));
+  }
+
+  /// Position-space LCA — the accumulator's innermost operation, kept
+  /// free of node↔position round trips.
+  [[nodiscard]] std::int32_t lcaPos(std::int32_t pu, std::int32_t pv) const {
+    std::int32_t l = firstEuler_[static_cast<std::size_t>(pu)];
+    std::int32_t r = firstEuler_[static_cast<std::size_t>(pv)];
+    if (l > r) std::swap(l, r);
+    const int k = log2_[static_cast<std::size_t>(r - l + 1)];
+    const std::size_t row = static_cast<std::size_t>(k) * eulerLen_;
+    const std::int32_t a = table_[row + static_cast<std::size_t>(l)];
+    const std::int32_t b =
+        table_[row + static_cast<std::size_t>(r - (std::int32_t{1} << k) + 1)];
+    return eulerDepth_[static_cast<std::size_t>(a)] <=
+                   eulerDepth_[static_cast<std::size_t>(b)]
+               ? euler_[static_cast<std::size_t>(a)]
+               : euler_[static_cast<std::size_t>(b)];
+  }
+
+ private:
+  const net::RootedTree* rooted_;
+  std::vector<std::int32_t> posOf_;
+  std::vector<NodeStep> steps_;
+  std::vector<net::NodeId> nodeAt_;
+  std::vector<std::int32_t> parentPos_;
+  std::vector<net::EdgeId> parentEdgeAt_;
+  std::vector<std::int32_t> depthAt_;
+  // Euler tour of positions (2n-1 entries) and sparse min-depth table,
+  // flattened row-major: table_[k * eulerLen_ + i] = the euler index
+  // with minimal depth in [i, i + 2^k).
+  std::vector<std::int32_t> euler_;
+  std::vector<std::int32_t> eulerDepth_;  ///< depth per euler index
+  std::vector<std::int32_t> firstEuler_;  ///< node pos -> first euler index
+  std::vector<std::int32_t> table_;
+  std::size_t eulerLen_ = 0;
+  std::vector<std::int32_t> log2_;  ///< floor(log2(len)) per window length
+};
+
+/// Shard sizes below this stay on the legacy per-request walk: the walk
+/// charges only O(path) edges, while the batched route adds flush
+/// bookkeeping per touched node — measured break-even on serving-style
+/// traffic sits near a handful of requests per object per epoch (see
+/// docs/performance.md for the measurement).
+inline constexpr std::size_t kFlatLoadCutover = 8;
+
+/// Mutable difference-counting accumulator over one FlatTreeView. One
+/// instance per worker thread: chargePath defers into the delta array,
+/// flush() drains exact per-edge loads into a LoadMap, chargeSteiner
+/// charges a terminal set's Steiner tree immediately. All scratch is
+/// stamp-versioned and reused, so steady-state operation allocates
+/// nothing.
+class FlatLoadAccumulator {
+ public:
+  explicit FlatLoadAccumulator(const FlatTreeView& flat);
+
+  [[nodiscard]] const FlatTreeView& flat() const noexcept { return *flat_; }
+
+  /// Defers charging every edge on the u→v path with `amount`: O(1)
+  /// (three delta additions; LCA is an O(1) table lookup).
+  void chargePath(net::NodeId u, net::NodeId v, Count amount);
+
+  /// Converts the deferred deltas into exact per-edge loads added onto
+  /// `out`: one reverse-preorder subtree-sum pass over the touched
+  /// position range (preorder puts every parent before its children, so
+  /// a single descending scan drains each child into its parent).
+  /// Subtree sums cancel exactly at each path's LCA, so nothing escapes
+  /// the range; cost is O(touched range), never more than O(n).
+  void flush(LoadMap& out);
+
+  /// True when chargePath deltas are pending (flush would emit loads).
+  [[nodiscard]] bool dirty() const noexcept { return maxTouched_ >= 0; }
+
+  /// Adds `amount` onto every edge of the Steiner tree spanning
+  /// `terminals` (duplicates allowed; fewer than two distinct terminals
+  /// charge nothing), immediately, in O(Steiner tree size): terminal
+  /// counts propagate up depth buckets and stop as soon as a subtree
+  /// contains all terminals. Bit-identical to charging the edge list of
+  /// net::steinerEdges.
+  void chargeSteiner(std::span<const net::NodeId> terminals, Count amount,
+                     LoadMap& out);
+
+ private:
+  const FlatTreeView* flat_;
+  std::vector<Count> delta_;  ///< pending path charges, by position
+  // Touched position range of the pending deltas. chargePath stays three
+  // raw array additions plus two range updates — cheaper than any
+  // per-charge membership bookkeeping, which profiling showed costs more
+  // than the short walks it replaces on shallow networks.
+  std::int32_t minTouched_ = 0;
+  std::int32_t maxTouched_ = -1;
+
+  // Steiner scratch: per-position terminal counts plus separate buckets,
+  // so chargeSteiner can interleave with pending chargePath deltas.
+  std::vector<Count> steinerCount_;
+  std::vector<std::uint32_t> steinerStamp_;
+  std::uint32_t sStamp_ = 0;
+  std::vector<std::vector<std::int32_t>> steinerBuckets_;
+};
+
+/// Flat-engine twin of accumulateObjectLoad: defers object `x`'s path
+/// charges into `acc` (caller flushes) and charges the write broadcast
+/// immediately. Objects whose ledgers hold fewer than kFlatLoadCutover
+/// shares fall back to the legacy walk — either route yields the same
+/// integer loads.
+void accumulateObjectLoad(FlatLoadAccumulator& acc,
+                          const ObjectPlacement& object, LoadMap& loads);
+
+/// Batched computeLoad over a prebuilt flat view: one accumulator, one
+/// flush for the whole placement — O(total shares + touched nodes +
+/// Σ Steiner sizes). Bit-identical to computeLoad(rooted, placement).
+[[nodiscard]] LoadMap computeLoad(const FlatTreeView& flat,
+                                  const Placement& placement);
+
+}  // namespace hbn::core

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <span>
 #include <vector>
 
@@ -28,14 +29,20 @@ class LoadMap {
   explicit LoadMap(int edgeCount)
       : edgeLoad_(static_cast<std::size_t>(edgeCount), 0) {}
 
+  // Unchecked accesses (debug-build asserted): these sit inside the
+  // per-request serving hot loop, where the bounds-checked .at() showed
+  // up as measurable overhead. Edge ids come from RootedTree/FlatTreeView
+  // tables, which are validated at construction.
   [[nodiscard]] Count edgeLoad(net::EdgeId e) const {
-    return edgeLoad_.at(static_cast<std::size_t>(e));
+    assert(e >= 0 && static_cast<std::size_t>(e) < edgeLoad_.size());
+    return edgeLoad_[static_cast<std::size_t>(e)];
   }
   [[nodiscard]] std::span<const Count> edgeLoads() const noexcept {
     return edgeLoad_;
   }
   void addEdgeLoad(net::EdgeId e, Count amount) {
-    edgeLoad_.at(static_cast<std::size_t>(e)) += amount;
+    assert(e >= 0 && static_cast<std::size_t>(e) < edgeLoad_.size());
+    edgeLoad_[static_cast<std::size_t>(e)] += amount;
   }
   /// Zeroes every edge load, keeping the allocation (per-epoch worker
   /// maps in the serving engine are reused this way).

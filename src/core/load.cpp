@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hbn/core/flat_load.h"
 #include "hbn/net/steiner.h"
 
 namespace hbn::core {
@@ -42,17 +43,22 @@ Count LoadMap::totalLoad() const noexcept {
   return sum;
 }
 
-void accumulateObjectLoad(const net::RootedTree& rooted,
-                          const ObjectPlacement& object, LoadMap& loads) {
+namespace {
+
+// Shared body of the legacy per-share walk, with caller-owned descent
+// scratch so batch callers stay allocation-free across objects.
+void accumulateObjectLoadWith(const net::RootedTree& rooted,
+                              const ObjectPlacement& object, LoadMap& loads,
+                              std::vector<net::EdgeId>& descent) {
   Count kappa = 0;  // write contention of this object (from the ledger)
   for (const Copy& c : object.copies) {
     for (const RequestShare& share : c.served) {
       kappa += share.writes;
       const Count amount = share.total();
       if (amount > 0 && share.origin != c.location) {
-        rooted.forEachPathEdge(share.origin, c.location, [&](net::EdgeId e) {
-          loads.addEdgeLoad(e, amount);
-        });
+        rooted.forEachPathEdge(
+            share.origin, c.location,
+            [&](net::EdgeId e) { loads.addEdgeLoad(e, amount); }, descent);
       }
     }
   }
@@ -63,11 +69,31 @@ void accumulateObjectLoad(const net::RootedTree& rooted,
   }
 }
 
+}  // namespace
+
+void accumulateObjectLoad(const net::RootedTree& rooted,
+                          const ObjectPlacement& object, LoadMap& loads) {
+  std::vector<net::EdgeId> descent;
+  accumulateObjectLoadWith(rooted, object, loads, descent);
+}
+
 LoadMap computeLoad(const net::RootedTree& rooted,
                     const Placement& placement) {
-  LoadMap loads(rooted.tree().edgeCount());
+  // Adaptive cutover: difference counting amortises its O(n log n) flat
+  // view build only once the ledger is dense enough; sparse placements
+  // keep the legacy per-share walk (both routes are bit-identical).
+  std::size_t shares = 0;
   for (const ObjectPlacement& object : placement.objects) {
-    accumulateObjectLoad(rooted, object, loads);
+    for (const Copy& c : object.copies) shares += c.served.size();
+  }
+  if (shares >= static_cast<std::size_t>(rooted.tree().nodeCount()) &&
+      shares >= kFlatLoadCutover * placement.objects.size()) {
+    return computeLoad(FlatTreeView(rooted), placement);
+  }
+  LoadMap loads(rooted.tree().edgeCount());
+  std::vector<net::EdgeId> descent;  // shared walk scratch for the batch
+  for (const ObjectPlacement& object : placement.objects) {
+    accumulateObjectLoadWith(rooted, object, loads, descent);
   }
   return loads;
 }

@@ -1,11 +1,41 @@
 #include "hbn/dynamic/harness.h"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "hbn/core/lower_bound.h"
 
 namespace hbn::dynamic {
+
+void bucketRequestsByObject(std::span<const Request> requests,
+                            int numObjects,
+                            std::span<std::size_t> offsets,
+                            std::span<Request> bucketed) {
+  if (offsets.size() != static_cast<std::size_t>(numObjects) + 1 ||
+      bucketed.size() != requests.size()) {
+    throw std::invalid_argument("bucketRequestsByObject: buffer sizes");
+  }
+  std::fill(offsets.begin(), offsets.end(), 0);
+  for (const Request& request : requests) {
+    if (request.object < 0 || request.object >= numObjects) {
+      throw std::out_of_range("bucketRequestsByObject: object id");
+    }
+    ++offsets[static_cast<std::size_t>(request.object) + 1];
+  }
+  for (std::size_t x = 0; x < static_cast<std::size_t>(numObjects); ++x) {
+    offsets[x + 1] += offsets[x];
+  }
+  // Scatter using offsets[x] as the cursor, then shift the (now
+  // advanced) table one slot right to restore the run starts.
+  for (const Request& request : requests) {
+    bucketed[offsets[static_cast<std::size_t>(request.object)]++] = request;
+  }
+  for (std::size_t x = static_cast<std::size_t>(numObjects); x > 0; --x) {
+    offsets[x] = offsets[x - 1];
+  }
+  offsets[0] = 0;
+}
 
 std::vector<Request> sequenceFromWorkload(const workload::Workload& load,
                                           util::Rng& rng) {
@@ -64,22 +94,47 @@ CompetitiveResult runCompetitive(const net::RootedTree& rooted,
   OnlineTreeStrategy strategy(rooted, numObjects, tree.processors().front(),
                               options);
   workload::Workload aggregated(numObjects, tree.nodeCount());
+
+  // Bucket the sequence by object (stable, preserving per-object
+  // arrival order): object state machines are independent and integer
+  // loads are additive, so grouped serving realises exactly the loads of
+  // the interleaved sequence — while batching every object's path
+  // charges through the difference-counting accumulator.
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(numObjects) + 1);
+  std::vector<Request> bucketed(requests.size());
+  bucketRequestsByObject(requests, numObjects, offsets, bucketed);
   for (const Request& request : requests) {
-    strategy.serve(request);
     if (request.isWrite) {
       aggregated.addWrites(request.object, request.origin, 1);
     } else {
       aggregated.addReads(request.object, request.origin, 1);
     }
   }
+
+  core::LoadMap loads(tree.edgeCount());
+  core::FlatLoadAccumulator acc(strategy.flatView());
+  ServeScratch scratch;
+  Count replications = 0;
+  Count invalidations = 0;
+  for (ObjectId x = 0; x < numObjects; ++x) {
+    const std::size_t begin = offsets[static_cast<std::size_t>(x)];
+    const std::size_t end = offsets[static_cast<std::size_t>(x) + 1];
+    if (begin == end) continue;
+    const ShardStats stats = strategy.serveShard(
+        x, std::span<const Request>(bucketed.data() + begin, end - begin),
+        loads, scratch, &acc);
+    replications += stats.replications;
+    invalidations += stats.invalidations;
+  }
+
   CompetitiveResult result;
-  result.onlineCongestion = strategy.loads().congestion(tree);
+  result.onlineCongestion = loads.congestion(tree);
   result.offlineLowerBound =
       core::analyticLowerBound(rooted, aggregated).congestion;
   result.ratio =
       competitiveRatio(result.onlineCongestion, result.offlineLowerBound);
-  result.replications = strategy.replications();
-  result.invalidations = strategy.invalidations();
+  result.replications = replications;
+  result.invalidations = invalidations;
   return result;
 }
 

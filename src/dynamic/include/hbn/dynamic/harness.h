@@ -10,6 +10,7 @@
 #pragma once
 
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "hbn/dynamic/online_strategy.h"
@@ -29,6 +30,19 @@ namespace hbn::dynamic {
   return onlineCongestion == 0.0 ? 1.0
                                  : std::numeric_limits<double>::infinity();
 }
+
+/// Stable object-bucketing (CSR): scatters `requests` into `bucketed`
+/// grouped by object id with per-object arrival order preserved, and
+/// fills `offsets` so object x's run is
+/// bucketed[offsets[x], offsets[x+1]). `offsets` must have
+/// numObjects + 1 entries and `bucketed` requests.size() entries; every
+/// request's object id must lie in [0, numObjects). Allocation-free —
+/// shared by the epoch server's per-epoch sharding, the competitive
+/// harness, and the load-engine benchmark.
+void bucketRequestsByObject(std::span<const Request> requests,
+                            int numObjects,
+                            std::span<std::size_t> offsets,
+                            std::span<Request> bucketed);
 
 /// Flattens a static workload into a uniformly shuffled request sequence.
 [[nodiscard]] std::vector<Request> sequenceFromWorkload(

@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "hbn/core/flat_load.h"
 #include "hbn/core/load.h"
 #include "hbn/net/rooted.h"
 #include "hbn/workload/workload.h"
@@ -55,16 +56,13 @@ struct ShardStats {
   Count invalidations = 0;
 };
 
-/// Reusable per-worker buffers for serveShard: entry-point BFS state
-/// (stamp-versioned so it needs no clearing between requests), path
-/// scratch, and the copy-location gather. One instance per worker thread
-/// amortises every per-request allocation away.
+/// Reusable per-worker buffers for serveShard: origin-side and
+/// anchor-side scratch for the fused entry-point/charging walk. One
+/// instance per worker thread amortises every per-request allocation
+/// away.
 struct ServeScratch {
-  std::vector<std::uint32_t> seenStamp;
-  std::uint32_t stamp = 0;
-  std::vector<net::NodeId> queue;
-  std::vector<net::NodeId> pathNodes;
-  std::vector<net::NodeId> locations;
+  std::vector<net::NodeId> upPath;
+  std::vector<net::NodeId> descent;
 };
 
 /// Executes requests online, maintaining per-object copy subtrees and
@@ -88,8 +86,17 @@ class OnlineTreeStrategy {
   /// disjoint state and only read the shared tree, so the epoch server
   /// may run them concurrently — one worker per object stripe, each with
   /// its own scratch and LoadMap.
+  ///
+  /// When `acc` is non-null and the shard is at least
+  /// core::kFlatLoadCutover requests (the adaptive cutover — tiny shards
+  /// stay on the per-edge walk), service and update paths are charged
+  /// through the difference-counting accumulator and flushed into
+  /// `loads` before returning. Either route produces bit-identical
+  /// integer loads; `acc` must be per-worker, built over this strategy's
+  /// flatView().
   ShardStats serveShard(ObjectId x, std::span<const Request> requests,
-                        core::LoadMap& loads, ServeScratch& scratch);
+                        core::LoadMap& loads, ServeScratch& scratch,
+                        core::FlatLoadAccumulator* acc = nullptr);
 
   /// Replaces x's copy set with `locations` (non-empty; must form a
   /// connected subtree, e.g. a nibble copy set) and resets x's read
@@ -101,6 +108,12 @@ class OnlineTreeStrategy {
 
   /// Loads accumulated so far (service + update + migration traffic).
   [[nodiscard]] const core::LoadMap& loads() const noexcept { return loads_; }
+
+  /// The shared preorder flattening of the tree; per-worker
+  /// FlatLoadAccumulators for serveShard are built over this view.
+  [[nodiscard]] const core::FlatTreeView& flatView() const noexcept {
+    return flat_;
+  }
 
   /// Current copy locations of `x`, ascending.
   [[nodiscard]] std::vector<net::NodeId> copySet(ObjectId x) const;
@@ -116,21 +129,34 @@ class OnlineTreeStrategy {
   struct ObjectState {
     std::vector<char> hasCopy;        // per node
     std::vector<Count> readCounter;   // per edge
+    /// Current copy locations, maintained incrementally (unordered) so
+    /// write broadcasts and contractions never scan the node range.
+    std::vector<net::NodeId> locations;
+    /// Edges whose readCounter is nonzero — contraction resets only
+    /// these instead of refilling the whole per-edge array.
+    std::vector<net::EdgeId> countedEdges;
+    /// A node guaranteed to hold a copy; the entry-point walk targets it.
+    net::NodeId anchor = net::kInvalidNode;
     int copyCount = 0;
   };
 
-  /// Entry point of `v` into the copy subtree of `state` (nearest copy),
-  /// via stamp-versioned BFS over `scratch`.
+  /// Entry point of `v` into the copy subtree of `state` (nearest copy):
+  /// the copy set is connected, so its gate is the first copy node on
+  /// the v→anchor path — found by a depth-equalising walk in O(path
+  /// length), where the old BFS explored the whole ball around v.
   [[nodiscard]] net::NodeId entryPoint(const ObjectState& state,
                                        net::NodeId v,
                                        ServeScratch& scratch) const;
 
-  /// Serves one request against `state`, charging `loads` and `stats`.
+  /// Serves one request against `state`, charging `loads` and `stats`;
+  /// `acc` non-null defers path charges through difference counting.
   void serveOne(ObjectState& state, const Request& request,
                 core::LoadMap& loads, ShardStats& stats,
-                ServeScratch& scratch) const;
+                ServeScratch& scratch,
+                core::FlatLoadAccumulator* acc) const;
 
   const net::RootedTree* rooted_;
+  core::FlatTreeView flat_;
   OnlineOptions options_;
   std::vector<ObjectState> objects_;
   core::LoadMap loads_;

@@ -12,6 +12,7 @@ OnlineTreeStrategy::OnlineTreeStrategy(const net::RootedTree& rooted,
                                        net::NodeId initialLocation,
                                        const OnlineOptions& options)
     : rooted_(&rooted),
+      flat_(rooted),
       options_(options),
       loads_(rooted.tree().edgeCount()) {
   if (numObjects < 1) {
@@ -32,6 +33,8 @@ OnlineTreeStrategy::OnlineTreeStrategy(const net::RootedTree& rooted,
     state.hasCopy.assign(n, 0);
     state.readCounter.assign(e, 0);
     state.hasCopy[static_cast<std::size_t>(initialLocation)] = 1;
+    state.locations.assign(1, initialLocation);
+    state.anchor = initialLocation;
     state.copyCount = 1;
   }
 }
@@ -39,127 +42,202 @@ OnlineTreeStrategy::OnlineTreeStrategy(const net::RootedTree& rooted,
 net::NodeId OnlineTreeStrategy::entryPoint(const ObjectState& state,
                                            net::NodeId v,
                                            ServeScratch& scratch) const {
-  // BFS from v until the first copy node: the copy set is connected, so
-  // this is the unique entry point. The visited set is stamp-versioned,
-  // so repeated calls reuse the buffers without clearing them.
+  // The copy set is a connected subtree, so its gate (unique nearest copy
+  // node to v) lies on every path from v into the set — in particular on
+  // the v→anchor path. Walk that path in order and return the first copy
+  // node: O(path length), where the old BFS paid the whole ball around v.
   if (state.hasCopy[static_cast<std::size_t>(v)]) return v;
-  const net::Tree& tree = rooted_->tree();
-  const auto n = static_cast<std::size_t>(tree.nodeCount());
-  if (scratch.seenStamp.size() != n) {
-    scratch.seenStamp.assign(n, 0);
-    scratch.stamp = 0;
+  net::NodeId a = v;
+  net::NodeId b = state.anchor;
+  const core::FlatTreeView::NodeStep* sa = &flat_.step(a);
+  const core::FlatTreeView::NodeStep* sb = &flat_.step(b);
+  scratch.descent.clear();
+  while (sa->depth > sb->depth) {
+    a = sa->parent;
+    sa = &flat_.step(a);
+    if (state.hasCopy[static_cast<std::size_t>(a)]) return a;
   }
-  const std::uint32_t stamp = ++scratch.stamp;
-  if (stamp == 0) {  // wrapped: restart the versioning
-    scratch.seenStamp.assign(n, 0);
-    scratch.stamp = 1;
+  while (sb->depth > sa->depth) {
+    scratch.descent.push_back(b);
+    b = sb->parent;
+    sb = &flat_.step(b);
   }
-  scratch.queue.clear();
-  scratch.queue.push_back(v);
-  scratch.seenStamp[static_cast<std::size_t>(v)] = scratch.stamp;
-  for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
-    const net::NodeId u = scratch.queue[head];
-    if (state.hasCopy[static_cast<std::size_t>(u)]) return u;
-    for (const net::HalfEdge& he : tree.neighbors(u)) {
-      if (scratch.seenStamp[static_cast<std::size_t>(he.to)] !=
-          scratch.stamp) {
-        scratch.seenStamp[static_cast<std::size_t>(he.to)] = scratch.stamp;
-        scratch.queue.push_back(he.to);
-      }
-    }
+  while (a != b) {
+    a = sa->parent;
+    sa = &flat_.step(a);
+    if (state.hasCopy[static_cast<std::size_t>(a)]) return a;
+    scratch.descent.push_back(b);
+    b = sb->parent;
+    sb = &flat_.step(b);
+  }
+  for (auto it = scratch.descent.rbegin(); it != scratch.descent.rend();
+       ++it) {
+    if (state.hasCopy[static_cast<std::size_t>(*it)]) return *it;
   }
   throw std::logic_error("entryPoint: copy set empty");
 }
 
 void OnlineTreeStrategy::serveOne(ObjectState& state, const Request& request,
                                   core::LoadMap& loads, ShardStats& stats,
-                                  ServeScratch& scratch) const {
+                                  ServeScratch& scratch,
+                                  core::FlatLoadAccumulator* acc) const {
   const net::NodeId origin = request.origin;
-  const net::NodeId entry = entryPoint(state, origin, scratch);
-
-  // Edge between adjacent path nodes a/b: the parent edge of the deeper
-  // one. (RootedTree::forEachPathEdge is not used here — its internal
-  // scratch is not safe for concurrent shards.)
-  const auto edgeBetween = [&](net::NodeId a, net::NodeId b) {
-    return rooted_->depth(a) > rooted_->depth(b) ? rooted_->parentEdge(a)
-                                                 : rooted_->parentEdge(b);
-  };
 
   if (!request.isWrite) {
-    // Service load on the entry→origin path; bump counters; replicate
-    // across saturated edges adjacent to the copy set, cascading toward
-    // the reader.
-    scratch.pathNodes.clear();
-    const net::NodeId a = rooted_->lca(entry, origin);
-    for (net::NodeId x = entry; x != a; x = rooted_->parent(x)) {
-      scratch.pathNodes.push_back(x);
+    if (state.hasCopy[static_cast<std::size_t>(origin)]) {
+      return;  // local read: free, no counters move
     }
-    scratch.pathNodes.push_back(a);
-    const std::size_t downStart = scratch.pathNodes.size();
-    for (net::NodeId x = origin; x != a; x = rooted_->parent(x)) {
-      scratch.pathNodes.push_back(x);
-    }
-    std::reverse(scratch.pathNodes.begin() +
-                     static_cast<std::ptrdiff_t>(downStart),
-                 scratch.pathNodes.end());
-
-    for (std::size_t i = 1; i < scratch.pathNodes.size(); ++i) {
-      const net::EdgeId edge =
-          edgeBetween(scratch.pathNodes[i - 1], scratch.pathNodes[i]);
+    // One fused walk finds the entry point AND charges the service path:
+    // the copy subtree's gate is the first copy node on the origin→anchor
+    // path, so walking that path in order — charging each crossed edge
+    // and stopping at the first copy — touches exactly the origin→entry
+    // edges. No LCA query, no separate entry-point pre-walk, no node
+    // list: a two-pointer depth-equalising ascent with the origin-side
+    // nodes kept for the cascade and the anchor side collected for the
+    // in-order descent scan.
+    // An edge re-entered after a cascade reset is pushed again, so the
+    // list may hold duplicates; they are bounded by the replication
+    // count (≤ n-1 per object between contractions, which clear the
+    // list), and contraction's zeroing is idempotent.
+    const auto bump = [&](net::EdgeId edge) {
       loads.addEdgeLoad(edge, 1);
+      if (state.readCounter[static_cast<std::size_t>(edge)] == 0) {
+        state.countedEdges.push_back(edge);
+      }
       ++state.readCounter[static_cast<std::size_t>(edge)];
-    }
-    // Cascade replication from the entry outwards while thresholds hold.
-    for (std::size_t i = 1; i < scratch.pathNodes.size(); ++i) {
-      const net::NodeId from = scratch.pathNodes[i - 1];
-      const net::NodeId to = scratch.pathNodes[i];
-      if (!state.hasCopy[static_cast<std::size_t>(from)]) break;
-      if (state.hasCopy[static_cast<std::size_t>(to)]) continue;
-      const net::EdgeId edge = edgeBetween(from, to);
+    };
+    // Extends the copy set across `edge` into `to` if the threshold
+    // fired; false ends the cascade.
+    const auto cascade = [&](net::NodeId to, net::EdgeId edge) {
+      if (state.hasCopy[static_cast<std::size_t>(to)]) return true;
       if (state.readCounter[static_cast<std::size_t>(edge)] <
           options_.replicationThreshold) {
-        break;
+        return false;
       }
       // Replicate across: one object migration message.
       loads.addEdgeLoad(edge, 1);
       state.hasCopy[static_cast<std::size_t>(to)] = 1;
+      state.locations.push_back(to);
       ++state.copyCount;
       ++stats.replications;
       state.readCounter[static_cast<std::size_t>(edge)] = 0;
+      return true;
+    };
+
+    scratch.upPath.clear();    // origin-side nodes below the entry/lca
+    scratch.descent.clear();   // anchor-side nodes, anchor first
+    net::NodeId u = origin;
+    net::NodeId b = state.anchor;
+    const core::FlatTreeView::NodeStep* su = &flat_.step(u);
+    const core::FlatTreeView::NodeStep* sb = &flat_.step(b);
+    net::NodeId entry = net::kInvalidNode;
+    while (su->depth > sb->depth) {
+      bump(su->parentEdge);
+      scratch.upPath.push_back(u);
+      u = su->parent;
+      su = &flat_.step(u);
+      if (state.hasCopy[static_cast<std::size_t>(u)]) {
+        entry = u;
+        break;
+      }
+    }
+    if (entry == net::kInvalidNode) {
+      while (sb->depth > su->depth) {
+        scratch.descent.push_back(b);
+        b = sb->parent;
+        sb = &flat_.step(b);
+      }
+      while (u != b) {
+        bump(su->parentEdge);
+        scratch.upPath.push_back(u);
+        u = su->parent;
+        su = &flat_.step(u);
+        if (state.hasCopy[static_cast<std::size_t>(u)]) {
+          entry = u;
+          break;
+        }
+        scratch.descent.push_back(b);
+        b = sb->parent;
+        sb = &flat_.step(b);
+      }
+    }
+    if (entry == net::kInvalidNode) {
+      // No copy through the lca (== u): continue down toward the anchor,
+      // in path order; the anchor itself holds a copy, so this finds the
+      // entry. Then cascade back up entry→lca via parent pointers.
+      const net::NodeId meet = u;
+      for (std::size_t j = scratch.descent.size(); j-- > 0;) {
+        const net::NodeId x = scratch.descent[j];
+        bump(flat_.step(x).parentEdge);
+        if (state.hasCopy[static_cast<std::size_t>(x)]) {
+          entry = x;
+          break;
+        }
+      }
+      if (entry == net::kInvalidNode) {
+        throw std::logic_error("serveOne: copy set empty");
+      }
+      net::NodeId from = entry;
+      while (from != meet) {
+        const core::FlatTreeView::NodeStep& sf = flat_.step(from);
+        if (!cascade(sf.parent, sf.parentEdge)) return;
+        from = sf.parent;
+      }
+    }
+    // Descend the origin side from just below the entry/lca back to the
+    // reader, extending the copy set while the thresholds hold.
+    for (auto it = scratch.upPath.rbegin(); it != scratch.upPath.rend();
+         ++it) {
+      if (!cascade(*it, flat_.step(*it).parentEdge)) return;
     }
     return;
   }
 
-  // WRITE: origin→entry path plus broadcast over the copy subtree.
+  const net::NodeId entry = entryPoint(state, origin, scratch);
+
+  // WRITE: origin→entry path plus broadcast over the copy subtree. No
+  // counters move, so the path charge needs no walk at all when batched.
   if (origin != entry) {
-    const net::NodeId a = rooted_->lca(origin, entry);
-    for (net::NodeId x = origin; x != a; x = rooted_->parent(x)) {
-      loads.addEdgeLoad(rooted_->parentEdge(x), 1);
-    }
-    for (net::NodeId x = entry; x != a; x = rooted_->parent(x)) {
-      loads.addEdgeLoad(rooted_->parentEdge(x), 1);
+    if (acc) {
+      acc->chargePath(origin, entry, 1);
+    } else {
+      const net::NodeId a = flat_.lca(origin, entry);
+      for (net::NodeId x = origin; x != a; x = rooted_->parent(x)) {
+        loads.addEdgeLoad(rooted_->parentEdge(x), 1);
+      }
+      for (net::NodeId x = entry; x != a; x = rooted_->parent(x)) {
+        loads.addEdgeLoad(rooted_->parentEdge(x), 1);
+      }
     }
   }
   if (state.copyCount > 1) {
-    scratch.locations.clear();
-    const net::Tree& tree = rooted_->tree();
-    for (net::NodeId v = 0; v < tree.nodeCount(); ++v) {
-      if (state.hasCopy[static_cast<std::size_t>(v)]) {
-        scratch.locations.push_back(v);
+    // The copy set is a connected subtree (class invariant), so its
+    // Steiner tree is the set itself: exactly the parent edges of copies
+    // whose parent also holds a copy — O(|copies|), no counting passes,
+    // where the seed engine ran an O(n) location scan plus a
+    // vector-allocating steinerEdges call per write.
+    for (const net::NodeId v : state.locations) {
+      const net::NodeId p = rooted_->parent(v);
+      if (p != net::kInvalidNode &&
+          state.hasCopy[static_cast<std::size_t>(p)]) {
+        loads.addEdgeLoad(rooted_->parentEdge(v), 1);
       }
     }
-    const auto steiner = net::steinerEdges(*rooted_, scratch.locations);
-    for (const net::EdgeId e : steiner) loads.addEdgeLoad(e, 1);
     if (options_.contractOnWrite) {
       // Invalidate every replica except the writer-side entry copy.
-      for (const net::NodeId v : scratch.locations) {
+      for (const net::NodeId v : state.locations) {
         if (v != entry) {
           state.hasCopy[static_cast<std::size_t>(v)] = 0;
           ++stats.invalidations;
         }
       }
+      state.locations.assign(1, entry);
+      state.anchor = entry;
       state.copyCount = 1;
-      std::fill(state.readCounter.begin(), state.readCounter.end(), 0);
+      for (const net::EdgeId e : state.countedEdges) {
+        state.readCounter[static_cast<std::size_t>(e)] = 0;
+      }
+      state.countedEdges.clear();
     }
   }
 }
@@ -171,7 +249,7 @@ void OnlineTreeStrategy::serve(const Request& request) {
   }
   ObjectState& state = objects_[static_cast<std::size_t>(request.object)];
   ShardStats stats;
-  serveOne(state, request, loads_, stats, scratch_);
+  serveOne(state, request, loads_, stats, scratch_, nullptr);
   replications_ += stats.replications;
   invalidations_ += stats.invalidations;
 }
@@ -179,18 +257,23 @@ void OnlineTreeStrategy::serve(const Request& request) {
 ShardStats OnlineTreeStrategy::serveShard(ObjectId x,
                                           std::span<const Request> requests,
                                           core::LoadMap& loads,
-                                          ServeScratch& scratch) {
+                                          ServeScratch& scratch,
+                                          core::FlatLoadAccumulator* acc) {
   if (x < 0 || x >= static_cast<ObjectId>(objects_.size())) {
     throw std::out_of_range("serveShard: object id");
   }
+  // Adaptive cutover: a tiny shard's flush bookkeeping outweighs the few
+  // per-edge walks it would save, so it stays on the legacy route.
+  if (acc && requests.size() < core::kFlatLoadCutover) acc = nullptr;
   ObjectState& state = objects_[static_cast<std::size_t>(x)];
   ShardStats stats;
   for (const Request& request : requests) {
     if (request.object != x) {
       throw std::invalid_argument("serveShard: request targets wrong object");
     }
-    serveOne(state, request, loads, stats, scratch);
+    serveOne(state, request, loads, stats, scratch, acc);
   }
+  if (acc) acc->flush(loads);
   return stats;
 }
 
@@ -203,7 +286,10 @@ void OnlineTreeStrategy::resetCopySet(ObjectId x,
     throw std::invalid_argument("resetCopySet: empty copy set");
   }
   ObjectState& state = objects_[static_cast<std::size_t>(x)];
-  std::fill(state.hasCopy.begin(), state.hasCopy.end(), 0);
+  for (const net::NodeId v : state.locations) {
+    state.hasCopy[static_cast<std::size_t>(v)] = 0;
+  }
+  state.locations.clear();
   state.copyCount = 0;
   for (const net::NodeId v : locations) {
     if (v < 0 || v >= rooted_->tree().nodeCount()) {
@@ -211,18 +297,22 @@ void OnlineTreeStrategy::resetCopySet(ObjectId x,
     }
     if (!state.hasCopy[static_cast<std::size_t>(v)]) {
       state.hasCopy[static_cast<std::size_t>(v)] = 1;
+      state.locations.push_back(v);
       ++state.copyCount;
     }
   }
-  std::fill(state.readCounter.begin(), state.readCounter.end(), 0);
+  state.anchor = state.locations.front();
+  for (const net::EdgeId e : state.countedEdges) {
+    state.readCounter[static_cast<std::size_t>(e)] = 0;
+  }
+  state.countedEdges.clear();
 }
 
 std::vector<net::NodeId> OnlineTreeStrategy::copySet(ObjectId x) const {
   const ObjectState& state = objects_.at(static_cast<std::size_t>(x));
-  std::vector<net::NodeId> locations;
-  for (net::NodeId v = 0; v < rooted_->tree().nodeCount(); ++v) {
-    if (state.hasCopy[static_cast<std::size_t>(v)]) locations.push_back(v);
-  }
+  std::vector<net::NodeId> locations(state.locations.begin(),
+                                     state.locations.end());
+  std::sort(locations.begin(), locations.end());
   return locations;
 }
 

@@ -66,15 +66,37 @@ class RootedTree {
   [[nodiscard]] bool isAncestorOf(NodeId ancestor, NodeId v) const;
 
   /// Invokes `fn(EdgeId)` for every edge on the unique u-v path, in order
-  /// from u up to lca(u,v) and then down to v.
+  /// from u up to lca(u,v) and then down to v. Thread-safe: the walk is a
+  /// two-pointer depth-equalising ascent with no shared mutable state (and
+  /// no LCA query — the meeting point IS the LCA).
   template <typename Fn>
   void forEachPathEdge(NodeId u, NodeId v, Fn&& fn) const {
-    const NodeId a = lca(u, v);
-    for (NodeId x = u; x != a; x = parent(x)) fn(parentEdge(x));
-    // Collect the descent side so edges are emitted top-down toward v.
-    pathScratch_.clear();
-    for (NodeId x = v; x != a; x = parent(x)) pathScratch_.push_back(parentEdge(x));
-    for (auto it = pathScratch_.rbegin(); it != pathScratch_.rend(); ++it) fn(*it);
+    std::vector<EdgeId> descent;
+    forEachPathEdge(u, v, std::forward<Fn>(fn), descent);
+  }
+
+  /// Like above, with caller-supplied scratch for the descent side (only
+  /// the lca→v half needs buffering to come out top-down); tight loops
+  /// reuse `descent`'s capacity so repeated walks allocate nothing.
+  template <typename Fn>
+  void forEachPathEdge(NodeId u, NodeId v, Fn&& fn,
+                       std::vector<EdgeId>& descent) const {
+    descent.clear();
+    while (depth(u) > depth(v)) {
+      fn(parentEdge(u));
+      u = parent(u);
+    }
+    while (depth(v) > depth(u)) {
+      descent.push_back(parentEdge(v));
+      v = parent(v);
+    }
+    while (u != v) {
+      fn(parentEdge(u));
+      u = parent(u);
+      descent.push_back(parentEdge(v));
+      v = parent(v);
+    }
+    for (auto it = descent.rbegin(); it != descent.rend(); ++it) fn(*it);
   }
 
   /// The nodes of the u-v path, inclusive of both endpoints.
@@ -92,7 +114,6 @@ class RootedTree {
   std::vector<int> childStart_;
   // up_[k][v] = 2^k-th ancestor of v (root saturates to root).
   std::vector<std::vector<NodeId>> up_;
-  mutable std::vector<EdgeId> pathScratch_;
 };
 
 }  // namespace hbn::net

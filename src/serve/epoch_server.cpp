@@ -7,7 +7,6 @@
 #include "hbn/core/nibble.h"
 #include "hbn/core/parallel.h"
 #include "hbn/dynamic/harness.h"
-#include "hbn/net/steiner.h"
 #include "hbn/util/stats.h"
 #include "hbn/util/timer.h"
 
@@ -38,7 +37,6 @@ ServeReport EpochServer::serve(RequestStream& stream) {
   std::vector<RequestEvent> buffer(options_.epochSize);
   std::vector<RequestEvent> bucketed(options_.epochSize);
   std::vector<std::size_t> offsets(static_cast<std::size_t>(numObjects_) + 1);
-  std::vector<std::size_t> cursor(static_cast<std::size_t>(numObjects_));
 
   std::vector<core::LoadMap> workerLoads;
   workerLoads.reserve(static_cast<std::size_t>(workers));
@@ -47,13 +45,21 @@ ServeReport EpochServer::serve(RequestStream& stream) {
       static_cast<std::size_t>(workers));
   std::vector<dynamic::ServeScratch> workerScratch(
       static_cast<std::size_t>(workers));
+  // One difference-counting accumulator per worker over the shared flat
+  // view: serveShard batches each object's path charges through it and
+  // flushes exact integer loads into the worker's LoadMap, so the merge
+  // below is unchanged and bit-identical for any worker count.
+  std::vector<core::FlatLoadAccumulator> workerAcc;
+  workerAcc.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workerAcc.emplace_back(strategy_.flatView());
+  }
 
   ServeReport report;
   report.epochBufferBytes =
       static_cast<std::uint64_t>(buffer.capacity() + bucketed.capacity()) *
           sizeof(RequestEvent) +
-      static_cast<std::uint64_t>(offsets.capacity() + cursor.capacity()) *
-          sizeof(std::size_t);
+      static_cast<std::uint64_t>(offsets.capacity()) * sizeof(std::size_t);
   util::Accumulator epochMs;
   util::Timer total;
 
@@ -62,8 +68,8 @@ ServeReport EpochServer::serve(RequestStream& stream) {
     if (n == 0) break;
     util::Timer epochTimer;
 
-    // Validate, aggregate frequencies, and bucket by object id (CSR).
-    std::fill(offsets.begin(), offsets.end(), 0);
+    // Validate and aggregate frequencies, then bucket by object id
+    // (stable CSR via the shared harness helper).
     for (std::size_t i = 0; i < n; ++i) {
       const RequestEvent& ev = buffer[i];
       if (ev.object < 0 || ev.object >= numObjects_) {
@@ -77,16 +83,10 @@ ServeReport EpochServer::serve(RequestStream& stream) {
       } else {
         aggregated_.addReads(ev.object, ev.origin, 1);
       }
-      ++offsets[static_cast<std::size_t>(ev.object) + 1];
     }
-    for (std::size_t x = 0; x < static_cast<std::size_t>(numObjects_); ++x) {
-      offsets[x + 1] += offsets[x];
-      cursor[x] = offsets[x];
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      bucketed[cursor[static_cast<std::size_t>(buffer[i].object)]++] =
-          buffer[i];
-    }
+    dynamic::bucketRequestsByObject(
+        std::span<const RequestEvent>(buffer.data(), n), numObjects_,
+        offsets, std::span<RequestEvent>(bucketed.data(), n));
 
     // Shard the epoch over the object range: whole objects per worker,
     // per-worker loads/stats/scratch, no shared mutable state.
@@ -103,7 +103,7 @@ ServeReport EpochServer::serve(RequestStream& stream) {
           const dynamic::ShardStats stats = strategy_.serveShard(
               x, std::span<const RequestEvent>(bucketed.data() + begin,
                                               end - begin),
-              workerLoads[w], workerScratch[w]);
+              workerLoads[w], workerScratch[w], &workerAcc[w]);
           workerStats[w].replications += stats.replications;
           workerStats[w].invalidations += stats.invalidations;
         });
@@ -137,7 +137,7 @@ ServeReport EpochServer::serve(RequestStream& stream) {
     const double lowerBoundGrowth = record.lowerBound - lowerBoundMark_;
     if (options_.replaceDrift > 0.0 && lowerBoundGrowth > 0.0 &&
         congestionGrowth > options_.replaceDrift * lowerBoundGrowth) {
-      replace(workerLoads, workers);
+      replace(workerLoads, workerAcc, workers);
       ++replacements_;
       record.replaced = true;
       record.congestion = loads_.congestion(tree);  // migration included
@@ -172,6 +172,7 @@ ServeReport EpochServer::serve(RequestStream& stream) {
 }
 
 void EpochServer::replace(std::vector<core::LoadMap>& workerLoads,
+                          std::vector<core::FlatLoadAccumulator>& workerAcc,
                           int workers) {
   // Dynamic-to-static handoff: nibble the aggregated frequencies and
   // migrate every copy subtree to its nibble copy set (connected by
@@ -191,9 +192,7 @@ void EpochServer::replace(std::vector<core::LoadMap>& workerLoads,
         std::vector<net::NodeId> target = result.placement.locations();
         std::vector<net::NodeId> terminals = strategy_.copySet(x);
         terminals.insert(terminals.end(), target.begin(), target.end());
-        for (const net::EdgeId e : net::steinerEdges(*rooted_, terminals)) {
-          workerLoads[w].addEdgeLoad(e, 1);
-        }
+        workerAcc[w].chargeSteiner(terminals, 1, workerLoads[w]);
         strategy_.resetCopySet(x, target);
       });
   for (int w = 0; w < workers; ++w) {

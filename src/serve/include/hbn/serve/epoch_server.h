@@ -116,7 +116,9 @@ class EpochServer {
 
  private:
   /// Runs the nibble re-placement pass; returns migration load charged.
-  void replace(std::vector<core::LoadMap>& workerLoads, int workers);
+  void replace(std::vector<core::LoadMap>& workerLoads,
+               std::vector<core::FlatLoadAccumulator>& workerAcc,
+               int workers);
 
   const net::RootedTree* rooted_;
   int numObjects_;

@@ -1,0 +1,44 @@
+// Walker/Vose alias method: O(1) sampling from a fixed discrete
+// distribution after O(n) preprocessing.
+//
+// The stream generators draw an object popularity per request; a binary
+// search over the cumulative weights is O(log n) per draw and was the
+// dominant generator cost in the serving benchmarks once the serving
+// engine itself was batched. The alias table replaces it with one
+// bounded integer draw and one Bernoulli draw per sample, independent of
+// the distribution size.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hbn/util/rng.h"
+
+namespace hbn::util {
+
+/// Immutable alias table over non-negative weights with a positive sum.
+/// Construction is deterministic (stack-based Vose partition, no
+/// randomness), so seeded streams stay reproducible across platforms.
+class AliasTable {
+ public:
+  explicit AliasTable(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t size() const noexcept { return accept_.size(); }
+
+  /// Draws an index in [0, size()) with probability proportional to its
+  /// weight: O(1) — one bounded draw to pick a bucket, one Bernoulli
+  /// draw to accept it or take its alias.
+  [[nodiscard]] std::size_t sample(Rng& rng) const {
+    const auto bucket = static_cast<std::size_t>(
+        rng.nextBelow(static_cast<std::uint64_t>(accept_.size())));
+    return rng.nextDouble() < accept_[bucket] ? bucket
+                                              : alias_[bucket];
+  }
+
+ private:
+  std::vector<double> accept_;         ///< acceptance probability per bucket
+  std::vector<std::uint32_t> alias_;   ///< fallback index per bucket
+};
+
+}  // namespace hbn::util

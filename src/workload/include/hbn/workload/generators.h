@@ -21,6 +21,7 @@
 #include <string>
 
 #include "hbn/net/tree.h"
+#include "hbn/util/alias.h"
 #include "hbn/util/rng.h"
 #include "hbn/workload/workload.h"
 
@@ -120,7 +121,10 @@ struct StreamParams {
 };
 
 /// WWW-like skew: object popularity Zipf(α), origins uniform over
-/// processors. O(log |X|) per event (binary search on the popularity CDF).
+/// processors. O(1) per event — a Walker alias table over the popularity
+/// weights, so stream generation no longer competes with serving even
+/// for millions of objects (the former binary-search CDF was O(log |X|)
+/// per event).
 class SkewedStream {
  public:
   SkewedStream(const net::Tree& tree, const StreamParams& params,
@@ -129,7 +133,7 @@ class SkewedStream {
 
  private:
   std::vector<net::NodeId> procs_;
-  std::vector<double> cdf_;  ///< cumulative Zipf weights
+  util::AliasTable popularity_;  ///< Zipf(α) weights, O(1) sampling
   double readFraction_;
   util::Rng rng_;
 };

@@ -1,0 +1,321 @@
+// Randomized equivalence suite for the difference-counting load engine:
+// the accumulator's per-edge loads must be bit-identical to the legacy
+// forEachPathEdge / steinerEdges charging over random trees, placements,
+// and request batches — including the adaptive cutover boundary and
+// empty/single-copy objects.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hbn/core/flat_load.h"
+#include "hbn/core/load.h"
+#include "hbn/core/placement.h"
+#include "hbn/dynamic/online_strategy.h"
+#include "hbn/net/generators.h"
+#include "hbn/net/steiner.h"
+#include "hbn/util/rng.h"
+
+namespace hbn::core {
+namespace {
+
+net::NodeId randomNode(const net::Tree& tree, util::Rng& rng) {
+  return static_cast<net::NodeId>(
+      rng.nextBelow(static_cast<std::uint64_t>(tree.nodeCount())));
+}
+
+void expectSameLoads(const LoadMap& expected, const LoadMap& actual,
+                     const net::Tree& tree, const char* what) {
+  for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
+    ASSERT_EQ(expected.edgeLoad(e), actual.edgeLoad(e))
+        << what << ": edge " << e;
+  }
+}
+
+TEST(FlatTreeView, LcaMatchesBinaryLifting) {
+  util::Rng rng(41);
+  for (int trial = 0; trial < 6; ++trial) {
+    const net::Tree tree = net::makeRandomTree(20 + trial * 7, 9, rng);
+    const net::RootedTree rooted(tree, tree.defaultRoot());
+    const FlatTreeView flat(rooted);
+    for (int i = 0; i < 300; ++i) {
+      const net::NodeId u = randomNode(tree, rng);
+      const net::NodeId v = randomNode(tree, rng);
+      ASSERT_EQ(flat.lca(u, v), rooted.lca(u, v))
+          << "trial " << trial << " u=" << u << " v=" << v;
+    }
+    // The flattening is consistent with the rooted view.
+    for (net::NodeId v = 0; v < tree.nodeCount(); ++v) {
+      const std::int32_t pos = flat.posOf(v);
+      ASSERT_EQ(flat.nodeAt(pos), v);
+      ASSERT_EQ(flat.depthAt(pos), rooted.depth(v));
+      ASSERT_EQ(flat.parentEdgeAt(pos), rooted.parentEdge(v));
+      if (v != rooted.root()) {
+        // Preorder: every parent position precedes its children.
+        ASSERT_LT(flat.parentPos(pos), pos);
+        ASSERT_EQ(flat.nodeAt(flat.parentPos(pos)), rooted.parent(v));
+      } else {
+        ASSERT_EQ(flat.parentPos(pos), -1);
+      }
+    }
+  }
+}
+
+TEST(FlatLoadAccumulator, PathChargesMatchLegacyWalk) {
+  util::Rng rng(43);
+  for (int trial = 0; trial < 8; ++trial) {
+    const net::Tree tree = net::makeRandomTree(24, 11, rng);
+    const net::RootedTree rooted(tree, tree.defaultRoot());
+    const FlatTreeView flat(rooted);
+    FlatLoadAccumulator acc(flat);
+    LoadMap legacy(tree.edgeCount());
+    LoadMap batched(tree.edgeCount());
+    for (int i = 0; i < 500; ++i) {
+      const net::NodeId u = randomNode(tree, rng);
+      const net::NodeId v = i % 17 == 0 ? u : randomNode(tree, rng);
+      const auto amount =
+          static_cast<Count>(1 + rng.nextBelow(5));
+      rooted.forEachPathEdge(u, v, [&](net::EdgeId e) {
+        legacy.addEdgeLoad(e, amount);
+      });
+      acc.chargePath(u, v, amount);
+    }
+    acc.flush(batched);
+    expectSameLoads(legacy, batched, tree, "path batch");
+    EXPECT_FALSE(acc.dirty());
+
+    // The accumulator is reusable: a second, different batch through the
+    // same instance still matches.
+    LoadMap legacy2(tree.edgeCount());
+    LoadMap batched2(tree.edgeCount());
+    for (int i = 0; i < 100; ++i) {
+      const net::NodeId u = randomNode(tree, rng);
+      const net::NodeId v = randomNode(tree, rng);
+      rooted.forEachPathEdge(u, v, [&](net::EdgeId e) {
+        legacy2.addEdgeLoad(e, 1);
+      });
+      acc.chargePath(u, v, 1);
+    }
+    acc.flush(batched2);
+    expectSameLoads(legacy2, batched2, tree, "path batch reuse");
+  }
+}
+
+TEST(FlatLoadAccumulator, SteinerChargesMatchSteinerEdges) {
+  util::Rng rng(47);
+  for (int trial = 0; trial < 8; ++trial) {
+    const net::Tree tree = net::makeRandomTree(22, 8, rng);
+    const net::RootedTree rooted(tree, tree.defaultRoot());
+    const FlatTreeView flat(rooted);
+    FlatLoadAccumulator acc(flat);
+    for (std::size_t terminalCount : {0u, 1u, 2u, 3u, 6u, 12u}) {
+      std::vector<net::NodeId> terminals;
+      for (std::size_t i = 0; i < terminalCount; ++i) {
+        terminals.push_back(randomNode(tree, rng));
+      }
+      if (terminalCount >= 4) {
+        terminals.push_back(terminals.front());  // duplicates collapse
+      }
+      LoadMap legacy(tree.edgeCount());
+      LoadMap batched(tree.edgeCount());
+      for (const net::EdgeId e : net::steinerEdges(rooted, terminals)) {
+        legacy.addEdgeLoad(e, 3);
+      }
+      acc.chargeSteiner(terminals, 3, batched);
+      expectSameLoads(legacy, batched, tree, "steiner");
+    }
+    // All-duplicate terminal lists (one distinct location) charge nothing.
+    const net::NodeId only = randomNode(tree, rng);
+    const std::vector<net::NodeId> sameNode(5, only);
+    LoadMap batched(tree.edgeCount());
+    acc.chargeSteiner(sameNode, 2, batched);
+    EXPECT_EQ(batched.totalLoad(), 0);
+  }
+}
+
+TEST(FlatLoadAccumulator, SteinerInterleavesWithPendingPathCharges) {
+  // chargeSteiner is immediate while chargePath defers; interleaving the
+  // two must not cross-contaminate their scratch.
+  util::Rng rng(53);
+  const net::Tree tree = net::makeClusterNetwork(3, 5);
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  const FlatTreeView flat(rooted);
+  FlatLoadAccumulator acc(flat);
+  LoadMap legacy(tree.edgeCount());
+  LoadMap batched(tree.edgeCount());
+  for (int i = 0; i < 200; ++i) {
+    const net::NodeId u = randomNode(tree, rng);
+    const net::NodeId v = randomNode(tree, rng);
+    rooted.forEachPathEdge(
+        u, v, [&](net::EdgeId e) { legacy.addEdgeLoad(e, 2); });
+    acc.chargePath(u, v, 2);
+    if (i % 3 == 0) {
+      std::vector<net::NodeId> terminals;
+      for (int t = 0; t < 4; ++t) terminals.push_back(randomNode(tree, rng));
+      for (const net::EdgeId e : net::steinerEdges(rooted, terminals)) {
+        legacy.addEdgeLoad(e, 1);
+      }
+      acc.chargeSteiner(terminals, 1, batched);
+    }
+  }
+  acc.flush(batched);
+  expectSameLoads(legacy, batched, tree, "interleaved");
+}
+
+Placement randomPlacement(const net::Tree& tree,
+                          const workload::Workload& load, util::Rng& rng) {
+  Placement placement;
+  const auto procs = tree.processors();
+  for (ObjectId x = 0; x < load.numObjects(); ++x) {
+    const std::size_t copies = 1 + rng.nextBelow(3);
+    std::vector<net::NodeId> locations;
+    for (std::size_t i = 0; i < copies; ++i) {
+      locations.push_back(procs[static_cast<std::size_t>(
+          rng.nextBelow(static_cast<std::uint64_t>(procs.size())))]);
+    }
+    std::sort(locations.begin(), locations.end());
+    locations.erase(std::unique(locations.begin(), locations.end()),
+                    locations.end());
+    placement.objects.push_back(
+        makeNearestPlacement(tree, load, x, locations));
+  }
+  return placement;
+}
+
+TEST(FlatLoad, ComputeLoadMatchesLegacyOverRandomPlacements) {
+  util::Rng rng(59);
+  for (int trial = 0; trial < 6; ++trial) {
+    const net::Tree tree = net::makeRandomTree(18 + trial * 5, 7, rng);
+    const net::RootedTree rooted(tree, tree.defaultRoot());
+    workload::Workload load(6, tree.nodeCount());
+    for (const net::NodeId p : tree.processors()) {
+      for (ObjectId x = 0; x < 6; ++x) {
+        // A mix of dense and sparse objects straddles the cutover.
+        const Count budget =
+            x < 3 ? static_cast<Count>(rng.nextBelow(3))
+                  : static_cast<Count>(rng.nextBelow(20));
+        if (budget == 0) continue;
+        const Count writes = static_cast<Count>(
+            rng.nextBelow(static_cast<std::uint64_t>(budget) + 1));
+        load.addReads(x, p, budget - writes);
+        load.addWrites(x, p, writes);
+      }
+    }
+    const Placement placement = randomPlacement(tree, load, rng);
+
+    // Legacy object-by-object walk, with no adaptive dispatch.
+    LoadMap legacy(tree.edgeCount());
+    for (const ObjectPlacement& object : placement.objects) {
+      accumulateObjectLoad(rooted, object, legacy);
+    }
+    // Flat engine, explicit.
+    const FlatTreeView flat(rooted);
+    const LoadMap batched = computeLoad(flat, placement);
+    expectSameLoads(legacy, batched, tree, "computeLoad(flat)");
+    // Public adaptive entry point (whichever route it picks).
+    const LoadMap adaptive = computeLoad(rooted, placement);
+    expectSameLoads(legacy, adaptive, tree, "computeLoad(adaptive)");
+  }
+}
+
+TEST(FlatLoad, CutoverBoundaryObjectsAreIdentical) {
+  // Objects with exactly cutover-1, cutover, and cutover+1 ledger shares
+  // take different routes through accumulateObjectLoad(acc, ...); all
+  // must charge identically.
+  util::Rng rng(61);
+  const net::Tree tree = net::makeClusterNetwork(3, 6);
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  const FlatTreeView flat(rooted);
+  const auto procs = tree.processors();
+  ASSERT_GE(procs.size(), kFlatLoadCutover + 2);
+  for (const std::size_t shares :
+       {kFlatLoadCutover - 1, kFlatLoadCutover, kFlatLoadCutover + 1}) {
+    workload::Workload load(1, tree.nodeCount());
+    for (std::size_t i = 0; i < shares; ++i) {
+      load.addReads(0, procs[i], 2);
+      if (i % 3 == 0) load.addWrites(0, procs[i], 1);
+    }
+    const net::NodeId locations[] = {procs[0], procs[procs.size() - 1]};
+    Placement placement;
+    placement.objects.push_back(
+        makeNearestPlacement(tree, load, 0, locations));
+
+    LoadMap legacy(tree.edgeCount());
+    accumulateObjectLoad(rooted, placement.objects[0], legacy);
+    LoadMap batched(tree.edgeCount());
+    FlatLoadAccumulator acc(flat);
+    accumulateObjectLoad(acc, placement.objects[0], batched);
+    acc.flush(batched);
+    expectSameLoads(legacy, batched, tree, "cutover boundary");
+  }
+}
+
+TEST(FlatLoad, EmptyAndSingleCopyObjects) {
+  const net::Tree tree = net::makeStar(5);
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  const FlatTreeView flat(rooted);
+  FlatLoadAccumulator acc(flat);
+  LoadMap loads(tree.edgeCount());
+
+  // Object with no copies at all charges nothing.
+  ObjectPlacement empty;
+  accumulateObjectLoad(acc, empty, loads);
+  acc.flush(loads);
+  EXPECT_EQ(loads.totalLoad(), 0);
+
+  // Single-copy object: writes behave like reads (empty Steiner tree).
+  workload::Workload load(1, tree.nodeCount());
+  for (const net::NodeId p : tree.processors()) load.addWrites(0, p, 4);
+  const net::NodeId locations[] = {tree.processors()[1]};
+  ObjectPlacement single =
+      makeNearestPlacement(tree, load, 0, locations);
+  LoadMap legacy(tree.edgeCount());
+  accumulateObjectLoad(rooted, single, legacy);
+  LoadMap batched(tree.edgeCount());
+  accumulateObjectLoad(acc, single, batched);
+  acc.flush(batched);
+  expectSameLoads(legacy, batched, tree, "single copy");
+}
+
+TEST(FlatLoad, ServeShardRoutesAreBitIdentical) {
+  // The serving strategy's two charging routes (legacy walk vs the
+  // difference-counting accumulator) must produce identical loads,
+  // replication counts, and copy sets — the property the 1-vs-N epoch
+  // digests rest on. Shard sizes straddle the serve cutover.
+  util::Rng rng(67);
+  const net::Tree tree = net::makeClusterNetwork(3, 4);
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  const auto procs = tree.processors();
+  for (const std::size_t shardSize :
+       {std::size_t{1}, kFlatLoadCutover - 1, kFlatLoadCutover,
+        std::size_t{200}}) {
+    std::vector<dynamic::Request> requests;
+    for (std::size_t i = 0; i < shardSize; ++i) {
+      requests.push_back(dynamic::Request{
+          0,
+          procs[static_cast<std::size_t>(
+              rng.nextBelow(static_cast<std::uint64_t>(procs.size())))],
+          rng.nextBool(0.3)});
+    }
+    dynamic::OnlineTreeStrategy legacy(rooted, 1, procs.front());
+    dynamic::OnlineTreeStrategy batched(rooted, 1, procs.front());
+    dynamic::ServeScratch scratch;
+    core::LoadMap legacyLoads(tree.edgeCount());
+    core::LoadMap batchedLoads(tree.edgeCount());
+    core::FlatLoadAccumulator acc(batched.flatView());
+    const auto legacyStats =
+        legacy.serveShard(0, requests, legacyLoads, scratch, nullptr);
+    const auto batchedStats =
+        batched.serveShard(0, requests, batchedLoads, scratch, &acc);
+    EXPECT_EQ(legacyStats.replications, batchedStats.replications)
+        << "shard " << shardSize;
+    EXPECT_EQ(legacyStats.invalidations, batchedStats.invalidations)
+        << "shard " << shardSize;
+    expectSameLoads(legacyLoads, batchedLoads, tree, "serve shard");
+    EXPECT_EQ(legacy.copySet(0), batched.copySet(0))
+        << "shard " << shardSize;
+  }
+}
+
+}  // namespace
+}  // namespace hbn::core

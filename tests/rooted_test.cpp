@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "hbn/net/generators.h"
 #include "hbn/net/rooted.h"
@@ -169,6 +171,48 @@ TEST(RootedTree, SingleNodeTree) {
   EXPECT_EQ(r.height(), 0);
   EXPECT_EQ(r.lca(0, 0), 0);
   EXPECT_EQ(r.distance(0, 0), 0);
+}
+
+TEST(RootedTree, ConcurrentPathWalksAreRaceFree) {
+  // Regression: forEachPathEdge used to buffer the descent side in a
+  // `mutable` member, so concurrent walkers sharing one RootedTree (the
+  // epoch server's shard workers do) corrupted each other's emitted
+  // paths. The walk is now scratch-free per call; hammering one shared
+  // instance from many threads must emit only valid paths.
+  util::Rng seedRng(171);
+  const Tree t = makeRandomTree(60, 20, seedRng);
+  const RootedTree r(t, t.defaultRoot());
+  constexpr int kThreads = 8;
+  constexpr int kWalks = 5000;
+  std::atomic<int> badPaths{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int ti = 0; ti < kThreads; ++ti) {
+    pool.emplace_back([&, ti] {
+      util::Rng rng(1000 + static_cast<std::uint64_t>(ti));
+      std::vector<EdgeId> scratch;
+      for (int i = 0; i < kWalks; ++i) {
+        const auto u = static_cast<NodeId>(
+            rng.nextBelow(static_cast<std::uint64_t>(t.nodeCount())));
+        const auto v = static_cast<NodeId>(
+            rng.nextBelow(static_cast<std::uint64_t>(t.nodeCount())));
+        NodeId current = u;
+        int edges = 0;
+        r.forEachPathEdge(
+            u, v,
+            [&](EdgeId e) {
+              current = t.otherEnd(e, current);
+              ++edges;
+            },
+            scratch);
+        if (current != v || edges != r.distance(u, v)) {
+          badPaths.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  EXPECT_EQ(badPaths.load(), 0);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "hbn/util/alias.h"
 #include "hbn/util/rng.h"
 #include "hbn/util/stats.h"
 #include "hbn/util/table.h"
@@ -242,6 +243,46 @@ TEST(Timer, MeasuresNonNegativeTime) {
 TEST(FormatDouble, Digits) {
   EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(AliasTable, MatchesWeightProportions) {
+  const std::vector<double> weights = {1.0, 0.0, 4.0, 2.0, 1.0};
+  const AliasTable table(weights);
+  ASSERT_EQ(table.size(), weights.size());
+  Rng rng(1234);
+  std::vector<int> hits(weights.size(), 0);
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) ++hits[table.sample(rng)];
+  EXPECT_EQ(hits[1], 0);  // zero weight is never drawn
+  const double total = 8.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / total;
+    const double observed =
+        static_cast<double>(hits[i]) / static_cast<double>(kDraws);
+    EXPECT_NEAR(observed, expected, 0.01) << "index " << i;
+  }
+}
+
+TEST(AliasTable, DeterministicAcrossInstances) {
+  std::vector<double> weights(257);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const AliasTable a(weights);
+  const AliasTable b(weights);
+  Rng rngA(9);
+  Rng rngB(9);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(a.sample(rngA), b.sample(rngB));
+  }
+}
+
+TEST(AliasTable, RejectsDegenerateInput) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -2.0}),
+               std::invalid_argument);
 }
 
 }  // namespace
