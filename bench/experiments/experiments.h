@@ -29,6 +29,7 @@ void registerAblation(engine::ExperimentRegistry&);          // E10
 void registerDynamic(engine::ExperimentRegistry&);           // E11
 void registerServingThroughput(engine::ExperimentRegistry&); // E12
 void registerLoadEngine(engine::ExperimentRegistry&);        // E13
+void registerPolicyComparison(engine::ExperimentRegistry&);  // E14
 }  // namespace detail
 
 }  // namespace hbn::bench

@@ -19,6 +19,7 @@ engine::ExperimentRegistry& experiments() {
     detail::registerDynamic(registry);
     detail::registerServingThroughput(registry);
     detail::registerLoadEngine(registry);
+    detail::registerPolicyComparison(registry);
     return true;
   }();
   (void)populated;

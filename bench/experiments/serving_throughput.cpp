@@ -131,7 +131,7 @@ class ServingThroughputExperiment final : public engine::Experiment {
       serve::ServeOptions options;
       options.epochSize = epochSize;
       options.threads = ctx.threads;
-      options.online.replicationThreshold = 64;
+      options.policy = "tree-counters:threshold=64";
       options.replaceDrift = drift;
       serve::EpochServer server(rooted, objects, options);
       util::Timer timer;

@@ -89,10 +89,11 @@ std::vector<Request> makePingPongSequence(const net::Tree& tree,
 CompetitiveResult runCompetitive(const net::RootedTree& rooted,
                                  int numObjects,
                                  const std::vector<Request>& requests,
-                                 const OnlineOptions& options) {
+                                 const std::string& policySpec) {
   const net::Tree& tree = rooted.tree();
-  OnlineTreeStrategy strategy(rooted, numObjects, tree.processors().front(),
-                              options);
+  const std::unique_ptr<OnlinePolicy> policy =
+      OnlinePolicyRegistry::global().create(policySpec)->build(
+          rooted, numObjects, tree.processors().front());
   workload::Workload aggregated(numObjects, tree.nodeCount());
 
   // Bucket the sequence by object (stable, preserving per-object
@@ -112,7 +113,7 @@ CompetitiveResult runCompetitive(const net::RootedTree& rooted,
   }
 
   core::LoadMap loads(tree.edgeCount());
-  core::FlatLoadAccumulator acc(strategy.flatView());
+  core::FlatLoadAccumulator acc(policy->flatView());
   ServeScratch scratch;
   Count replications = 0;
   Count invalidations = 0;
@@ -120,7 +121,7 @@ CompetitiveResult runCompetitive(const net::RootedTree& rooted,
     const std::size_t begin = offsets[static_cast<std::size_t>(x)];
     const std::size_t end = offsets[static_cast<std::size_t>(x) + 1];
     if (begin == end) continue;
-    const ShardStats stats = strategy.serveShard(
+    const ShardStats stats = policy->serveShard(
         x, std::span<const Request>(bucketed.data() + begin, end - begin),
         loads, scratch, &acc);
     replications += stats.replications;
@@ -136,6 +137,14 @@ CompetitiveResult runCompetitive(const net::RootedTree& rooted,
   result.replications = replications;
   result.invalidations = invalidations;
   return result;
+}
+
+CompetitiveResult runCompetitive(const net::RootedTree& rooted,
+                                 int numObjects,
+                                 const std::vector<Request>& requests,
+                                 const OnlineOptions& options) {
+  return runCompetitive(rooted, numObjects, requests,
+                        treeCountersSpec(options));
 }
 
 }  // namespace hbn::dynamic

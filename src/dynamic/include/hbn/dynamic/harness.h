@@ -1,19 +1,20 @@
-// Competitive-ratio harness for the online strategy.
+// Competitive-ratio harness for the online policies.
 //
 // Builds online request sequences (randomised interleavings of a static
 // workload, or adversarial read/write alternations), runs them through
-// OnlineTreeStrategy, and compares the realised congestion against the
-// offline benchmark: the analytic congestion lower bound of the
-// aggregated frequencies (a lower bound even on the optimal *static*
-// placement, hence on any offline strategy that must keep at least one
-// copy).
+// any registered OnlinePolicy, and compares the realised congestion
+// against the offline benchmark: the analytic congestion lower bound of
+// the aggregated frequencies (a lower bound even on the optimal
+// *static* placement, hence on any offline strategy that must keep at
+// least one copy).
 #pragma once
 
 #include <limits>
 #include <span>
+#include <string>
 #include <vector>
 
-#include "hbn/dynamic/online_strategy.h"
+#include "hbn/dynamic/online_policy.h"
 #include "hbn/util/rng.h"
 #include "hbn/workload/workload.h"
 
@@ -65,7 +66,16 @@ struct CompetitiveResult {
   Count invalidations = 0;
 };
 
-/// Runs `requests` online and evaluates against the offline bound.
+/// Runs `requests` online through the policy selected by
+/// `policySpec` (OnlinePolicyRegistry grammar) and evaluates against
+/// the offline bound. Throws std::invalid_argument for unknown policy
+/// names or options.
+[[nodiscard]] CompetitiveResult runCompetitive(
+    const net::RootedTree& rooted, int numObjects,
+    const std::vector<Request>& requests, const std::string& policySpec);
+
+/// Counter-scheme convenience overload: OnlineOptions rendered as the
+/// equivalent "tree-counters:threshold=D,contract=B" spec.
 [[nodiscard]] CompetitiveResult runCompetitive(
     const net::RootedTree& rooted, int numObjects,
     const std::vector<Request>& requests, const OnlineOptions& options = {});

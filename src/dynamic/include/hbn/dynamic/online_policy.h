@@ -1,0 +1,154 @@
+// The unified online-policy engine.
+//
+// The paper's dynamic model (§4) and the FOCS'97 counter-based tree
+// strategy it points to (§1.3) describe a *family* of online
+// data-management policies. This header is the online twin of the
+// offline strategy engine (hbn/engine/strategy.h):
+//
+//   PlacementStrategy : StrategyRegistry == OnlinePolicy : OnlinePolicyRegistry
+//
+// A policy owns the per-object copy configuration and serves
+// object-bucketed request shards against it; every serving surface
+// (EpochServer, the competitive harness, hbn_serve, the e14 bench)
+// selects a policy by the same `name[:key=value,...]` spec grammar the
+// strategy and experiment registries use (engine::splitSpec /
+// engine::StrategyOptions — one parser, one error vocabulary).
+//
+// Built-in policies:
+//   tree-counters     the FOCS'97 counter scheme (replicate towards
+//                     readers, invalidate on writes) — wraps
+//                     OnlineTreeStrategy; options threshold=D,contract=B
+//   static            serve from a frozen placement recomputed only at
+//                     §4 drift handoffs by any registered
+//                     PlacementStrategy: `static:placement=<spec>`
+//                     composes the two registries
+//   full-replication  a copy on every processor; reads are local, every
+//                     write broadcasts over the whole processor Steiner
+//                     tree (lower-bound foil for write traffic)
+//   owner-only        a single fixed copy, no replication — every
+//                     request pays the path to the owner (upper-bound
+//                     foil for read traffic)
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "hbn/core/placement.h"
+#include "hbn/dynamic/online_strategy.h"
+#include "hbn/engine/registry.h"
+
+namespace hbn::dynamic {
+
+/// Abstract online data-management policy: per-object copy
+/// configuration plus shard serving. The serving contract mirrors
+/// OnlineTreeStrategy::serveShard — calls for distinct objects touch
+/// disjoint mutable state and only read shared immutable structure, so
+/// the epoch server may run them concurrently (one worker per object
+/// stripe, each with its own scratch, LoadMap, and accumulator) and the
+/// merged result is bit-identical for 1 vs N threads.
+class OnlinePolicy {
+ public:
+  virtual ~OnlinePolicy() = default;
+
+  /// Canonical registry name (e.g. "tree-counters").
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Serves `requests` (each targeting object `x`, in arrival order)
+  /// against x's copy configuration, accumulating exact integer loads
+  /// into the caller's `loads`. When `acc` is non-null, path charges
+  /// may be batched through the difference-counting accumulator (built
+  /// over this policy's flatView()); either route is bit-identical.
+  virtual ShardStats serveShard(ObjectId x, std::span<const Request> requests,
+                                core::LoadMap& loads, ServeScratch& scratch,
+                                core::FlatLoadAccumulator* acc = nullptr) = 0;
+
+  /// Current copy locations of `x`, ascending.
+  [[nodiscard]] virtual std::vector<net::NodeId> copySet(ObjectId x) const = 0;
+
+  /// The shared preorder flattening of the tree; per-worker
+  /// FlatLoadAccumulators are built over this view.
+  [[nodiscard]] virtual const core::FlatTreeView& flatView()
+      const noexcept = 0;
+
+  /// Whether the §4 dynamic-to-static handoff applies: policies that
+  /// own a movable copy configuration return true and must implement
+  /// handoffPlacement/resetCopySet; fixed-configuration policies
+  /// (full-replication, owner-only) return false and the epoch server
+  /// skips its drift pass entirely.
+  [[nodiscard]] virtual bool migratable() const noexcept { return true; }
+
+  /// The placement this policy wants to migrate to, computed from the
+  /// aggregated request frequencies (the §4 handoff target). Only
+  /// called when migratable(). `threads` is the worker budget; the
+  /// result must be thread-count independent.
+  [[nodiscard]] virtual core::Placement handoffPlacement(
+      const workload::Workload& aggregated, int threads) = 0;
+
+  /// Replaces x's copy configuration with `locations` (the handoff
+  /// migration; traffic is accounted by the caller). Per-object like
+  /// serveShard, so safe to call concurrently for distinct objects.
+  /// Only called when migratable().
+  virtual void resetCopySet(ObjectId x,
+                            std::span<const net::NodeId> locations) = 0;
+
+  /// Diagnostics of the policy (configuration knobs, handoff counts,
+  /// copy-node totals, ...) mirroring engine::Context::metrics; keys
+  /// are "policy.<name>". Serving surfaces attach these to their
+  /// reports so an emitted JSON file can say what produced it.
+  [[nodiscard]] virtual std::map<std::string, double> metrics() const {
+    return {};
+  }
+};
+
+/// A parsed policy spec, ready to build per-server instances. Splitting
+/// creation in two lets one spec build the several servers a
+/// determinism digest or a bench sweep needs.
+class OnlinePolicyFactory {
+ public:
+  virtual ~OnlinePolicyFactory() = default;
+
+  /// Builds a policy over `rooted` (must outlive the policy) with one
+  /// initial copy per object on `initialLocation`.
+  [[nodiscard]] virtual std::unique_ptr<OnlinePolicy> build(
+      const net::RootedTree& rooted, int numObjects,
+      net::NodeId initialLocation) const = 0;
+};
+
+/// Registry metadata shown by --list-policies / usage text.
+struct OnlinePolicyInfo {
+  std::string name;         ///< canonical name
+  std::string summary;      ///< one-line description
+  std::string optionsHelp;  ///< "threshold=D,contract=B" style, may be empty
+};
+
+/// Name→factory registry for online policies; the online twin of
+/// StrategyRegistry, sharing the SpecRegistry machinery, spec syntax,
+/// and option parser.
+class OnlinePolicyRegistry
+    : public engine::SpecRegistry<OnlinePolicyFactory, OnlinePolicyInfo> {
+ public:
+  OnlinePolicyRegistry() : SpecRegistry("policy") {}
+
+  /// The process-wide registry, pre-populated with every built-in
+  /// policy.
+  [[nodiscard]] static OnlinePolicyRegistry& global();
+
+  /// Multi-line help text enumerating policies and their options.
+  [[nodiscard]] std::string helpText() const;
+};
+
+/// Renders OnlineOptions as the equivalent tree-counters spec
+/// ("tree-counters:threshold=D,contract=0|1") — the bridge legacy
+/// OnlineOptions call sites (CLI --threshold, the OnlineOptions
+/// runCompetitive overload) use to reach the registry.
+[[nodiscard]] std::string treeCountersSpec(const OnlineOptions& options);
+
+namespace detail {
+/// Implemented in online_policy.cpp; wires every built-in policy into
+/// the registry that OnlinePolicyRegistry::global() hands out.
+void registerBuiltinPolicies(OnlinePolicyRegistry& registry);
+}  // namespace detail
+
+}  // namespace hbn::dynamic

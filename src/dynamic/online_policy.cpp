@@ -1,0 +1,475 @@
+#include "hbn/dynamic/online_policy.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "hbn/net/steiner.h"
+
+namespace hbn::dynamic {
+namespace {
+
+/// Legacy per-edge walk charging the u→v path: the non-accumulator
+/// route of the frozen-placement policies, bit-identical to
+/// FlatLoadAccumulator::chargePath + flush by integer associativity.
+void chargePathWalk(const core::FlatTreeView& flat, net::NodeId u,
+                    net::NodeId v, core::LoadMap& loads) {
+  const core::FlatTreeView::NodeStep* su = &flat.step(u);
+  const core::FlatTreeView::NodeStep* sv = &flat.step(v);
+  while (su->depth > sv->depth) {
+    loads.addEdgeLoad(su->parentEdge, 1);
+    u = su->parent;
+    su = &flat.step(u);
+  }
+  while (sv->depth > su->depth) {
+    loads.addEdgeLoad(sv->parentEdge, 1);
+    v = sv->parent;
+    sv = &flat.step(v);
+  }
+  while (u != v) {
+    loads.addEdgeLoad(su->parentEdge, 1);
+    u = su->parent;
+    su = &flat.step(u);
+    loads.addEdgeLoad(sv->parentEdge, 1);
+    v = sv->parent;
+    sv = &flat.step(v);
+  }
+}
+
+/// One frozen copy configuration: locations plus everything serving
+/// needs precomputed — the per-node entry gate (nearest copy, found by
+/// a deterministic multi-source BFS seeded in ascending copy order) and
+/// the Steiner edge set write broadcasts charge. Copy sets here need
+/// NOT be connected subtrees (extended-nibble maps copies to leaves),
+/// which is why gates are a table instead of the counter strategy's
+/// first-copy-on-the-anchor-path walk.
+struct FrozenConfig {
+  std::vector<net::NodeId> locations;  ///< sorted ascending
+  std::vector<net::NodeId> gate;       ///< per node: entry copy
+  std::vector<net::EdgeId> steinerEdges;
+
+  void build(const net::RootedTree& rooted,
+             std::span<const net::NodeId> copyLocations) {
+    const net::Tree& tree = rooted.tree();
+    locations.assign(copyLocations.begin(), copyLocations.end());
+    std::sort(locations.begin(), locations.end());
+    locations.erase(std::unique(locations.begin(), locations.end()),
+                    locations.end());
+    if (locations.empty()) {
+      throw std::invalid_argument("FrozenConfig: empty copy set");
+    }
+    if (locations.front() < 0 || locations.back() >= tree.nodeCount()) {
+      throw std::out_of_range("FrozenConfig: copy location");
+    }
+    gate.assign(static_cast<std::size_t>(tree.nodeCount()),
+                net::kInvalidNode);
+    std::deque<net::NodeId> queue;
+    for (const net::NodeId c : locations) {
+      gate[static_cast<std::size_t>(c)] = c;
+      queue.push_back(c);
+    }
+    while (!queue.empty()) {
+      const net::NodeId v = queue.front();
+      queue.pop_front();
+      for (const net::HalfEdge& half : tree.neighbors(v)) {
+        if (gate[static_cast<std::size_t>(half.to)] == net::kInvalidNode) {
+          gate[static_cast<std::size_t>(half.to)] =
+              gate[static_cast<std::size_t>(v)];
+          queue.push_back(half.to);
+        }
+      }
+    }
+    steinerEdges = net::steinerEdges(rooted, locations);
+  }
+};
+
+/// Shared serving loop of the frozen-placement policies: a read charges
+/// the origin→gate path, a write charges the path plus the copy set's
+/// Steiner tree (the paper's static load model, §1.1). No counters
+/// move, so per-object state is immutable between handoffs and shard
+/// serving is trivially bit-identical for any worker count.
+ShardStats serveFrozenShard(const FrozenConfig& config,
+                            const core::FlatTreeView& flat, ObjectId x,
+                            std::span<const Request> requests,
+                            core::LoadMap& loads,
+                            core::FlatLoadAccumulator* acc) {
+  if (acc && requests.size() < core::kFlatLoadCutover) acc = nullptr;
+  for (const Request& request : requests) {
+    if (request.object != x) {
+      throw std::invalid_argument("serveShard: request targets wrong object");
+    }
+    const net::NodeId origin = request.origin;
+    const net::NodeId entry = config.gate[static_cast<std::size_t>(origin)];
+    if (origin != entry) {
+      if (acc) {
+        acc->chargePath(origin, entry, 1);
+      } else {
+        chargePathWalk(flat, origin, entry, loads);
+      }
+    }
+    if (request.isWrite) {
+      for (const net::EdgeId e : config.steinerEdges) {
+        loads.addEdgeLoad(e, 1);
+      }
+    }
+  }
+  if (acc) acc->flush(loads);
+  return {};
+}
+
+ObjectId checkObjectId(ObjectId x, std::size_t numObjects,
+                       const char* where) {
+  if (x < 0 || static_cast<std::size_t>(x) >= numObjects) {
+    throw std::out_of_range(std::string(where) + ": object id");
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// tree-counters — the FOCS'97 counter scheme, wrapping OnlineTreeStrategy.
+// ---------------------------------------------------------------------------
+
+class TreeCountersPolicy final : public OnlinePolicy {
+ public:
+  TreeCountersPolicy(const net::RootedTree& rooted, int numObjects,
+                     net::NodeId initialLocation,
+                     const OnlineOptions& options)
+      : strategy_(rooted, numObjects, initialLocation, options),
+        options_(options),
+        nibble_(engine::StrategyRegistry::global().create("nibble")) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "tree-counters";
+  }
+
+  ShardStats serveShard(ObjectId x, std::span<const Request> requests,
+                        core::LoadMap& loads, ServeScratch& scratch,
+                        core::FlatLoadAccumulator* acc) override {
+    return strategy_.serveShard(x, requests, loads, scratch, acc);
+  }
+
+  [[nodiscard]] std::vector<net::NodeId> copySet(ObjectId x) const override {
+    return strategy_.copySet(x);
+  }
+
+  [[nodiscard]] const core::FlatTreeView& flatView() const noexcept override {
+    return strategy_.flatView();
+  }
+
+  [[nodiscard]] core::Placement handoffPlacement(
+      const workload::Workload& aggregated, int threads) override {
+    // The §4 handoff target of the counter scheme is the nibble
+    // placement of the aggregated frequencies (connected copy sets by
+    // Theorem 3.1, so the counter machinery resumes seamlessly).
+    engine::Context ctx;
+    ctx.threads = threads;
+    ++handoffs_;
+    return nibble_->place(strategy_.flatView().rooted().tree(), aggregated,
+                          ctx);
+  }
+
+  void resetCopySet(ObjectId x,
+                    std::span<const net::NodeId> locations) override {
+    strategy_.resetCopySet(x, locations);
+  }
+
+  [[nodiscard]] std::map<std::string, double> metrics() const override {
+    return {{"policy.threshold",
+             static_cast<double>(options_.replicationThreshold)},
+            {"policy.contractOnWrite", options_.contractOnWrite ? 1.0 : 0.0},
+            {"policy.handoffs", static_cast<double>(handoffs_)}};
+  }
+
+ private:
+  OnlineTreeStrategy strategy_;
+  OnlineOptions options_;
+  std::unique_ptr<engine::PlacementStrategy> nibble_;
+  std::uint64_t handoffs_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// static — serve from a frozen placement, recomputed only at handoffs
+// by a nested PlacementStrategy spec (composing the two registries).
+// ---------------------------------------------------------------------------
+
+class StaticPolicy final : public OnlinePolicy {
+ public:
+  StaticPolicy(const net::RootedTree& rooted, int numObjects,
+               net::NodeId initialLocation,
+               std::shared_ptr<const engine::PlacementStrategy> placement)
+      : rooted_(&rooted), flat_(rooted), placement_(std::move(placement)) {
+    if (numObjects < 1) {
+      throw std::invalid_argument("StaticPolicy: numObjects >= 1");
+    }
+    // Every object starts on the same single-copy configuration; share
+    // one gate table instead of materialising numObjects copies of it
+    // (a million-object trace would otherwise pay O(|X|·n) memory up
+    // front). resetCopySet gives an object its own config on first
+    // divergence — distinct slots, so the handoff pass stays safe to
+    // run concurrently for distinct objects.
+    auto initial = std::make_shared<FrozenConfig>();
+    initial->build(rooted, std::span(&initialLocation, 1));
+    objects_.assign(static_cast<std::size_t>(numObjects),
+                    std::move(initial));
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "static"; }
+
+  ShardStats serveShard(ObjectId x, std::span<const Request> requests,
+                        core::LoadMap& loads, ServeScratch& /*scratch*/,
+                        core::FlatLoadAccumulator* acc) override {
+    checkObjectId(x, objects_.size(), "serveShard");
+    return serveFrozenShard(*objects_[static_cast<std::size_t>(x)], flat_,
+                            x, requests, loads, acc);
+  }
+
+  [[nodiscard]] std::vector<net::NodeId> copySet(ObjectId x) const override {
+    checkObjectId(x, objects_.size(), "copySet");
+    return objects_[static_cast<std::size_t>(x)]->locations;
+  }
+
+  [[nodiscard]] const core::FlatTreeView& flatView() const noexcept override {
+    return flat_;
+  }
+
+  [[nodiscard]] core::Placement handoffPlacement(
+      const workload::Workload& aggregated, int threads) override {
+    engine::Context ctx;
+    ctx.threads = threads;
+    ++handoffs_;
+    return placement_->place(rooted_->tree(), aggregated, ctx);
+  }
+
+  void resetCopySet(ObjectId x,
+                    std::span<const net::NodeId> locations) override {
+    checkObjectId(x, objects_.size(), "resetCopySet");
+    auto config = std::make_shared<FrozenConfig>();
+    config->build(*rooted_, locations);
+    objects_[static_cast<std::size_t>(x)] = std::move(config);
+  }
+
+  [[nodiscard]] std::map<std::string, double> metrics() const override {
+    std::size_t copyNodes = 0;
+    for (const auto& config : objects_) {
+      copyNodes += config->locations.size();
+    }
+    return {{"policy.handoffs", static_cast<double>(handoffs_)},
+            {"policy.copyNodes", static_cast<double>(copyNodes)}};
+  }
+
+ private:
+  const net::RootedTree* rooted_;
+  core::FlatTreeView flat_;
+  std::shared_ptr<const engine::PlacementStrategy> placement_;
+  std::vector<std::shared_ptr<const FrozenConfig>> objects_;
+  std::uint64_t handoffs_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// full-replication / owner-only — fixed configurations shared by every
+// object (one FrozenConfig, not numObjects of them); not migratable.
+// ---------------------------------------------------------------------------
+
+class FixedConfigPolicy : public OnlinePolicy {
+ public:
+  FixedConfigPolicy(const net::RootedTree& rooted, int numObjects,
+                    std::span<const net::NodeId> locations)
+      : flat_(rooted), numObjects_(numObjects) {
+    if (numObjects < 1) {
+      throw std::invalid_argument("OnlinePolicy: numObjects >= 1");
+    }
+    config_.build(rooted, locations);
+  }
+
+  ShardStats serveShard(ObjectId x, std::span<const Request> requests,
+                        core::LoadMap& loads, ServeScratch& /*scratch*/,
+                        core::FlatLoadAccumulator* acc) override {
+    checkObjectId(x, static_cast<std::size_t>(numObjects_), "serveShard");
+    return serveFrozenShard(config_, flat_, x, requests, loads, acc);
+  }
+
+  [[nodiscard]] std::vector<net::NodeId> copySet(ObjectId x) const override {
+    checkObjectId(x, static_cast<std::size_t>(numObjects_), "copySet");
+    return config_.locations;
+  }
+
+  [[nodiscard]] const core::FlatTreeView& flatView() const noexcept override {
+    return flat_;
+  }
+
+  [[nodiscard]] bool migratable() const noexcept override { return false; }
+
+  [[nodiscard]] core::Placement handoffPlacement(const workload::Workload&,
+                                                 int) override {
+    throw std::logic_error(std::string(name()) + " does not migrate");
+  }
+
+  void resetCopySet(ObjectId, std::span<const net::NodeId>) override {
+    throw std::logic_error(std::string(name()) + " does not migrate");
+  }
+
+  [[nodiscard]] std::map<std::string, double> metrics() const override {
+    return {{"policy.copyNodes",
+             static_cast<double>(config_.locations.size())}};
+  }
+
+ protected:
+  core::FlatTreeView flat_;
+  int numObjects_;
+  FrozenConfig config_;
+};
+
+class FullReplicationPolicy final : public FixedConfigPolicy {
+ public:
+  FullReplicationPolicy(const net::RootedTree& rooted, int numObjects)
+      : FixedConfigPolicy(rooted, numObjects,
+                          rooted.tree().processors()) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "full-replication";
+  }
+};
+
+class OwnerOnlyPolicy final : public FixedConfigPolicy {
+ public:
+  OwnerOnlyPolicy(const net::RootedTree& rooted, int numObjects,
+                  net::NodeId owner)
+      : FixedConfigPolicy(rooted, numObjects, std::span(&owner, 1)),
+        owner_(owner) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "owner-only";
+  }
+
+  [[nodiscard]] std::map<std::string, double> metrics() const override {
+    return {{"policy.copyNodes", 1.0},
+            {"policy.owner", static_cast<double>(owner_)}};
+  }
+
+ private:
+  net::NodeId owner_;
+};
+
+// ---------------------------------------------------------------------------
+// Factory plumbing.
+// ---------------------------------------------------------------------------
+
+class LambdaPolicyFactory final : public OnlinePolicyFactory {
+ public:
+  using Fn = std::function<std::unique_ptr<OnlinePolicy>(
+      const net::RootedTree&, int, net::NodeId)>;
+
+  explicit LambdaPolicyFactory(Fn fn) : fn_(std::move(fn)) {}
+
+  [[nodiscard]] std::unique_ptr<OnlinePolicy> build(
+      const net::RootedTree& rooted, int numObjects,
+      net::NodeId initialLocation) const override {
+    return fn_(rooted, numObjects, initialLocation);
+  }
+
+ private:
+  Fn fn_;
+};
+
+std::unique_ptr<OnlinePolicyFactory> makeFactory(LambdaPolicyFactory::Fn fn) {
+  return std::make_unique<LambdaPolicyFactory>(std::move(fn));
+}
+
+}  // namespace
+
+std::string treeCountersSpec(const OnlineOptions& options) {
+  std::ostringstream oss;
+  oss << "tree-counters:threshold=" << options.replicationThreshold
+      << ",contract=" << (options.contractOnWrite ? 1 : 0);
+  return oss.str();
+}
+
+OnlinePolicyRegistry& OnlinePolicyRegistry::global() {
+  static OnlinePolicyRegistry* registry = [] {
+    auto* r = new OnlinePolicyRegistry();
+    detail::registerBuiltinPolicies(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+std::string OnlinePolicyRegistry::helpText() const {
+  return engine::formatSpecHelp(list());
+}
+
+namespace detail {
+
+void registerBuiltinPolicies(OnlinePolicyRegistry& registry) {
+  registry.add(
+      {"tree-counters",
+       "FOCS'97 counter scheme: copy subtrees grow towards readers and "
+       "contract on writes, steered by per-edge read counters",
+       "threshold=D,contract=0|1"},
+      [](engine::StrategyOptions& options) {
+        OnlineOptions opts;
+        opts.replicationThreshold =
+            options.getInt("threshold", opts.replicationThreshold);
+        opts.contractOnWrite =
+            options.getBool("contract", opts.contractOnWrite);
+        return makeFactory([opts](const net::RootedTree& rooted,
+                                  int numObjects,
+                                  net::NodeId initialLocation) {
+          return std::make_unique<TreeCountersPolicy>(
+              rooted, numObjects, initialLocation, opts);
+        });
+      },
+      {"counters"});
+
+  registry.add(
+      {"static",
+       "serve from a frozen placement recomputed only at drift handoffs "
+       "by the nested strategy spec (default extended-nibble)",
+       "placement=SPEC"},
+      [](engine::StrategyOptions& options) {
+        std::string spec = options.getString("placement", "extended-nibble");
+        // Resolve the nested spec NOW so a typo fails at --policy parse
+        // time, not at the first drift handoff mid-serve. The strategy
+        // is stateless and const, so the servers a factory builds can
+        // share one instance.
+        std::shared_ptr<const engine::PlacementStrategy> placement =
+            engine::StrategyRegistry::global().create(spec);
+        return makeFactory([placement = std::move(placement)](
+                               const net::RootedTree& rooted, int numObjects,
+                               net::NodeId initialLocation) {
+          return std::make_unique<StaticPolicy>(rooted, numObjects,
+                                                initialLocation, placement);
+        });
+      },
+      {"frozen"});
+
+  registry.add(
+      {"full-replication",
+       "a copy on every processor: reads are local, every write "
+       "broadcasts over the whole processor Steiner tree",
+       ""},
+      [](engine::StrategyOptions&) {
+        return makeFactory([](const net::RootedTree& rooted, int numObjects,
+                              net::NodeId /*initialLocation*/) {
+          return std::make_unique<FullReplicationPolicy>(rooted, numObjects);
+        });
+      });
+
+  registry.add(
+      {"owner-only",
+       "a single fixed copy per object, no replication: every request "
+       "pays the path to the owner",
+       ""},
+      [](engine::StrategyOptions&) {
+        return makeFactory([](const net::RootedTree& rooted, int numObjects,
+                              net::NodeId initialLocation) {
+          return std::make_unique<OwnerOnlyPolicy>(rooted, numObjects,
+                                                   initialLocation);
+        });
+      });
+}
+
+}  // namespace detail
+}  // namespace hbn::dynamic

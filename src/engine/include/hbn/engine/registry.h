@@ -56,6 +56,34 @@ struct StrategyInfo {
   std::string optionsHelp;  ///< "iters=N,init=SPEC" style, may be empty
 };
 
+/// A spec string `name[:key=value,...]` split into its halves — THE
+/// parsing point every registry goes through (StrategyRegistry,
+/// ExperimentRegistry, dynamic::OnlinePolicyRegistry), so the spec
+/// grammar cannot drift between surfaces. Nested specs pass through
+/// unharmed: in `static:placement=extended-nibble:deletion=0` the outer
+/// split stops at the first colon and StrategyOptions keeps the value
+/// `extended-nibble:deletion=0` intact for the inner registry. (Note
+/// nested specs cannot carry commas of their own — the outer option
+/// list splits on them first.)
+struct SpecParts {
+  std::string_view name;
+  std::string_view options;  ///< text after the first ':', may be empty
+};
+[[nodiscard]] SpecParts splitSpec(std::string_view spec) noexcept;
+
+/// Shared --help / --list rendering for any registry Info that carries
+/// name/summary/optionsHelp.
+template <typename Info>
+[[nodiscard]] std::string formatSpecHelp(const std::vector<Info>& infos) {
+  std::ostringstream oss;
+  for (const Info& info : infos) {
+    oss << "  " << info.name;
+    if (!info.optionsHelp.empty()) oss << "[:" << info.optionsHelp << "]";
+    oss << "\n      " << info.summary << "\n";
+  }
+  return oss.str();
+}
+
 /// Shared name→factory machinery behind StrategyRegistry and
 /// ExperimentRegistry (experiment.h): canonical names plus aliases, spec
 /// strings `name[:key=value,...]`, unknown names listing the
@@ -89,11 +117,9 @@ class SpecRegistry {
   /// Instantiates from a spec string `name[:options]`. Throws
   /// std::invalid_argument for unknown names or unconsumed options.
   [[nodiscard]] std::unique_ptr<Product> create(std::string_view spec) const {
-    const std::size_t colon = spec.find(':');
-    const std::string_view name = spec.substr(0, colon);
-    const std::string_view optionText =
-        colon == std::string_view::npos ? std::string_view{}
-                                        : spec.substr(colon + 1);
+    const SpecParts parts = splitSpec(spec);
+    const std::string_view name = parts.name;
+    const std::string_view optionText = parts.options;
     const auto it = entries_.find(name);
     if (it == entries_.end()) {
       std::ostringstream oss;

@@ -5,6 +5,12 @@
 
 namespace hbn::engine {
 
+SpecParts splitSpec(std::string_view spec) noexcept {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos) return {spec, {}};
+  return {spec.substr(0, colon), spec.substr(colon + 1)};
+}
+
 StrategyOptions StrategyOptions::parse(std::string_view spec) {
   StrategyOptions options;
   std::size_t pos = 0;
@@ -84,13 +90,7 @@ StrategyRegistry& StrategyRegistry::global() {
 }
 
 std::string StrategyRegistry::helpText() const {
-  std::ostringstream oss;
-  for (const StrategyInfo& info : list()) {
-    oss << "  " << info.name;
-    if (!info.optionsHelp.empty()) oss << "[:" << info.optionsHelp << "]";
-    oss << "\n      " << info.summary << "\n";
-  }
-  return oss.str();
+  return formatSpecHelp(list());
 }
 
 }  // namespace hbn::engine

@@ -4,7 +4,6 @@
 #include <stdexcept>
 
 #include "hbn/core/lower_bound.h"
-#include "hbn/core/nibble.h"
 #include "hbn/core/parallel.h"
 #include "hbn/dynamic/harness.h"
 #include "hbn/util/stats.h"
@@ -17,8 +16,10 @@ EpochServer::EpochServer(const net::RootedTree& rooted, int numObjects,
     : rooted_(&rooted),
       numObjects_(numObjects),
       options_(options),
-      strategy_(rooted, numObjects, rooted.tree().processors().front(),
-                options.online),
+      policy_(dynamic::OnlinePolicyRegistry::global()
+                  .create(options.policy)
+                  ->build(rooted, numObjects,
+                          rooted.tree().processors().front())),
       aggregated_(numObjects, rooted.tree().nodeCount()),
       loads_(rooted.tree().edgeCount()) {
   if (options.epochSize < 1) {
@@ -52,10 +53,11 @@ ServeReport EpochServer::serve(RequestStream& stream) {
   std::vector<core::FlatLoadAccumulator> workerAcc;
   workerAcc.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
-    workerAcc.emplace_back(strategy_.flatView());
+    workerAcc.emplace_back(policy_->flatView());
   }
 
   ServeReport report;
+  report.policy = options_.policy;
   report.epochBufferBytes =
       static_cast<std::uint64_t>(buffer.capacity() + bucketed.capacity()) *
           sizeof(RequestEvent) +
@@ -100,7 +102,7 @@ ServeReport EpochServer::serve(RequestStream& stream) {
           const std::size_t end = offsets[static_cast<std::size_t>(x) + 1];
           if (begin == end) return;
           const auto w = static_cast<std::size_t>(worker);
-          const dynamic::ShardStats stats = strategy_.serveShard(
+          const dynamic::ShardStats stats = policy_->serveShard(
               x, std::span<const RequestEvent>(bucketed.data() + begin,
                                               end - begin),
               workerLoads[w], workerScratch[w], &workerAcc[w]);
@@ -135,7 +137,8 @@ ServeReport EpochServer::serve(RequestStream& stream) {
     // would either never fire or fire forever; the delta resets.
     const double congestionGrowth = record.congestion - congestionMark_;
     const double lowerBoundGrowth = record.lowerBound - lowerBoundMark_;
-    if (options_.replaceDrift > 0.0 && lowerBoundGrowth > 0.0 &&
+    if (options_.replaceDrift > 0.0 && policy_->migratable() &&
+        lowerBoundGrowth > 0.0 &&
         congestionGrowth > options_.replaceDrift * lowerBoundGrowth) {
       replace(workerLoads, workerAcc, workers);
       ++replacements_;
@@ -168,32 +171,35 @@ ServeReport EpochServer::serve(RequestStream& stream) {
   report.replacements = replacements_;
   report.replications = replications_;
   report.invalidations = invalidations_;
+  report.policyMetrics = policy_->metrics();
   return report;
 }
 
 void EpochServer::replace(std::vector<core::LoadMap>& workerLoads,
                           std::vector<core::FlatLoadAccumulator>& workerAcc,
                           int workers) {
-  // Dynamic-to-static handoff: nibble the aggregated frequencies and
-  // migrate every copy subtree to its nibble copy set (connected by
-  // Theorem 3.1), charging the Steiner tree spanning old ∪ new locations
-  // with one object-migration message per edge.
+  // Dynamic-to-static handoff: ask the policy for its handoff placement
+  // of the aggregated frequencies (tree-counters: the nibble placement,
+  // connected by Theorem 3.1; static: its nested strategy spec) and
+  // migrate every object's copy configuration to it, charging the
+  // Steiner tree spanning old ∪ new locations with one object-migration
+  // message per edge.
   const net::Tree& tree = rooted_->tree();
+  const core::Placement target =
+      policy_->handoffPlacement(aggregated_, options_.threads);
   for (int w = 0; w < workers; ++w) {
     workerLoads[static_cast<std::size_t>(w)].clear();
   }
-  std::vector<core::NibbleScratch> scratch(
-      static_cast<std::size_t>(workers));
   core::parallelForObjects(
       numObjects_, options_.threads, [&](ObjectId x, int worker) {
         const auto w = static_cast<std::size_t>(worker);
-        core::NibbleObjectResult result;
-        core::nibbleObjectInto(tree, aggregated_, x, scratch[w], result);
-        std::vector<net::NodeId> target = result.placement.locations();
-        std::vector<net::NodeId> terminals = strategy_.copySet(x);
-        terminals.insert(terminals.end(), target.begin(), target.end());
+        const std::vector<net::NodeId> locations =
+            target.objects[static_cast<std::size_t>(x)].locations();
+        std::vector<net::NodeId> terminals = policy_->copySet(x);
+        terminals.insert(terminals.end(), locations.begin(),
+                         locations.end());
         workerAcc[w].chargeSteiner(terminals, 1, workerLoads[w]);
-        strategy_.resetCopySet(x, target);
+        policy_->resetCopySet(x, locations);
       });
   for (int w = 0; w < workers; ++w) {
     const auto& partial = workerLoads[static_cast<std::size_t>(w)];

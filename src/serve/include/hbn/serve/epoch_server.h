@@ -3,26 +3,32 @@
 // Consumes a RequestStream in fixed-size epochs. Each epoch is bucketed
 // by object id (stable, so per-object arrival order is preserved) and
 // sharded across the object range by a worker pool: every worker serves
-// whole objects through OnlineTreeStrategy::serveShard with its own
-// scratch and LoadMap, so the hot path performs no synchronisation and
-// the merged result — integer edge loads, replication counts, copy sets
-// — is bit-identical for 1 vs N threads.
+// whole objects through OnlinePolicy::serveShard with its own scratch
+// and LoadMap, so the hot path performs no synchronisation and the
+// merged result — integer edge loads, replication counts, copy sets —
+// is bit-identical for 1 vs N threads. The policy itself is pluggable:
+// ServeOptions.policy is an OnlinePolicyRegistry spec, so every
+// registered policy (tree-counters, static:placement=...,
+// full-replication, owner-only, ...) serves through the same engine.
 //
 // Between epochs the server runs the paper's dynamic-to-static handoff
-// (§4): epoch frequencies are aggregated into a cumulative Workload, and
-// when the realised congestion drifts a configurable factor above the
-// analytic offline lower bound of those frequencies, the nibble strategy
-// is re-run on them and every object's copy subtree migrates to its
-// nibble copy set (Steiner-tree migration traffic is charged, read
-// counters reset). Serving then continues online from the re-placed
-// state.
+// (§4): epoch frequencies are aggregated into a cumulative Workload,
+// and when the realised congestion drifts a configurable factor above
+// the analytic offline lower bound of those frequencies, the policy's
+// handoff placement is recomputed on them and every object's copy
+// configuration migrates to it (Steiner-tree migration traffic is
+// charged). Policies with a fixed configuration opt out via
+// OnlinePolicy::migratable() and the drift pass never runs.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "hbn/core/load.h"
-#include "hbn/dynamic/online_strategy.h"
+#include "hbn/dynamic/online_policy.h"
 #include "hbn/net/rooted.h"
 #include "hbn/serve/request_stream.h"
 #include "hbn/workload/workload.h"
@@ -37,8 +43,11 @@ struct ServeOptions {
   std::size_t epochSize = 1 << 16;
   /// Worker threads for the per-epoch object sharding; 0 = all cores.
   int threads = 1;
-  /// Online strategy knobs (replication threshold, write contraction).
-  dynamic::OnlineOptions online;
+  /// Online policy spec (OnlinePolicyRegistry grammar,
+  /// `name[:key=value,...]` — e.g. "tree-counters:threshold=4" or
+  /// "static:placement=extended-nibble"). Parsed at construction;
+  /// unknown names or options throw std::invalid_argument there.
+  std::string policy = "tree-counters";
   /// Re-placement triggers when, since the last re-placement (or the
   /// start), realised congestion grew more than `replaceDrift` × the
   /// growth of the analytic lower bound — i.e. the current copy
@@ -61,12 +70,21 @@ struct EpochRecord {
   /// Analytic offline lower bound of the cumulative frequencies.
   double lowerBound = 0.0;
   /// congestion / lowerBound (1 when both zero, +inf when only LB is 0).
+  /// Consumers serialising epoch records should expect the +inf case:
+  /// util::JsonRecords emits non-finite doubles as null and parses null
+  /// back as NaN, so emit→parse→emit is a fixed point at the text level
+  /// (tests/serve_test.cpp pins this down).
   double ratio = 0.0;
   bool replaced = false;
 };
 
 /// Aggregate outcome of one serve() run.
 struct ServeReport {
+  /// The policy spec that produced this report, plus the policy's own
+  /// diagnostics (OnlinePolicy::metrics()) at the end of the run — so
+  /// an emitted report can say what produced it.
+  std::string policy;
+  std::map<std::string, double> policyMetrics;
   std::uint64_t totalRequests = 0;
   std::uint64_t epochs = 0;
   double wallMs = 0.0;
@@ -110,12 +128,17 @@ class EpochServer {
   }
   /// Current copy locations of `x`, ascending.
   [[nodiscard]] std::vector<net::NodeId> copySet(ObjectId x) const {
-    return strategy_.copySet(x);
+    return policy_->copySet(x);
+  }
+  /// The serving policy instance (for diagnostics/introspection).
+  [[nodiscard]] const dynamic::OnlinePolicy& policy() const noexcept {
+    return *policy_;
   }
   [[nodiscard]] int numObjects() const noexcept { return numObjects_; }
 
  private:
-  /// Runs the nibble re-placement pass; returns migration load charged.
+  /// Runs the policy's re-placement pass (§4 handoff), charging
+  /// migration traffic.
   void replace(std::vector<core::LoadMap>& workerLoads,
                std::vector<core::FlatLoadAccumulator>& workerAcc,
                int workers);
@@ -123,7 +146,7 @@ class EpochServer {
   const net::RootedTree* rooted_;
   int numObjects_;
   ServeOptions options_;
-  dynamic::OnlineTreeStrategy strategy_;
+  std::unique_ptr<dynamic::OnlinePolicy> policy_;
   workload::Workload aggregated_;
   core::LoadMap loads_;
   std::vector<EpochRecord> log_;

@@ -193,6 +193,55 @@ TEST(Harness, PingPongSequenceShape) {
   EXPECT_EQ(writes, 10);
 }
 
+TEST(Harness, BucketRequestsHandlesEdgeCases) {
+  // Zero objects with an empty span: offsets is the single sentinel 0.
+  std::vector<std::size_t> offsets(1, 99);
+  bucketRequestsByObject({}, 0, offsets, {});
+  EXPECT_EQ(offsets[0], 0u);
+
+  // Empty request span over a non-trivial object range: every run is
+  // empty and every offset 0.
+  offsets.assign(4, 77);
+  bucketRequestsByObject({}, 3, offsets, {});
+  for (const std::size_t o : offsets) EXPECT_EQ(o, 0u);
+
+  // All requests on one object: the bucketed order is the arrival
+  // order, runs of other objects are empty.
+  const std::vector<Request> requests = {
+      {1, 2, false}, {1, 3, true}, {1, 2, true}, {1, 4, false}};
+  offsets.assign(4, 0);
+  std::vector<Request> bucketed(requests.size());
+  bucketRequestsByObject(requests, 3, offsets, bucketed);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[1], 0u);
+  EXPECT_EQ(offsets[2], 4u);
+  EXPECT_EQ(offsets[3], 4u);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(bucketed[i].origin, requests[i].origin) << i;
+    EXPECT_EQ(bucketed[i].isWrite, requests[i].isWrite) << i;
+  }
+
+  // Out-of-range object ids are rejected loudly (both directions), as
+  // are mismatched buffer sizes.
+  offsets.assign(3, 0);
+  std::vector<Request> two(2);
+  EXPECT_THROW(bucketRequestsByObject(
+                   std::vector<Request>{{2, 0, false}, {0, 0, false}}, 2,
+                   offsets, two),
+               std::out_of_range);
+  EXPECT_THROW(bucketRequestsByObject(
+                   std::vector<Request>{{-1, 0, false}, {0, 0, false}}, 2,
+                   offsets, two),
+               std::out_of_range);
+  EXPECT_THROW(
+      bucketRequestsByObject(std::vector<Request>{{0, 0, false}}, 2,
+                             offsets, two),
+      std::invalid_argument);
+  std::vector<std::size_t> shortOffsets(2, 0);
+  EXPECT_THROW(bucketRequestsByObject(two, 2, shortOffsets, two),
+               std::invalid_argument);
+}
+
 TEST(Harness, RejectsBadParameters) {
   util::Rng rng(137);
   const Tree t = net::makeStar(3);

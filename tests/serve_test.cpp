@@ -4,6 +4,7 @@
 // are never materialised.
 #include <sys/resource.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -226,7 +227,7 @@ TEST(EpochServer, ReplacementFiresUnderSlowAdaptationAndHelps) {
     ServeOptions options;
     options.epochSize = 1 << 13;
     options.replaceDrift = drift;
-    options.online.replicationThreshold = 64;  // slow online adaptation
+    options.policy = "tree-counters:threshold=64";  // slow online adaptation
     EpochServer server(rooted, params.numObjects, options);
     Outcome outcome{server.serve(*stream), 0};
     for (const EpochRecord& record : server.epochLog()) {
@@ -263,6 +264,74 @@ TEST(EpochServer, EpochLogIsConsistent) {
   }
   EXPECT_EQ(total, report.totalRequests);
   EXPECT_EQ(report.totalRequests, 10'000u);
+}
+
+TEST(EpochServer, InfiniteRatioIsAFixedPointThroughJson) {
+  // Reads with zero write contention: the analytic lower bound is 0
+  // while the online strategy pays for the remote read, so the epoch
+  // ratio is +inf. The JSON pipeline must carry that stably:
+  // JsonRecords emits non-finite doubles as null, parses null back as
+  // NaN, and NaN re-emits as null — emit→parse→emit is a fixed point.
+  const net::Tree tree = net::makeStar(3);
+  const net::RootedTree rooted(tree, tree.defaultRoot());
+  ServeOptions options;
+  options.epochSize = 8;
+  EpochServer server(rooted, 1, options);
+  // The initial copy sits on the first processor; read from another.
+  const net::NodeId reader = tree.processors().back();
+  ASSERT_NE(reader, tree.processors().front());
+  VectorStream stream({RequestEvent{0, reader, false}});
+  const ServeReport report = server.serve(stream);
+  ASSERT_EQ(report.lowerBound, 0.0);
+  ASSERT_GT(report.congestion, 0.0);
+  ASSERT_TRUE(std::isinf(report.ratio));
+  ASSERT_EQ(server.epochLog().size(), 1u);
+  ASSERT_TRUE(std::isinf(server.epochLog().front().ratio));
+
+  // Emit the epoch record the way hbn_serve --json does (wall-clock
+  // zeroed: it is the one nondeterministic field and not under test).
+  EpochRecord record = server.epochLog().front();
+  record.wallMs = 0.0;
+  const auto emitEpoch = [](const EpochRecord& r) {
+    util::JsonRecords records;
+    records.beginRecord();
+    records.field("kind", "epoch");
+    records.field("epoch", static_cast<std::int64_t>(r.index));
+    records.field("requests", static_cast<std::int64_t>(r.requests));
+    records.field("wall_ms", r.wallMs);
+    records.field("congestion", r.congestion);
+    records.field("lower_bound", r.lowerBound);
+    records.field("ratio", r.ratio);
+    records.field("replaced", r.replaced);
+    std::ostringstream oss;
+    records.write(oss);
+    return oss.str();
+  };
+  const std::string emitted = emitEpoch(record);
+  EXPECT_NE(emitted.find("\"ratio\": null"), std::string::npos) << emitted;
+
+  const std::vector<util::ParsedRecord> parsed = util::parseRecords(emitted);
+  ASSERT_EQ(parsed.size(), 1u);
+  util::JsonRecords reEmitted;
+  reEmitted.beginRecord();
+  for (const util::ParsedField& field : parsed.front()) {
+    switch (field.kind) {
+      case util::ParsedField::Kind::string:
+        reEmitted.field(field.key, field.text);
+        break;
+      case util::ParsedField::Kind::boolean:
+        reEmitted.field(field.key, field.number == 1.0);
+        break;
+      case util::ParsedField::Kind::number:
+      case util::ParsedField::Kind::null:
+        // null parses as NaN; re-emitting NaN produces null again.
+        reEmitted.field(field.key, field.number);
+        break;
+    }
+  }
+  std::ostringstream second;
+  reEmitted.write(second);
+  EXPECT_EQ(emitted, second.str());
 }
 
 TEST(EpochServer, MillionRequestStreamNeverMaterialises) {

@@ -6,9 +6,14 @@
 // Serves an online stream of read/write requests through the epoch-batched
 // serving engine (hbn/serve/epoch_server.h): requests are consumed in
 // epochs, sharded over worker threads by object id (bit-identical output
-// for any --threads value), and between epochs the engine re-runs the
-// nibble placement on the aggregated frequencies whenever realised
-// congestion drifts above the analytic offline lower bound.
+// for any --threads value), and between epochs the engine runs the
+// policy's drift-triggered re-placement pass against the analytic
+// offline lower bound of the aggregated frequencies.
+//
+// The serving policy is selected by --policy SPEC from the
+// OnlinePolicyRegistry (--list-policies enumerates them), sharing the
+// `name[:key=value,...]` grammar of --strategy specs; nested strategy
+// specs compose, e.g. --policy static:placement=extended-nibble.
 //
 // The stream comes either from a trace file (hbn-trace v1, --trace) or
 // from one of the generated profiles (--stream skewed|bursty|diurnal,
@@ -23,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "hbn/dynamic/online_policy.h"
 #include "hbn/engine/cli.h"
 #include "hbn/net/generators.h"
 #include "hbn/net/serialize.h"
@@ -49,6 +55,9 @@ struct ServeCli {
   double drift = 3.0;
   double reads = 0.9;              ///< stream read fraction
   hbn::core::Count threshold = 2;  ///< online replication threshold D
+  bool thresholdSet = false;
+  std::string policy;           ///< policy spec; empty = tree-counters
+  bool listPolicies = false;
   std::string jsonOut;          ///< empty = no JSON report
   hbn::engine::CliOptions shared;
 };
@@ -110,6 +119,11 @@ ServeCli parseServeCli(int argc, char** argv) {
     } else if (arg == "--threshold") {
       cli.threshold = static_cast<hbn::core::Count>(
           hbn::engine::parseUintFlag(arg, value(arg)));
+      cli.thresholdSet = true;
+    } else if (arg == "--policy") {
+      cli.policy = value(arg);
+    } else if (arg == "--list-policies") {
+      cli.listPolicies = true;
     } else if (arg == "--drift") {
       cli.drift = parseDoubleFlag(arg, value(arg), 0.0, 1e9);
     } else if (arg == "--json") {
@@ -142,14 +156,23 @@ void printUsage(std::ostream& os) {
         "  --clusters N      generated topology: cluster count (default 4)\n"
         "  --procs N         processors per cluster (default 8)\n"
         "  --reads F         generated stream read fraction (default 0.9)\n"
-        "  --threshold D     online replication threshold (default 2)\n"
+        "  --policy SPEC     online policy spec (default tree-counters);\n"
+        "                    nested strategy specs compose, e.g.\n"
+        "                    static:placement=extended-nibble\n"
+        "  --list-policies   list registered policies and exit\n"
+        "  --threshold D     tree-counters replication threshold\n"
+        "                    (default 2; shorthand for\n"
+        "                    --policy tree-counters:threshold=D)\n"
         "  --drift F         re-place when congestion growth > F x lower-\n"
         "                    bound growth since the last re-placement;\n"
         "                    0 disables (default 3.0)\n"
         "  --json FILE       also write the serve report as JSON records\n"
         "  --threads N       worker threads (0 = all cores)\n"
         "  --seed N          stream RNG seed\n"
-        "  --help            show this text\n";
+        "  --help            show this text\n"
+        "\n"
+        "policies:\n"
+     << hbn::dynamic::OnlinePolicyRegistry::global().helpText();
 }
 
 std::string readFile(const std::string& path) {
@@ -170,14 +193,29 @@ int main(int argc, char** argv) {
       printUsage(std::cout);
       return 0;
     }
+    if (cli.listPolicies) {
+      std::cout << "policies:\n"
+                << dynamic::OnlinePolicyRegistry::global().helpText();
+      return 0;
+    }
     if (cli.shared.positional.size() > 1) {
       printUsage(std::cerr);
       return 2;
     }
     if (!cli.shared.strategies.empty()) {
       throw std::invalid_argument(
-          "hbn_serve runs the online strategy; --strategy is not accepted");
+          "hbn_serve serves through --policy; --strategy is not accepted "
+          "(nest it: --policy static:placement=SPEC)");
     }
+    if (!cli.policy.empty() && cli.thresholdSet) {
+      throw std::invalid_argument(
+          "--threshold is shorthand for tree-counters; pass "
+          "--policy tree-counters:threshold=D instead of combining them");
+    }
+    dynamic::OnlineOptions defaults;
+    defaults.replicationThreshold = cli.threshold;
+    const std::string policySpec =
+        cli.policy.empty() ? dynamic::treeCountersSpec(defaults) : cli.policy;
 
     const net::Tree tree =
         cli.shared.positional.empty()
@@ -207,14 +245,15 @@ int main(int argc, char** argv) {
     options.epochSize = cli.epoch;
     options.threads = cli.shared.threads;
     options.replaceDrift = cli.drift;
-    options.online.replicationThreshold = cli.threshold;
+    options.policy = policySpec;
     serve::EpochServer server(rooted, numObjects, options);
 
     std::cout << "serving "
               << (cli.trace.empty() ? "stream '" + cli.stream + "'"
                                     : "trace " + cli.trace)
               << " over " << tree.processorCount() << " processors, "
-              << numObjects << " objects (epoch=" << cli.epoch
+              << numObjects << " objects (policy=" << policySpec
+              << ", epoch=" << cli.epoch
               << ", threads=" << options.threads << ", seed=" << seed
               << ", drift=" << cli.drift << ")\n\n";
 
@@ -257,6 +296,10 @@ int main(int argc, char** argv) {
               << report.invalidations << " invalidations\n";
 
     if (!cli.jsonOut.empty()) {
+      // Ratio fields may be +inf (positive congestion against a zero
+      // lower bound); JsonRecords emits non-finite doubles as null and
+      // parses null back to NaN, so emit→parse→emit of such records is
+      // a fixed point (pinned by tests/serve_test.cpp).
       util::JsonRecords records;
       for (const serve::EpochRecord& r : server.epochLog()) {
         records.beginRecord();
@@ -271,6 +314,7 @@ int main(int argc, char** argv) {
       }
       records.beginRecord();
       records.field("kind", "summary");
+      records.field("policy", report.policy);
       records.field("requests",
                     static_cast<std::int64_t>(report.totalRequests));
       records.field("epochs", static_cast<std::int64_t>(report.epochs));
@@ -283,8 +327,16 @@ int main(int argc, char** argv) {
       records.field("ratio", report.ratio);
       records.field("replacements",
                     static_cast<std::int64_t>(report.replacements));
+      records.field("replications",
+                    static_cast<std::int64_t>(report.replications));
+      records.field("invalidations",
+                    static_cast<std::int64_t>(report.invalidations));
       records.field("seed", static_cast<std::int64_t>(seed));
       records.field("threads", options.threads);
+      // The policy's own diagnostics, keys already "policy."-prefixed.
+      for (const auto& [key, value] : report.policyMetrics) {
+        records.field(key, value);
+      }
       records.writeFile(cli.jsonOut);
       std::cout << "wrote " << cli.jsonOut << "\n";
     }
