@@ -64,4 +64,41 @@ struct LowerBound {
 [[nodiscard]] double combinedLowerBound(const net::RootedTree& rooted,
                                         const workload::Workload& load);
 
+/// Maintains the analytic per-edge bound Σ_x min(h_A, h_B, κ_x) under
+/// per-object frequency updates. The bound is a sum of independent
+/// per-object edge-minimum vectors, so when only object x's row
+/// changes, `remove(x)` against the old row and `add(x)` against the
+/// new one refresh the total in O(|V|) — the streaming engine uses this
+/// to keep its per-epoch bound at O(touched · |V|) instead of
+/// recomputing O(|X| · |V|) every epoch. All arithmetic is the same
+/// integer Count math as analyticLowerBound, so congestion() is
+/// bit-identical to a full recomputation at every point.
+class IncrementalLowerBound {
+ public:
+  explicit IncrementalLowerBound(const net::RootedTree& rooted);
+
+  /// Resets to the bound of `load` in one full O(|X| · |V|) pass.
+  void rebuild(const workload::Workload& load);
+  /// Subtracts object x's contribution, computed from its CURRENT row —
+  /// call before mutating the row.
+  void remove(workload::ObjectId x, const workload::Workload& load);
+  /// Adds object x's contribution from its current row — call after
+  /// mutating it.
+  void add(workload::ObjectId x, const workload::Workload& load);
+
+  /// The congestion lower bound of the tracked workload.
+  [[nodiscard]] double congestion() const;
+  [[nodiscard]] const LoadMap& edgeMinima() const noexcept {
+    return minima_;
+  }
+
+ private:
+  void apply(workload::ObjectId x, const workload::Workload& load,
+             Count sign);
+
+  const net::RootedTree* rooted_;
+  LoadMap minima_;
+  std::vector<Count> sub_;  ///< per-call subtree-sum scratch
+};
+
 }  // namespace hbn::core

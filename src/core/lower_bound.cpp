@@ -1,6 +1,7 @@
 #include "hbn/core/lower_bound.h"
 
 #include <algorithm>
+#include <span>
 
 #include "hbn/core/nibble.h"
 
@@ -42,6 +43,65 @@ LowerBound analyticLowerBound(const net::RootedTree& rooted,
   }
   result.congestion = result.edgeMinima.congestion(tree);
   return result;
+}
+
+IncrementalLowerBound::IncrementalLowerBound(const net::RootedTree& rooted)
+    : rooted_(&rooted),
+      minima_(rooted.tree().edgeCount()),
+      sub_(static_cast<std::size_t>(rooted.tree().nodeCount()), 0) {}
+
+void IncrementalLowerBound::rebuild(const workload::Workload& load) {
+  minima_.clear();
+  for (workload::ObjectId x = 0; x < load.numObjects(); ++x) {
+    apply(x, load, 1);
+  }
+}
+
+void IncrementalLowerBound::remove(workload::ObjectId x,
+                                   const workload::Workload& load) {
+  apply(x, load, -1);
+}
+
+void IncrementalLowerBound::add(workload::ObjectId x,
+                                const workload::Workload& load) {
+  apply(x, load, 1);
+}
+
+double IncrementalLowerBound::congestion() const {
+  return minima_.congestion(rooted_->tree());
+}
+
+void IncrementalLowerBound::apply(workload::ObjectId x,
+                                  const workload::Workload& load,
+                                  Count sign) {
+  // Per-object body of analyticLowerBound, signed: identical subtree
+  // sums, identical min() operands, so add-after-remove reproduces the
+  // full recomputation bit for bit.
+  const net::Tree& tree = rooted_->tree();
+  const Count hx = load.objectTotal(x);
+  if (hx == 0) return;
+  const Count kappa = load.objectWrites(x);
+  for (net::NodeId v = 0; v < tree.nodeCount(); ++v) {
+    sub_[static_cast<std::size_t>(v)] = load.total(x, v);
+  }
+  const std::span<const net::NodeId> order = rooted_->preorder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const net::NodeId v = *it;
+    const net::NodeId p = rooted_->parent(v);
+    if (p != net::kInvalidNode) {
+      sub_[static_cast<std::size_t>(p)] += sub_[static_cast<std::size_t>(v)];
+    }
+  }
+  for (net::NodeId v = 0; v < tree.nodeCount(); ++v) {
+    const net::NodeId p = rooted_->parent(v);
+    if (p == net::kInvalidNode) continue;
+    const Count below = sub_[static_cast<std::size_t>(v)];
+    const Count above = hx - below;
+    const Count minLoad = std::min({below, above, kappa});
+    if (minLoad > 0) {
+      minima_.addEdgeLoad(rooted_->parentEdge(v), sign * minLoad);
+    }
+  }
 }
 
 double nibbleLowerBound(const net::Tree& tree,

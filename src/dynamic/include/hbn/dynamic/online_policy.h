@@ -41,6 +41,40 @@
 
 namespace hbn::dynamic {
 
+/// One in-flight §4 dynamic-to-static handoff: the re-placement a
+/// policy computed (or will compute lazily) from a frozen snapshot of
+/// the aggregated request frequencies, queried one object at a time.
+///
+/// This is the seam the pipelined epoch server migrates through: rather
+/// than materialising the whole handoff placement inside the drift
+/// epoch (the barrier-mode stop-the-world lump), the server keeps the
+/// pass pending and asks for `target(x)` when object x is next touched.
+/// Contract:
+///   - target(x, w) is deterministic in x, independent of worker count
+///     and call order, and bit-identical to row x of
+///     OnlinePolicy::handoffPlacement on the same snapshot — that
+///     equivalence is what keeps lazy and barrier application
+///     bit-identical in aggregate.
+///   - Calls for distinct objects are safe concurrently; `worker`
+///     selects the caller's scratch slot and must be < the `workers`
+///     passed to beginHandoff.
+///   - Snapshot stability is per ROW, not per matrix: the server only
+///     queries target(x) while x's frequency row is still bit-equal to
+///     its trigger-time value (epochs aggregate after they serve, and a
+///     touched object applies its passes before new traffic lands in
+///     its row). A pass that reads only row x at target() time — the
+///     nibble pass — may therefore hold the server's live matrix with
+///     no copy at all; a pass that reads other rows later must freeze
+///     its own copy inside beginHandoff.
+class HandoffPass {
+ public:
+  virtual ~HandoffPass() = default;
+
+  /// Migration target (copy locations) for object `x`.
+  [[nodiscard]] virtual std::vector<net::NodeId> target(ObjectId x,
+                                                        int worker) = 0;
+};
+
 /// Abstract online data-management policy: per-object copy
 /// configuration plus shard serving. The serving contract mirrors
 /// OnlineTreeStrategy::serveShard — calls for distinct objects touch
@@ -85,6 +119,20 @@ class OnlinePolicy {
   /// result must be thread-count independent.
   [[nodiscard]] virtual core::Placement handoffPlacement(
       const workload::Workload& aggregated, int threads) = 0;
+
+  /// Starts a §4 handoff against `aggregated` — the caller's matrix as
+  /// of the trigger, shared without a copy. The caller guarantees only
+  /// the per-row stability documented on HandoffPass: rows the pass
+  /// will be asked about are unchanged at target() time. Passes that
+  /// need more (whole-matrix reads after the trigger) copy their own
+  /// snapshot here. `workers` bounds the scratch slots target() may be
+  /// called with. Only called when migratable(). The default wraps
+  /// handoffPlacement eagerly (reading the matrix now, which is always
+  /// safe); policies with a cheap per-object placement (tree-counters'
+  /// nibble) override it with a lazy pass so the pipelined server never
+  /// pays a whole-placement lump.
+  [[nodiscard]] virtual std::unique_ptr<HandoffPass> beginHandoff(
+      std::shared_ptr<const workload::Workload> aggregated, int workers);
 
   /// Replaces x's copy configuration with `locations` (the handoff
   /// migration; traffic is accounted by the caller). Per-object like

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "hbn/core/nibble.h"
 #include "hbn/net/steiner.h"
 
 namespace hbn::dynamic {
@@ -129,6 +131,88 @@ ObjectId checkObjectId(ObjectId x, std::size_t numObjects,
 }
 
 // ---------------------------------------------------------------------------
+// Handoff passes — the per-object views of a §4 re-placement.
+// ---------------------------------------------------------------------------
+
+/// Default pass: the whole handoff placement materialised up front.
+/// target() is then a lookup, so application order cannot matter.
+class EagerHandoffPass final : public HandoffPass {
+ public:
+  explicit EagerHandoffPass(core::Placement placement)
+      : placement_(std::move(placement)) {}
+
+  [[nodiscard]] std::vector<net::NodeId> target(ObjectId x,
+                                                int /*worker*/) override {
+    checkObjectId(x, placement_.objects.size(), "HandoffPass::target");
+    return placement_.objects[static_cast<std::size_t>(x)].locations();
+  }
+
+ private:
+  core::Placement placement_;
+};
+
+/// tree-counters pass: one O(|V|) nibbleObjectInto per queried object —
+/// exactly the per-object kernel the registered "nibble" strategy runs
+/// under its parallel executor, so lazy targets are bit-identical to
+/// the monolithic handoffPlacement row for the same snapshot, at
+/// per-touch (not per-handoff) cost.
+class NibbleHandoffPass final : public HandoffPass {
+ public:
+  NibbleHandoffPass(const net::Tree& tree,
+                    std::shared_ptr<const workload::Workload> aggregated,
+                    int workers)
+      : tree_(&tree),
+        aggregated_(std::move(aggregated)),
+        slots_(static_cast<std::size_t>(std::max(workers, 1))) {}
+
+  [[nodiscard]] std::vector<net::NodeId> target(ObjectId x,
+                                                int worker) override {
+    if (worker < 0 || static_cast<std::size_t>(worker) >= slots_.size()) {
+      throw std::out_of_range("HandoffPass::target: worker slot");
+    }
+    WorkerSlot& slot = slots_[static_cast<std::size_t>(worker)];
+    core::nibbleObjectInto(*tree_, *aggregated_, x, slot.scratch,
+                           slot.result);
+    return slot.result.placement.locations();
+  }
+
+ private:
+  struct WorkerSlot {
+    core::NibbleScratch scratch;
+    core::NibbleObjectResult result;
+  };
+
+  const net::Tree* tree_;
+  std::shared_ptr<const workload::Workload> aggregated_;
+  std::vector<WorkerSlot> slots_;
+};
+
+/// static-policy pass: the nested strategy is monolithic (it may
+/// optimise across objects), so the full placement is memoised on the
+/// first target() call — concurrent first-touchers rendezvous on the
+/// std::once_flag and later queries are lookups. The lump moves off the
+/// drift epoch onto the first post-handoff touch.
+class MemoisedHandoffPass final : public HandoffPass {
+ public:
+  using Compute = std::function<core::Placement()>;
+
+  explicit MemoisedHandoffPass(Compute compute)
+      : compute_(std::move(compute)) {}
+
+  [[nodiscard]] std::vector<net::NodeId> target(ObjectId x,
+                                                int /*worker*/) override {
+    std::call_once(once_, [this] { placement_ = compute_(); });
+    checkObjectId(x, placement_.objects.size(), "HandoffPass::target");
+    return placement_.objects[static_cast<std::size_t>(x)].locations();
+  }
+
+ private:
+  Compute compute_;
+  std::once_flag once_;
+  core::Placement placement_;
+};
+
+// ---------------------------------------------------------------------------
 // tree-counters — the FOCS'97 counter scheme, wrapping OnlineTreeStrategy.
 // ---------------------------------------------------------------------------
 
@@ -169,6 +253,15 @@ class TreeCountersPolicy final : public OnlinePolicy {
     ++handoffs_;
     return nibble_->place(strategy_.flatView().rooted().tree(), aggregated,
                           ctx);
+  }
+
+  [[nodiscard]] std::unique_ptr<HandoffPass> beginHandoff(
+      std::shared_ptr<const workload::Workload> aggregated,
+      int workers) override {
+    ++handoffs_;
+    return std::make_unique<NibbleHandoffPass>(
+        strategy_.flatView().rooted().tree(), std::move(aggregated),
+        workers);
   }
 
   void resetCopySet(ObjectId x,
@@ -241,6 +334,23 @@ class StaticPolicy final : public OnlinePolicy {
     ctx.threads = threads;
     ++handoffs_;
     return placement_->place(rooted_->tree(), aggregated, ctx);
+  }
+
+  [[nodiscard]] std::unique_ptr<HandoffPass> beginHandoff(
+      std::shared_ptr<const workload::Workload> aggregated,
+      int workers) override {
+    ++handoffs_;
+    // The memoised pass reads the WHOLE matrix at first-target time,
+    // possibly epochs after the trigger — so it cannot lean on the
+    // row-stability guarantee row-local passes get for free and must
+    // freeze the frequencies now.
+    auto frozen = std::make_shared<const workload::Workload>(*aggregated);
+    return std::make_unique<MemoisedHandoffPass>(
+        [this, frozen = std::move(frozen), workers] {
+          engine::Context ctx;
+          ctx.threads = workers;
+          return placement_->place(rooted_->tree(), *frozen, ctx);
+        });
   }
 
   void resetCopySet(ObjectId x,
@@ -379,6 +489,12 @@ std::unique_ptr<OnlinePolicyFactory> makeFactory(LambdaPolicyFactory::Fn fn) {
 }
 
 }  // namespace
+
+std::unique_ptr<HandoffPass> OnlinePolicy::beginHandoff(
+    std::shared_ptr<const workload::Workload> aggregated, int workers) {
+  return std::make_unique<EagerHandoffPass>(
+      handoffPlacement(*aggregated, workers));
+}
 
 std::string treeCountersSpec(const OnlineOptions& options) {
   std::ostringstream oss;

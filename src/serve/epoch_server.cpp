@@ -1,15 +1,24 @@
 #include "hbn/serve/epoch_server.h"
 
+#include <algorithm>
 #include <span>
 #include <stdexcept>
+#include <utility>
 
 #include "hbn/core/lower_bound.h"
 #include "hbn/core/parallel.h"
 #include "hbn/dynamic/harness.h"
-#include "hbn/util/stats.h"
 #include "hbn/util/timer.h"
 
 namespace hbn::serve {
+namespace {
+
+double elapsedMs(EpochBatch::Clock::time_point from,
+                 EpochBatch::Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
 
 EpochServer::EpochServer(const net::RootedTree& rooted, int numObjects,
                          const ServeOptions& options)
@@ -21,7 +30,12 @@ EpochServer::EpochServer(const net::RootedTree& rooted, int numObjects,
                   ->build(rooted, numObjects,
                           rooted.tree().processors().front())),
       aggregated_(numObjects, rooted.tree().nodeCount()),
-      loads_(rooted.tree().edgeCount()) {
+      lowerBound_(rooted),
+      loads_(rooted.tree().edgeCount()),
+      serveLoads_(rooted.tree().edgeCount()),
+      schedule_(std::make_unique<MigrationSchedule>()),
+      appliedVersion_(static_cast<std::size_t>(numObjects), 0),
+      latency_(options.latencySample) {
   if (options.epochSize < 1) {
     throw std::invalid_argument("EpochServer: epochSize >= 1");
   }
@@ -32,16 +46,22 @@ ServeReport EpochServer::serve(RequestStream& stream) {
   const int edgeCount = tree.edgeCount();
   const int workers = core::resolveWorkerCount(options_.threads, numObjects_);
 
-  // The only per-request buffering: one epoch in arrival order plus one
-  // epoch bucketed by object (stable, preserving per-object order). The
-  // stream itself is never materialised.
-  std::vector<RequestEvent> buffer(options_.epochSize);
-  std::vector<RequestEvent> bucketed(options_.epochSize);
-  std::vector<std::size_t> offsets(static_cast<std::size_t>(numObjects_) + 1);
+  // Stage 1: the (possibly threaded) ingest keeps the next epoch
+  // validated and bucketed while this thread serves the current one.
+  // Both modes run the same fill loop, so epoch boundaries are
+  // identical and pipeline on/off runs are comparable request for
+  // request.
+  EpochIngest ingest(stream, tree, numObjects_, options_.epochSize,
+                     options_.pipeline);
 
-  std::vector<core::LoadMap> workerLoads;
+  std::vector<core::LoadMap> workerLoads;       // serve + update traffic
+  std::vector<core::LoadMap> workerMigration;   // lazy handoff traffic
   workerLoads.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) workerLoads.emplace_back(edgeCount);
+  workerMigration.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workerLoads.emplace_back(edgeCount);
+    workerMigration.emplace_back(edgeCount);
+  }
   std::vector<dynamic::ShardStats> workerStats(
       static_cast<std::size_t>(workers));
   std::vector<dynamic::ServeScratch> workerScratch(
@@ -58,103 +78,178 @@ ServeReport EpochServer::serve(RequestStream& stream) {
 
   ServeReport report;
   report.policy = options_.policy;
-  report.epochBufferBytes =
-      static_cast<std::uint64_t>(buffer.capacity() + bucketed.capacity()) *
-          sizeof(RequestEvent) +
-      static_cast<std::uint64_t>(offsets.capacity()) * sizeof(std::size_t);
+  report.pipeline = options_.pipeline;
+  report.epochBufferBytes = ingest.bufferBytes();
+  // Track the analytic lower bound incrementally: per epoch only the
+  // touched objects' contributions are refreshed. Seeded with one full
+  // pass so repeated serve() calls keep accumulating correctly.
+  lowerBound_.rebuild(aggregated_);
   util::Accumulator epochMs;
+  std::vector<double> epochLatency;
   util::Timer total;
 
-  while (true) {
-    const std::size_t n = stream.fill(std::span<RequestEvent>(buffer));
-    if (n == 0) break;
+  while (EpochBatch* batch = ingest.acquire()) {
     util::Timer epochTimer;
+    const std::size_t n = batch->n;
 
-    // Validate and aggregate frequencies, then bucket by object id
-    // (stable CSR via the shared harness helper).
-    for (std::size_t i = 0; i < n; ++i) {
-      const RequestEvent& ev = buffer[i];
-      if (ev.object < 0 || ev.object >= numObjects_) {
-        throw std::out_of_range("EpochServer: request object out of range");
-      }
-      if (ev.origin < 0 || ev.origin >= tree.nodeCount()) {
-        throw std::out_of_range("EpochServer: request origin out of range");
-      }
-      if (ev.isWrite) {
-        aggregated_.addWrites(ev.object, ev.origin, 1);
-      } else {
-        aggregated_.addReads(ev.object, ev.origin, 1);
-      }
-    }
-    dynamic::bucketRequestsByObject(
-        std::span<const RequestEvent>(buffer.data(), n), numObjects_,
-        offsets, std::span<RequestEvent>(bucketed.data(), n));
-
-    // Shard the epoch over the object range: whole objects per worker,
-    // per-worker loads/stats/scratch, no shared mutable state.
+    // Stage 2: shard the epoch over the object range — whole objects
+    // per worker, per-worker loads/stats/scratch, no shared mutable
+    // state. A worker first applies any handoff passes its object has
+    // not migrated through yet (stage 3's lazy application; exclusive
+    // by striping, RCU-guarded against schedule republication), then
+    // serves the shard against the up-to-date copy configuration — so
+    // per-object state trajectories match barrier mode exactly.
     for (int w = 0; w < workers; ++w) {
       workerLoads[static_cast<std::size_t>(w)].clear();
+      workerMigration[static_cast<std::size_t>(w)].clear();
       workerStats[static_cast<std::size_t>(w)] = {};
     }
+    const std::uint64_t targetVersion = passesBegun_;
     core::parallelForObjects(
         numObjects_, options_.threads, [&](ObjectId x, int worker) {
-          const std::size_t begin = offsets[static_cast<std::size_t>(x)];
-          const std::size_t end = offsets[static_cast<std::size_t>(x) + 1];
+          const std::size_t begin = batch->offsets[static_cast<std::size_t>(x)];
+          const std::size_t end =
+              batch->offsets[static_cast<std::size_t>(x) + 1];
+          // Untouched objects keep their stale copy sets — they receive
+          // no traffic, so serving state cannot diverge from barrier
+          // mode, and deferring them is exactly what keeps the handoff
+          // lump out of the epochs (they migrate on a later touch or in
+          // the end-of-stream drain).
           if (begin == end) return;
           const auto w = static_cast<std::size_t>(worker);
+          if (appliedVersion_[static_cast<std::size_t>(x)] < targetVersion) {
+            applyPendingMigrations(x, worker, targetVersion,
+                                   workerMigration[w], workerAcc[w]);
+          }
           const dynamic::ShardStats stats = policy_->serveShard(
-              x, std::span<const RequestEvent>(bucketed.data() + begin,
-                                              end - begin),
+              x, std::span<const RequestEvent>(batch->bucketed.data() + begin,
+                                               end - begin),
               workerLoads[w], workerScratch[w], &workerAcc[w]);
           workerStats[w].replications += stats.replications;
           workerStats[w].invalidations += stats.invalidations;
         });
 
     // Deterministic merge: integer edge loads and counters sum the same
-    // for any worker count.
+    // for any worker count. Serve traffic feeds both the total and the
+    // serve-only map (the drift trigger's input); migration traffic
+    // feeds the total only.
     for (int w = 0; w < workers; ++w) {
-      const auto& partial = workerLoads[static_cast<std::size_t>(w)];
+      const auto& served = workerLoads[static_cast<std::size_t>(w)];
+      const auto& migrated = workerMigration[static_cast<std::size_t>(w)];
       for (net::EdgeId e = 0; e < edgeCount; ++e) {
-        const core::Count load = partial.edgeLoad(e);
-        if (load != 0) loads_.addEdgeLoad(e, load);
+        const core::Count serveLoad = served.edgeLoad(e);
+        if (serveLoad != 0) {
+          loads_.addEdgeLoad(e, serveLoad);
+          serveLoads_.addEdgeLoad(e, serveLoad);
+        }
+        const core::Count migrationLoad = migrated.edgeLoad(e);
+        if (migrationLoad != 0) loads_.addEdgeLoad(e, migrationLoad);
       }
       replications_ += workerStats[static_cast<std::size_t>(w)].replications;
       invalidations_ +=
           workerStats[static_cast<std::size_t>(w)].invalidations;
     }
-    servedTotal_ += n;
+    // Aggregate the epoch's frequencies AFTER serving it. The ordering
+    // is what lets handoff passes read the live matrix with zero copy:
+    // a pass applies to object x on x's first touch after the trigger,
+    // and x's row only mutates when x is touched — so at application
+    // time (before this epoch's aggregation) the row is bit-equal to
+    // its trigger-time value. The lower bound after epoch k still sees
+    // the traffic of epochs <= k, exactly as the barrier engine did.
+    // Around the aggregation, refresh the incremental lower bound for
+    // exactly the touched objects (remove against the old row, add
+    // against the new one).
+    for (ObjectId x = 0; x < numObjects_; ++x) {
+      if (batch->offsets[static_cast<std::size_t>(x)] !=
+          batch->offsets[static_cast<std::size_t>(x) + 1]) {
+        lowerBound_.remove(x, aggregated_);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const RequestEvent& ev = batch->raw[i];
+      if (ev.isWrite) {
+        aggregated_.addWrites(ev.object, ev.origin, 1);
+      } else {
+        aggregated_.addReads(ev.object, ev.origin, 1);
+      }
+    }
+    for (ObjectId x = 0; x < numObjects_; ++x) {
+      if (batch->offsets[static_cast<std::size_t>(x)] !=
+          batch->offsets[static_cast<std::size_t>(x) + 1]) {
+        lowerBound_.add(x, aggregated_);
+      }
+    }
 
-    // Epoch bookkeeping and the adaptive re-placement pass.
+    servedTotal_ += n;
+    retireAppliedPasses();
+
+    // Epoch bookkeeping and the adaptive re-placement trigger.
     EpochRecord record;
     record.index = static_cast<std::uint64_t>(log_.size());
     record.requests = n;
-    record.lowerBound =
-        core::analyticLowerBound(*rooted_, aggregated_).congestion;
+    record.lowerBound = lowerBound_.congestion();
     record.congestion = loads_.congestion(tree);
     // Drift is measured since the last re-placement: how much realised
-    // congestion grew against how much the offline bound says *had* to
-    // be paid for the traffic of the same period. A cumulative ratio
-    // would either never fire or fire forever; the delta resets.
-    const double congestionGrowth = record.congestion - congestionMark_;
+    // serve congestion grew against how much the offline bound says
+    // *had* to be paid for the traffic of the same period. A cumulative
+    // ratio would either never fire or fire forever; the delta resets.
+    // Migration traffic is excluded from the trigger so that lazy
+    // (pipelined) and immediate (barrier) migration timing cannot skew
+    // when the next pass fires.
+    const double serveCongestion = serveLoads_.congestion(tree);
+    const double congestionGrowth = serveCongestion - serveCongestionMark_;
     const double lowerBoundGrowth = record.lowerBound - lowerBoundMark_;
     if (options_.replaceDrift > 0.0 && policy_->migratable() &&
         lowerBoundGrowth > 0.0 &&
         congestionGrowth > options_.replaceDrift * lowerBoundGrowth) {
-      replace(workerLoads, workerAcc, workers);
+      beginPass(workers);
       ++replacements_;
       record.replaced = true;
-      record.congestion = loads_.congestion(tree);  // migration included
-      congestionMark_ = record.congestion;
+      if (!options_.pipeline) {
+        // Barrier mode: stop the world and migrate every object inside
+        // the drift epoch, like the pre-pipeline engine.
+        drainAllPasses(workerMigration, workerAcc, workers);
+        retireAppliedPasses();
+        record.congestion = loads_.congestion(tree);  // migration included
+      }
+      serveCongestionMark_ = serveCongestion;
       lowerBoundMark_ = record.lowerBound;
     }
     record.ratio =
         dynamic::competitiveRatio(record.congestion, record.lowerBound);
     record.wallMs = epochTimer.millis();
+
+    // Stage-3 product metric: request latency = epoch completion minus
+    // chunk arrival, sampled per fill chunk and fed to the run-level
+    // reservoir. Wall-clock only — excluded from determinism digests.
+    if (options_.latencySample > 0 && !batch->arrivals.empty()) {
+      const auto done = EpochBatch::Clock::now();
+      epochLatency.clear();
+      for (const auto& [stamp, count] : batch->arrivals) {
+        epochLatency.push_back(elapsedMs(stamp, done));
+        (void)count;
+      }
+      std::sort(epochLatency.begin(), epochLatency.end());
+      record.latencyMsP50 = util::percentileSorted(epochLatency, 50.0);
+      record.latencyMsP99 = util::percentileSorted(epochLatency, 99.0);
+      record.latencyMsP999 = util::percentileSorted(epochLatency, 99.9);
+      for (const double sample : epochLatency) latency_.add(sample);
+    }
+
     epochMs.add(record.wallMs);
     log_.push_back(record);
     ++report.epochs;
     report.totalRequests += n;
+    ingest.release(batch);
   }
+
+  // End-of-stream drain: apply every still-pending pass so copy sets,
+  // loads and counters observed after serve() match barrier mode. The
+  // drain is outside any epoch, so it never shows up in epoch or
+  // latency percentiles — in a live system it is exactly the work that
+  // keeps happening in the background after the last request.
+  drainAllPasses(workerMigration, workerAcc, workers);
+  retireAppliedPasses();
 
   report.wallMs = total.millis();
   report.requestsPerSec =
@@ -163,9 +258,13 @@ ServeReport EpochServer::serve(RequestStream& stream) {
           : 0.0;
   report.epochMsP50 = epochMs.empty() ? 0.0 : epochMs.percentile(50.0);
   report.epochMsP99 = epochMs.empty() ? 0.0 : epochMs.percentile(99.0);
+  report.epochMsP999 = epochMs.empty() ? 0.0 : epochMs.percentile(99.9);
+  report.latencyMsP50 = latency_.empty() ? 0.0 : latency_.percentile(50.0);
+  report.latencyMsP99 = latency_.empty() ? 0.0 : latency_.percentile(99.0);
+  report.latencyMsP999 = latency_.empty() ? 0.0 : latency_.percentile(99.9);
+  report.latencySamples = latency_.seen();
   report.congestion = loads_.congestion(tree);
-  report.lowerBound =
-      core::analyticLowerBound(*rooted_, aggregated_).congestion;
+  report.lowerBound = lowerBound_.congestion();
   report.ratio =
       dynamic::competitiveRatio(report.congestion, report.lowerBound);
   report.replacements = replacements_;
@@ -175,39 +274,103 @@ ServeReport EpochServer::serve(RequestStream& stream) {
   return report;
 }
 
-void EpochServer::replace(std::vector<core::LoadMap>& workerLoads,
-                          std::vector<core::FlatLoadAccumulator>& workerAcc,
-                          int workers) {
-  // Dynamic-to-static handoff: ask the policy for its handoff placement
-  // of the aggregated frequencies (tree-counters: the nibble placement,
-  // connected by Theorem 3.1; static: its nested strategy spec) and
-  // migrate every object's copy configuration to it, charging the
-  // Steiner tree spanning old ∪ new locations with one object-migration
-  // message per edge.
-  const net::Tree& tree = rooted_->tree();
-  const core::Placement target =
-      policy_->handoffPlacement(aggregated_, options_.threads);
-  for (int w = 0; w < workers; ++w) {
-    workerLoads[static_cast<std::size_t>(w)].clear();
+void EpochServer::beginPass(int workers) {
+  // Hand the policy the live aggregated matrix without copying it: a
+  // lazy target for object x is only ever queried on x's first touch
+  // after this trigger, and because epochs aggregate after they serve,
+  // x's row is still bit-equal to its trigger-time value at that
+  // moment. Row-local passes (nibble) therefore need no snapshot at
+  // all; a policy whose pass reads other rows at target() time must
+  // copy inside beginHandoff (see the HandoffPass contract).
+  const std::shared_ptr<const workload::Workload> snapshot(
+      std::shared_ptr<const workload::Workload>(), &aggregated_);
+  auto pass = std::make_unique<PassState>();
+  pass->pass = policy_->beginHandoff(snapshot, workers);
+  pass->version = ++passesBegun_;
+  pendingPasses_.push_back(std::move(pass));
+  publishSchedule();
+}
+
+void EpochServer::applyPendingMigrations(ObjectId x, int worker,
+                                         std::uint64_t targetVersion,
+                                         core::LoadMap& migration,
+                                         core::FlatLoadAccumulator& acc) {
+  // §4 handoff, one object at a time: chain through every pass this
+  // object has not migrated through yet, in creation order — charging
+  // Steiner(current ∪ target) and resetting the copy set per pass, the
+  // exact per-object work barrier mode performs inside drift epochs.
+  // The RCU guard pins the schedule (and through it every pass the
+  // applied counters say we may still need) against republication.
+  const auto guard = schedule_.read();
+  const MigrationSchedule& schedule = *guard;
+  std::uint64_t& applied = appliedVersion_[static_cast<std::size_t>(x)];
+  while (applied < targetVersion) {
+    const auto index = static_cast<std::size_t>(applied -
+                                                schedule.baseVersion);
+    PassState& pass = *schedule.passes[index];
+    const std::vector<net::NodeId> target = pass.pass->target(x, worker);
+    std::vector<net::NodeId> terminals = policy_->copySet(x);
+    terminals.insert(terminals.end(), target.begin(), target.end());
+    acc.chargeSteiner(terminals, 1, migration);
+    policy_->resetCopySet(x, target);
+    ++applied;
+    pass.applied.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void EpochServer::drainAllPasses(
+    std::vector<core::LoadMap>& workerMigration,
+    std::vector<core::FlatLoadAccumulator>& workerAcc, int workers) {
+  if (pendingPasses_.empty()) return;
+  const net::Tree& tree = rooted_->tree();
+  for (int w = 0; w < workers; ++w) {
+    workerMigration[static_cast<std::size_t>(w)].clear();
+  }
+  const std::uint64_t targetVersion = passesBegun_;
   core::parallelForObjects(
       numObjects_, options_.threads, [&](ObjectId x, int worker) {
+        if (appliedVersion_[static_cast<std::size_t>(x)] >= targetVersion) {
+          return;
+        }
         const auto w = static_cast<std::size_t>(worker);
-        const std::vector<net::NodeId> locations =
-            target.objects[static_cast<std::size_t>(x)].locations();
-        std::vector<net::NodeId> terminals = policy_->copySet(x);
-        terminals.insert(terminals.end(), locations.begin(),
-                         locations.end());
-        workerAcc[w].chargeSteiner(terminals, 1, workerLoads[w]);
-        policy_->resetCopySet(x, locations);
+        applyPendingMigrations(x, worker, targetVersion, workerMigration[w],
+                               workerAcc[w]);
       });
   for (int w = 0; w < workers; ++w) {
-    const auto& partial = workerLoads[static_cast<std::size_t>(w)];
+    const auto& partial = workerMigration[static_cast<std::size_t>(w)];
     for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
       const core::Count load = partial.edgeLoad(e);
       if (load != 0) loads_.addEdgeLoad(e, load);
     }
   }
+}
+
+void EpochServer::retireAppliedPasses() {
+  // Serve thread, between epochs (workers joined): pop every fully
+  // applied pass, republish the shorter schedule and wait out the grace
+  // period before destroying anything a straggling guard could still
+  // reach. synchronize() also reclaims the superseded schedule objects
+  // themselves.
+  std::vector<std::unique_ptr<PassState>> retiring;
+  while (!pendingPasses_.empty() &&
+         pendingPasses_.front()->applied.load(std::memory_order_relaxed) ==
+             numObjects_) {
+    retiring.push_back(std::move(pendingPasses_.front()));
+    pendingPasses_.pop_front();
+  }
+  if (retiring.empty()) return;
+  publishSchedule();
+  schedule_.synchronize();
+  retiring.clear();
+}
+
+void EpochServer::publishSchedule() {
+  auto next = std::make_unique<MigrationSchedule>();
+  next->baseVersion =
+      passesBegun_ - static_cast<std::uint64_t>(pendingPasses_.size());
+  next->passes.reserve(pendingPasses_.size());
+  for (const auto& pass : pendingPasses_) next->passes.push_back(pass.get());
+  schedule_.publish(std::move(next));
 }
 
 }  // namespace hbn::serve

@@ -1,36 +1,67 @@
 // EpochServer — the streaming request-serving engine.
 //
-// Consumes a RequestStream in fixed-size epochs. Each epoch is bucketed
-// by object id (stable, so per-object arrival order is preserved) and
-// sharded across the object range by a worker pool: every worker serves
-// whole objects through OnlinePolicy::serveShard with its own scratch
-// and LoadMap, so the hot path performs no synchronisation and the
-// merged result — integer edge loads, replication counts, copy sets —
-// is bit-identical for 1 vs N threads. The policy itself is pluggable:
-// ServeOptions.policy is an OnlinePolicyRegistry spec, so every
-// registered policy (tree-counters, static:placement=...,
-// full-replication, owner-only, ...) serves through the same engine.
+// Consumes a RequestStream in fixed-size epochs through a three-stage
+// pipeline (see docs/serving.md for the full diagram):
 //
-// Between epochs the server runs the paper's dynamic-to-static handoff
-// (§4): epoch frequencies are aggregated into a cumulative Workload,
-// and when the realised congestion drifts a configurable factor above
-// the analytic offline lower bound of those frequencies, the policy's
-// handoff placement is recomputed on them and every object's copy
-// configuration migrates to it (Steiner-tree migration traffic is
-// charged). Policies with a fixed configuration opt out via
-// OnlinePolicy::migratable() and the drift pass never runs.
+//   ingest   epoch N+1 is pulled, validated and bucketed by object on a
+//            dedicated thread (EpochIngest, double-buffered) while
+//            epoch N is being served — bucketing cost leaves the
+//            critical path.
+//   serve    the epoch is sharded across the object range by a worker
+//            pool: every worker serves whole objects through
+//            OnlinePolicy::serveShard with its own scratch and LoadMap,
+//            so the hot path performs no synchronisation and the merged
+//            result — integer edge loads, replication counts, copy
+//            sets — is bit-identical for 1 vs N threads.
+//   re-place the paper's §4 dynamic-to-static handoff runs without
+//            stopping the world: when realised serve congestion drifts
+//            a configurable factor above the analytic lower bound, the
+//            policy opens a HandoffPass over the trigger-time
+//            aggregated frequencies (zero-copy: epochs aggregate after
+//            they serve, so an object's row is still bit-equal to its
+//            trigger-time value when its lazy target is queried — see
+//            the HandoffPass contract), and the pass is published to
+//            the workers RCU-style (util::RcuCell: atomic schedule swap
+//            + epoch-grace reclamation). Each object migrates lazily —
+//            on its next touch, or in the end-of-stream drain — with
+//            its Steiner migration traffic charged exactly once, so the
+//            final ServeReport counters are bit-identical to barrier
+//            mode; only the *timing* of migration work moves off the
+//            drift epoch, which is what flattens the p99 spike.
+//
+// ServeOptions.pipeline = false restores the barrier engine: ingest
+// runs inline and every handoff pass is drained immediately inside the
+// drift epoch. Both modes assemble identical epochs and apply identical
+// per-object migrations, so counters, loads and copy sets agree bit for
+// bit; wall-clock fields (epoch/latency percentiles) are where they
+// differ.
+//
+// The drift trigger measures *serve-only* congestion (migration traffic
+// excluded) against the lower bound in both modes, so the trigger
+// schedule is mode-independent even though migration lands at different
+// times. The policy itself is pluggable: ServeOptions.policy is an
+// OnlinePolicyRegistry spec, so every registered policy (tree-counters,
+// static:placement=..., full-replication, owner-only, ...) serves
+// through the same engine. Policies with a fixed configuration opt out
+// via OnlinePolicy::migratable() and the drift pass never runs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "hbn/core/load.h"
+#include "hbn/core/lower_bound.h"
 #include "hbn/dynamic/online_policy.h"
 #include "hbn/net/rooted.h"
+#include "hbn/serve/pipeline.h"
 #include "hbn/serve/request_stream.h"
+#include "hbn/util/rcu.h"
+#include "hbn/util/stats.h"
 #include "hbn/workload/workload.h"
 
 namespace hbn::serve {
@@ -49,8 +80,8 @@ struct ServeOptions {
   /// unknown names or options throw std::invalid_argument there.
   std::string policy = "tree-counters";
   /// Re-placement triggers when, since the last re-placement (or the
-  /// start), realised congestion grew more than `replaceDrift` × the
-  /// growth of the analytic lower bound — i.e. the current copy
+  /// start), realised serve congestion grew more than `replaceDrift` ×
+  /// the growth of the analytic lower bound — i.e. the current copy
   /// configuration is paying a factor above what the aggregated
   /// frequencies say is unavoidable. <= 0 disables the pass. The
   /// default is a safety valve: the replicate/invalidate strategy's
@@ -58,6 +89,14 @@ struct ServeOptions {
   /// 3.0 fires only when the copy configuration is genuinely stale
   /// (e.g. slow adaptation under a high replication threshold).
   double replaceDrift = 3.0;
+  /// Pipelined serving (default): threaded double-buffered ingest plus
+  /// lazy RCU-published handoff application. false = barrier mode
+  /// (inline ingest, stop-the-world handoffs) — same results, spikier
+  /// tails.
+  bool pipeline = true;
+  /// Reservoir capacity for run-level request-latency sampling;
+  /// 0 disables latency percentiles.
+  std::size_t latencySample = 4096;
 };
 
 /// One epoch's record in the serve log.
@@ -65,7 +104,10 @@ struct EpochRecord {
   std::uint64_t index = 0;
   std::uint64_t requests = 0;
   double wallMs = 0.0;
-  /// Cumulative realised congestion after this epoch.
+  /// Cumulative realised congestion after this epoch (serve + update +
+  /// migration traffic charged so far — in pipelined mode migrations
+  /// land when objects are touched, so the per-epoch trajectory differs
+  /// from barrier mode even though the end-of-run total is identical).
   double congestion = 0.0;
   /// Analytic offline lower bound of the cumulative frequencies.
   double lowerBound = 0.0;
@@ -75,6 +117,11 @@ struct EpochRecord {
   /// back as NaN, so emit→parse→emit is a fixed point at the text level
   /// (tests/serve_test.cpp pins this down).
   double ratio = 0.0;
+  /// Request-latency percentiles of this epoch's arrival-stamp samples
+  /// (epoch completion − arrival), milliseconds; 0 with sampling off.
+  double latencyMsP50 = 0.0;
+  double latencyMsP99 = 0.0;
+  double latencyMsP999 = 0.0;
   bool replaced = false;
 };
 
@@ -85,6 +132,8 @@ struct ServeReport {
   /// an emitted report can say what produced it.
   std::string policy;
   std::map<std::string, double> policyMetrics;
+  /// Whether the pipelined engine produced this report.
+  bool pipeline = true;
   std::uint64_t totalRequests = 0;
   std::uint64_t epochs = 0;
   double wallMs = 0.0;
@@ -92,6 +141,16 @@ struct ServeReport {
   /// Epoch wall-clock latency percentiles.
   double epochMsP50 = 0.0;
   double epochMsP99 = 0.0;
+  double epochMsP999 = 0.0;
+  /// Request-latency percentiles over the run's reservoir sample
+  /// (milliseconds; 0 when latencySamples == 0).
+  double latencyMsP50 = 0.0;
+  double latencyMsP99 = 0.0;
+  double latencyMsP999 = 0.0;
+  /// Request latencies offered to the reservoir over the server's
+  /// lifetime (the sample the percentiles estimate from is capped at
+  /// ServeOptions.latencySample).
+  std::uint64_t latencySamples = 0;
   /// Final cumulative congestion / offline lower bound / their ratio.
   double congestion = 0.0;
   double lowerBound = 0.0;
@@ -100,7 +159,8 @@ struct ServeReport {
   core::Count replications = 0;
   core::Count invalidations = 0;
   /// Bytes of per-request buffering the server ever holds at once —
-  /// proportional to the epoch, never to the stream.
+  /// proportional to the epoch (× the two pipeline slots), never to
+  /// the stream.
   std::uint64_t epochBufferBytes = 0;
 };
 
@@ -113,7 +173,9 @@ class EpochServer {
 
   /// Drains `stream` epoch by epoch; returns the aggregate report.
   /// Callable repeatedly — state (copy sets, loads, aggregated
-  /// frequencies) persists, so a second call continues serving.
+  /// frequencies) persists, so a second call continues serving. Every
+  /// pending handoff pass is fully drained before returning, so copy
+  /// sets and loads observed between calls match barrier mode.
   ServeReport serve(RequestStream& stream);
 
   /// Per-epoch records of all serve() calls so far.
@@ -137,27 +199,80 @@ class EpochServer {
   [[nodiscard]] int numObjects() const noexcept { return numObjects_; }
 
  private:
-  /// Runs the policy's re-placement pass (§4 handoff), charging
-  /// migration traffic.
-  void replace(std::vector<core::LoadMap>& workerLoads,
-               std::vector<core::FlatLoadAccumulator>& workerAcc,
-               int workers);
+  /// One pending §4 handoff: the policy's pass plus retirement
+  /// bookkeeping. `applied` counts objects migrated through it; the
+  /// pass retires (and its snapshot frees) once every object has
+  /// applied it and a schedule without it has been published and its
+  /// RCU grace period has elapsed.
+  struct PassState {
+    std::unique_ptr<dynamic::HandoffPass> pass;
+    std::uint64_t version = 0;  ///< 1-based pass sequence number
+    std::atomic<std::int64_t> applied{0};
+  };
+
+  /// The immutable pass list workers read through the RCU cell.
+  /// Object x has passes pending iff appliedVersion_[x] <
+  /// baseVersion + passes.size(); entry i applies pass version
+  /// baseVersion + i + 1.
+  struct MigrationSchedule {
+    std::uint64_t baseVersion = 0;  ///< fully retired passes
+    std::vector<PassState*> passes;
+  };
+
+  /// Opens a HandoffPass over aggregated_ (zero-copy; see the
+  /// HandoffPass row-stability contract) and publishes the extended
+  /// schedule.
+  void beginPass(int workers);
+  /// Applies every pass still pending for `x`, charging migration
+  /// traffic into `migration` via `acc`. Called from workers (object
+  /// striping makes x exclusive) under an RCU read guard.
+  void applyPendingMigrations(ObjectId x, int worker,
+                              std::uint64_t targetVersion,
+                              core::LoadMap& migration,
+                              core::FlatLoadAccumulator& acc);
+  /// Applies all pending passes to every object now (the barrier drain
+  /// and the end-of-stream drain), merging migration traffic into
+  /// loads_.
+  void drainAllPasses(std::vector<core::LoadMap>& workerMigration,
+                      std::vector<core::FlatLoadAccumulator>& workerAcc,
+                      int workers);
+  /// Pops fully applied passes off the front of the pending queue,
+  /// republishes the schedule and reclaims through the grace period.
+  void retireAppliedPasses();
+  void publishSchedule();
 
   const net::RootedTree* rooted_;
   int numObjects_;
   ServeOptions options_;
   std::unique_ptr<dynamic::OnlinePolicy> policy_;
   workload::Workload aggregated_;
+  /// Running analytic lower bound of aggregated_, refreshed per epoch
+  /// for the touched objects only — O(touched · |V|) instead of a full
+  /// O(|X| · |V|) recomputation, which dominated per-epoch cost (and
+  /// with it the pipelined queueing latency) at large object counts.
+  core::IncrementalLowerBound lowerBound_;
   core::LoadMap loads_;
+  /// Serve + update traffic only (no migration): the drift trigger's
+  /// input, so the trigger schedule is identical in pipelined and
+  /// barrier mode.
+  core::LoadMap serveLoads_;
   std::vector<EpochRecord> log_;
   std::uint64_t servedTotal_ = 0;
   core::Count replications_ = 0;
   core::Count invalidations_ = 0;
   std::uint64_t replacements_ = 0;
-  /// Congestion / lower bound at the last re-placement, the baselines
-  /// the drift trigger measures growth from.
-  double congestionMark_ = 0.0;
+  /// Serve congestion / lower bound at the last re-placement, the
+  /// baselines the drift trigger measures growth from.
+  double serveCongestionMark_ = 0.0;
   double lowerBoundMark_ = 0.0;
+  /// Lazy handoff machinery: pending passes in creation order, the
+  /// RCU-published schedule, and per-object applied-pass counts.
+  std::deque<std::unique_ptr<PassState>> pendingPasses_;
+  util::RcuCell<MigrationSchedule> schedule_;
+  std::vector<std::uint64_t> appliedVersion_;
+  std::uint64_t passesBegun_ = 0;
+  /// Run-level request-latency reservoir (persists across serve calls).
+  util::ReservoirSampler latency_;
 };
 
 }  // namespace hbn::serve

@@ -1,0 +1,168 @@
+#include "hbn/serve/pipeline.h"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "hbn/dynamic/harness.h"
+
+namespace hbn::serve {
+namespace {
+
+/// Fill chunks per epoch: each chunk gets one arrival stamp, so an
+/// epoch contributes up to this many latency samples. Small enough that
+/// stamping is free, large enough that per-epoch p99 means something.
+constexpr std::size_t kIngestChunks = 16;
+
+}  // namespace
+
+std::uint64_t EpochBatch::bufferBytes() const noexcept {
+  return static_cast<std::uint64_t>(raw.capacity() + bucketed.capacity()) *
+             sizeof(RequestEvent) +
+         static_cast<std::uint64_t>(offsets.capacity()) *
+             sizeof(std::size_t) +
+         static_cast<std::uint64_t>(arrivals.capacity()) *
+             sizeof(arrivals[0]);
+}
+
+EpochIngest::EpochIngest(RequestStream& stream, const net::Tree& tree,
+                         int numObjects, std::size_t epochSize, bool threaded)
+    : stream_(&stream),
+      tree_(&tree),
+      numObjects_(numObjects),
+      epochSize_(epochSize),
+      threaded_(threaded) {
+  if (epochSize_ < 1) {
+    throw std::invalid_argument("EpochIngest: epochSize >= 1");
+  }
+  const std::size_t slotCount = threaded_ ? 2 : 1;
+  for (std::size_t s = 0; s < slotCount; ++s) {
+    slots_[s].raw.resize(epochSize_);
+    slots_[s].bucketed.resize(epochSize_);
+    slots_[s].offsets.resize(static_cast<std::size_t>(numObjects_) + 1);
+    slots_[s].arrivals.reserve(kIngestChunks);
+  }
+  if (threaded_) {
+    worker_ = std::thread([this] { ingestLoop(); });
+  }
+}
+
+EpochIngest::~EpochIngest() {
+  if (threaded_) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    freeCv_.notify_all();
+    worker_.join();
+  }
+}
+
+void EpochIngest::fillBatch(EpochBatch& batch) {
+  batch.n = 0;
+  batch.arrivals.clear();
+  const std::size_t chunk = std::max<std::size_t>(
+      1, (epochSize_ + kIngestChunks - 1) / kIngestChunks);
+  while (batch.n < epochSize_) {
+    const std::size_t want = std::min(chunk, epochSize_ - batch.n);
+    const std::size_t got = stream_->fill(
+        std::span<RequestEvent>(batch.raw.data() + batch.n, want));
+    if (got == 0) break;
+    batch.arrivals.emplace_back(EpochBatch::Clock::now(), got);
+    batch.n += got;
+  }
+  if (batch.n == 0) return;
+  for (std::size_t i = 0; i < batch.n; ++i) {
+    const RequestEvent& ev = batch.raw[i];
+    if (ev.object < 0 || ev.object >= numObjects_) {
+      throw std::out_of_range("EpochServer: request object out of range");
+    }
+    if (ev.origin < 0 || ev.origin >= tree_->nodeCount()) {
+      throw std::out_of_range("EpochServer: request origin out of range");
+    }
+  }
+  dynamic::bucketRequestsByObject(
+      std::span<const RequestEvent>(batch.raw.data(), batch.n), numObjects_,
+      batch.offsets,
+      std::span<RequestEvent>(batch.bucketed.data(), batch.n));
+}
+
+void EpochIngest::ingestLoop() {
+  for (;;) {
+    std::size_t index;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      freeCv_.wait(lock, [this] {
+        return stopping_ || state_[fillIndex_] == SlotState::Free;
+      });
+      if (stopping_) return;
+      index = fillIndex_;
+    }
+    // Fill outside the lock: this is the whole point of the stage —
+    // the consumer serves the other slot meanwhile.
+    bool end = false;
+    try {
+      fillBatch(slots_[index]);
+      end = slots_[index].n == 0;
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      error_ = std::current_exception();
+      readyCv_.notify_all();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (end) {
+        exhausted_ = true;
+        readyCv_.notify_all();
+        return;
+      }
+      state_[index] = SlotState::Ready;
+      fillIndex_ = 1 - fillIndex_;
+    }
+    readyCv_.notify_all();
+  }
+}
+
+EpochBatch* EpochIngest::acquire() {
+  if (!threaded_) {
+    EpochBatch& batch = slots_[0];
+    fillBatch(batch);
+    return batch.n == 0 ? nullptr : &batch;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  readyCv_.wait(lock, [this] {
+    return error_ || exhausted_ || state_[serveIndex_] == SlotState::Ready;
+  });
+  if (state_[serveIndex_] == SlotState::Ready) {
+    // Drain ready slots before reporting end-of-stream or an error: the
+    // epochs before the failure point are valid either way.
+    EpochBatch* batch = &slots_[serveIndex_];
+    serveIndex_ = 1 - serveIndex_;
+    return batch;
+  }
+  if (error_) std::rethrow_exception(error_);
+  return nullptr;  // exhausted
+}
+
+void EpochIngest::release(EpochBatch* batch) {
+  if (!threaded_ || batch == nullptr) return;
+  const auto index = static_cast<std::size_t>(batch - slots_.data());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_[index] = SlotState::Free;
+  }
+  freeCv_.notify_all();
+}
+
+std::uint64_t EpochIngest::bufferBytes() const noexcept {
+  const std::size_t slotCount = threaded_ ? 2 : 1;
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < slotCount; ++s) {
+    total += slots_[s].bufferBytes();
+  }
+  return total;
+}
+
+}  // namespace hbn::serve

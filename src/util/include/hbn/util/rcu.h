@@ -1,0 +1,194 @@
+// Read-copy-update publication cell with epoch-grace reclamation.
+//
+// RcuCell<T> holds one immutable snapshot of T and lets any number of
+// reader threads access it wait-free(-ish) while a single writer thread
+// publishes replacements. The protocol is the classic epoch-based one:
+//
+//   reader   e = epoch; announce e in a reader slot; re-check epoch;
+//            load the current pointer — the announced epoch now *pins*
+//            every snapshot retired at an epoch > e until the guard is
+//            released (slot reset to 0).
+//   writer   swap the current pointer, bump the global epoch, and move
+//            the old snapshot onto the retired list tagged with the new
+//            epoch. A retired snapshot is freed only once every reader
+//            slot is idle (0) or announces an epoch >= its tag — the
+//            grace period. publish() reclaims opportunistically
+//            (non-blocking); synchronize() blocks until the whole
+//            retired list is freed.
+//
+// The epoch re-check closes the announce/load race: if the writer
+// bumped the epoch between the reader's load of `epoch_` and its
+// announcement, the reader retries with the new epoch; if the check
+// passes, any snapshot the reader can observe is retired at an epoch
+// strictly greater than the announced one and therefore waits for the
+// guard. All atomics use seq_cst — publication is epoch-granular in
+// every current use, so the hot path is cold.
+//
+// Single writer: publish()/synchronize() must be called from one thread
+// at a time (the epoch server's serve thread). read() is safe from any
+// thread, including the writer, and guards may be held across long
+// computations — they only delay reclamation, never block publication
+// of newer snapshots.
+//
+// The serve layer uses this to publish the in-flight §4 handoff
+// schedule to epoch workers without stopping the world; the stress test
+// in tests/rcu_test.cpp hammers it with concurrent readers during
+// publication storms.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace hbn::util {
+
+template <typename T>
+class RcuCell {
+ public:
+  /// Number of simultaneously held ReadGuards supported without
+  /// spinning; further readers wait for a slot to free.
+  static constexpr std::size_t kMaxReaders = 64;
+
+  explicit RcuCell(std::unique_ptr<const T> initial)
+      : current_(initial.release()) {}
+
+  RcuCell(const RcuCell&) = delete;
+  RcuCell& operator=(const RcuCell&) = delete;
+
+  ~RcuCell() {
+    synchronize();
+    delete current_.load();
+  }
+
+  /// Pins the current snapshot for the guard's lifetime. Move-only;
+  /// releasing the guard lets grace periods that were waiting on this
+  /// reader elapse.
+  class ReadGuard {
+   public:
+    ReadGuard(const T* ptr, std::atomic<std::uint64_t>* slot)
+        : ptr_(ptr), slot_(slot) {}
+
+    ReadGuard(ReadGuard&& other) noexcept
+        : ptr_(other.ptr_), slot_(other.slot_) {
+      other.ptr_ = nullptr;
+      other.slot_ = nullptr;
+    }
+    ReadGuard& operator=(ReadGuard&& other) noexcept {
+      if (this != &other) {
+        release();
+        ptr_ = other.ptr_;
+        slot_ = other.slot_;
+        other.ptr_ = nullptr;
+        other.slot_ = nullptr;
+      }
+      return *this;
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+    ~ReadGuard() { release(); }
+
+    [[nodiscard]] const T& operator*() const noexcept { return *ptr_; }
+    [[nodiscard]] const T* operator->() const noexcept { return ptr_; }
+    [[nodiscard]] const T* get() const noexcept { return ptr_; }
+
+   private:
+    void release() noexcept {
+      if (slot_ != nullptr) slot_->store(0);
+      slot_ = nullptr;
+      ptr_ = nullptr;
+    }
+
+    const T* ptr_;
+    std::atomic<std::uint64_t>* slot_;
+  };
+
+  /// Acquires a read-side critical section. Never blocks the writer;
+  /// spins only when more than kMaxReaders guards are held at once.
+  [[nodiscard]] ReadGuard read() const {
+    for (;;) {
+      const std::uint64_t epoch = epoch_.load();
+      std::atomic<std::uint64_t>* slot = claimSlot(epoch);
+      if (epoch_.load() == epoch) {
+        return ReadGuard(current_.load(), slot);
+      }
+      // A publication slipped between the epoch load and the
+      // announcement; retry so the announced epoch never lags the
+      // snapshot we hand out.
+      slot->store(0);
+    }
+  }
+
+  /// Swaps in `next` and retires the previous snapshot; freed once its
+  /// grace period elapses (checked opportunistically here and
+  /// exhaustively in synchronize()). Single-writer.
+  void publish(std::unique_ptr<const T> next) {
+    const T* old = current_.exchange(next.release());
+    const std::uint64_t retireEpoch = epoch_.fetch_add(1) + 1;
+    retired_.emplace_back(retireEpoch, old);
+    reclaim(/*block=*/false);
+  }
+
+  /// Blocks until every retired snapshot's grace period has elapsed and
+  /// frees them. Single-writer; must not be called while this thread
+  /// holds a ReadGuard on this cell (it would wait on itself).
+  void synchronize() { reclaim(/*block=*/true); }
+
+  /// Snapshots still awaiting their grace period (diagnostics/tests).
+  [[nodiscard]] std::size_t retiredCount() const noexcept {
+    return retired_.size();
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> value{0};  ///< 0 = idle, else announced epoch
+  };
+
+  std::atomic<std::uint64_t>* claimSlot(std::uint64_t epoch) const {
+    for (;;) {
+      for (Slot& slot : slots_) {
+        std::uint64_t expected = 0;
+        if (slot.value.compare_exchange_strong(expected, epoch)) {
+          return &slot.value;
+        }
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  [[nodiscard]] bool graceElapsed(std::uint64_t retireEpoch) const {
+    for (const Slot& slot : slots_) {
+      const std::uint64_t announced = slot.value.load();
+      if (announced != 0 && announced < retireEpoch) return false;
+    }
+    return true;
+  }
+
+  void reclaim(bool block) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < retired_.size(); ++i) {
+      auto [retireEpoch, ptr] = retired_[i];
+      if (block) {
+        while (!graceElapsed(retireEpoch)) std::this_thread::yield();
+        delete ptr;
+      } else if (graceElapsed(retireEpoch)) {
+        delete ptr;
+      } else {
+        retired_[kept++] = retired_[i];
+      }
+    }
+    retired_.resize(kept);
+  }
+
+  std::atomic<const T*> current_;
+  std::atomic<std::uint64_t> epoch_{1};
+  mutable std::array<Slot, kMaxReaders> slots_{};
+  /// (retire epoch, snapshot) — touched only by the writer thread.
+  std::vector<std::pair<std::uint64_t, const T*>> retired_;
+};
+
+}  // namespace hbn::util

@@ -50,12 +50,53 @@ double Accumulator::percentile(double q) const {
     std::sort(sorted_.begin(), sorted_.end());
     sortedValid_ = true;
   }
+  return percentileSorted(sorted_, q);
+}
+
+double percentileSorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) {
+    throw std::logic_error("percentileSorted on empty sample");
+  }
   q = std::clamp(q, 0.0, 100.0);
-  const double rank = q / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
   const auto hi = static_cast<std::size_t>(std::ceil(rank));
   const double frac = rank - static_cast<double>(lo);
-  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+ReservoirSampler::ReservoirSampler(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  samples_.reserve(capacity_);
+}
+
+void ReservoirSampler::add(double value) {
+  ++seen_;
+  if (capacity_ == 0) return;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(value);
+    sortedValid_ = false;
+    return;
+  }
+  // Algorithm R: the new value replaces a uniformly random reservoir
+  // slot with probability capacity/seen.
+  const std::uint64_t j = rng_.nextBelow(seen_);
+  if (j < capacity_) {
+    samples_[static_cast<std::size_t>(j)] = value;
+    sortedValid_ = false;
+  }
+}
+
+double ReservoirSampler::percentile(double q) const {
+  if (samples_.empty()) {
+    throw std::logic_error("ReservoirSampler::percentile on empty");
+  }
+  if (!sortedValid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sortedValid_ = true;
+  }
+  return percentileSorted(sorted_, q);
 }
 
 double pearson(std::span<const double> xs, std::span<const double> ys) {

@@ -1,6 +1,9 @@
 // Tests for the congestion lower bounds, in particular the per-object
 // bound from the τ_max analysis and its validity against the exact
 // optimum.
+#include <algorithm>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "hbn/baseline/exact.h"
@@ -112,6 +115,59 @@ TEST(LowerBound, FatTreeNeedsObjectBound) {
   ASSERT_GT(combined, 0.0);
   EXPECT_LE(result.report.congestionFinal, 7.0 * combined);
   EXPECT_GE(combined, analyticLowerBound(rooted, load).congestion);
+}
+
+TEST(IncrementalLowerBound, MatchesFullRecomputationUnderRowUpdates) {
+  // The streaming engine's per-epoch bound: start empty, mutate random
+  // object rows in batches (remove before, add after, as the epoch
+  // server does), and demand bit-identical edge minima and congestion
+  // against a from-scratch analyticLowerBound at every step.
+  util::Rng rng(977);
+  const Tree t = net::makeClusterNetwork(3, 4);
+  const net::RootedTree rooted(t, t.defaultRoot());
+  constexpr int kObjects = 16;
+  workload::Workload load(kObjects, t.nodeCount());
+  IncrementalLowerBound incremental(rooted);
+  incremental.rebuild(load);
+
+  for (int step = 0; step < 40; ++step) {
+    const auto touched = static_cast<int>(1 + rng.nextBelow(5));
+    std::vector<workload::ObjectId> objects;
+    for (int i = 0; i < touched; ++i) {
+      objects.push_back(
+          static_cast<workload::ObjectId>(rng.nextBelow(kObjects)));
+    }
+    std::sort(objects.begin(), objects.end());
+    objects.erase(std::unique(objects.begin(), objects.end()),
+                  objects.end());
+    for (const workload::ObjectId x : objects) incremental.remove(x, load);
+    for (const workload::ObjectId x : objects) {
+      const auto node =
+          static_cast<net::NodeId>(rng.nextBelow(t.nodeCount()));
+      if (rng.nextBelow(2) == 0) {
+        load.addWrites(x, node, 1 + static_cast<core::Count>(
+                                        rng.nextBelow(20)));
+      } else {
+        load.addReads(x, node, 1 + static_cast<core::Count>(
+                                       rng.nextBelow(20)));
+      }
+    }
+    for (const workload::ObjectId x : objects) incremental.add(x, load);
+
+    const LowerBound full = analyticLowerBound(rooted, load);
+    ASSERT_EQ(std::vector<Count>(incremental.edgeMinima().edgeLoads().begin(),
+                                 incremental.edgeMinima().edgeLoads().end()),
+              std::vector<Count>(full.edgeMinima.edgeLoads().begin(),
+                                 full.edgeMinima.edgeLoads().end()))
+        << "step " << step;
+    ASSERT_DOUBLE_EQ(incremental.congestion(), full.congestion)
+        << "step " << step;
+  }
+
+  // rebuild() from a populated workload must land on the same state.
+  IncrementalLowerBound rebuilt(rooted);
+  rebuilt.rebuild(load);
+  EXPECT_DOUBLE_EQ(rebuilt.congestion(), incremental.congestion());
 }
 
 }  // namespace

@@ -187,6 +187,59 @@ TEST(Stats, EmptyAccumulatorThrows) {
   EXPECT_THROW((void)acc.percentile(50), std::logic_error);
 }
 
+TEST(Stats, PercentileSortedMatchesAccumulator) {
+  // One percentile definition: the free function on a sorted sample and
+  // the Accumulator (which delegates to it) agree everywhere.
+  Accumulator acc;
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) {
+    acc.add(static_cast<double>(101 - i));
+    values.push_back(static_cast<double>(i));
+  }
+  for (const double q : {0.0, 12.5, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentileSorted(values, q), acc.percentile(q)) << q;
+  }
+  EXPECT_DOUBLE_EQ(percentileSorted(values, -5.0), 1.0);    // clamped
+  EXPECT_DOUBLE_EQ(percentileSorted(values, 200.0), 100.0);  // clamped
+  EXPECT_THROW((void)percentileSorted({}, 50.0), std::logic_error);
+}
+
+TEST(Stats, ReservoirSamplerKeepsEverythingBelowCapacity) {
+  ReservoirSampler sampler(64);
+  for (int i = 0; i < 50; ++i) sampler.add(static_cast<double>(i));
+  EXPECT_EQ(sampler.seen(), 50u);
+  EXPECT_EQ(sampler.samples().size(), 50u);
+  EXPECT_DOUBLE_EQ(sampler.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.percentile(100.0), 49.0);
+}
+
+TEST(Stats, ReservoirSamplerIsBoundedUniformAndDeterministic) {
+  ReservoirSampler a(100, 42);
+  ReservoirSampler b(100, 42);
+  for (int i = 0; i < 100'000; ++i) {
+    a.add(static_cast<double>(i));
+    b.add(static_cast<double>(i));
+  }
+  EXPECT_EQ(a.seen(), 100'000u);
+  EXPECT_EQ(a.samples().size(), 100u);
+  // Same seed, same stream → same reservoir.
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples()[i], b.samples()[i]);
+  }
+  // Algorithm R keeps a uniform sample, so the median of a uniform
+  // 0..100k stream lands near the middle (loose sanity bound).
+  EXPECT_GT(a.percentile(50.0), 20'000.0);
+  EXPECT_LT(a.percentile(50.0), 80'000.0);
+}
+
+TEST(Stats, ReservoirSamplerDisabledCountsOnly) {
+  ReservoirSampler sampler(0);
+  for (int i = 0; i < 10; ++i) sampler.add(1.0);
+  EXPECT_EQ(sampler.seen(), 10u);
+  EXPECT_TRUE(sampler.empty());
+  EXPECT_THROW((void)sampler.percentile(50.0), std::logic_error);
+}
+
 TEST(Stats, PearsonPerfectCorrelation) {
   const double xs[] = {1, 2, 3, 4, 5};
   const double ys[] = {2, 4, 6, 8, 10};

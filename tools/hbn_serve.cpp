@@ -53,6 +53,8 @@ struct ServeCli {
   int clusters = 4;
   int procs = 8;                ///< processors per cluster
   double drift = 3.0;
+  bool pipeline = true;            ///< pipelined (vs barrier) engine
+  std::size_t latencySample = 4096;  ///< latency reservoir capacity
   double reads = 0.9;              ///< stream read fraction
   hbn::core::Count threshold = 2;  ///< online replication threshold D
   bool thresholdSet = false;
@@ -126,6 +128,23 @@ ServeCli parseServeCli(int argc, char** argv) {
       cli.listPolicies = true;
     } else if (arg == "--drift") {
       cli.drift = parseDoubleFlag(arg, value(arg), 0.0, 1e9);
+    } else if (arg == "--pipeline" || arg.rfind("--pipeline=", 0) == 0) {
+      const std::string mode =
+          arg == "--pipeline" ? value(arg) : arg.substr(11);
+      if (mode == "on") {
+        cli.pipeline = true;
+      } else if (mode == "off") {
+        cli.pipeline = false;
+      } else {
+        throw std::invalid_argument("--pipeline expects on|off, got '" +
+                                    mode + "'");
+      }
+    } else if (arg == "--latency-sample" ||
+               arg.rfind("--latency-sample=", 0) == 0) {
+      const std::string text =
+          arg == "--latency-sample" ? value(arg) : arg.substr(17);
+      cli.latencySample = static_cast<std::size_t>(
+          hbn::engine::parseUintFlag("--latency-sample", text));
     } else if (arg == "--json") {
       cli.jsonOut = value(arg);
     } else {
@@ -166,6 +185,11 @@ void printUsage(std::ostream& os) {
         "  --drift F         re-place when congestion growth > F x lower-\n"
         "                    bound growth since the last re-placement;\n"
         "                    0 disables (default 3.0)\n"
+        "  --pipeline MODE   on (default): threaded double-buffered ingest\n"
+        "                    plus lazy RCU-published re-placement; off:\n"
+        "                    barrier engine (same results, spikier tails)\n"
+        "  --latency-sample N  request-latency reservoir capacity for the\n"
+        "                    p50/p99/p999 metrics; 0 disables (default 4096)\n"
         "  --json FILE       also write the serve report as JSON records\n"
         "  --threads N       worker threads (0 = all cores)\n"
         "  --seed N          stream RNG seed\n"
@@ -246,6 +270,8 @@ int main(int argc, char** argv) {
     options.threads = cli.shared.threads;
     options.replaceDrift = cli.drift;
     options.policy = policySpec;
+    options.pipeline = cli.pipeline;
+    options.latencySample = cli.latencySample;
     serve::EpochServer server(rooted, numObjects, options);
 
     std::cout << "serving "
@@ -255,7 +281,8 @@ int main(int argc, char** argv) {
               << numObjects << " objects (policy=" << policySpec
               << ", epoch=" << cli.epoch
               << ", threads=" << options.threads << ", seed=" << seed
-              << ", drift=" << cli.drift << ")\n\n";
+              << ", drift=" << cli.drift
+              << ", pipeline=" << (cli.pipeline ? "on" : "off") << ")\n\n";
 
     const serve::ServeReport report = server.serve(*stream);
 
@@ -284,9 +311,15 @@ int main(int argc, char** argv) {
               << util::formatDouble(report.wallMs, 1) << " ms ("
               << util::formatDouble(report.requestsPerSec / 1e6, 2)
               << " M req/s)\n"
-              << "epoch latency p50/p99: "
+              << "epoch latency p50/p99/p999: "
               << util::formatDouble(report.epochMsP50, 2) << " / "
-              << util::formatDouble(report.epochMsP99, 2) << " ms\n"
+              << util::formatDouble(report.epochMsP99, 2) << " / "
+              << util::formatDouble(report.epochMsP999, 2) << " ms\n"
+              << "request latency p50/p99/p999: "
+              << util::formatDouble(report.latencyMsP50, 2) << " / "
+              << util::formatDouble(report.latencyMsP99, 2) << " / "
+              << util::formatDouble(report.latencyMsP999, 2) << " ms ("
+              << report.latencySamples << " sampled)\n"
               << "congestion " << util::formatDouble(report.congestion, 1)
               << " vs offline lower bound "
               << util::formatDouble(report.lowerBound, 1) << " — ratio "
@@ -310,11 +343,17 @@ int main(int argc, char** argv) {
         records.field("congestion", r.congestion);
         records.field("lower_bound", r.lowerBound);
         records.field("ratio", r.ratio);
+        records.field("latency_ms_p50", r.latencyMsP50);
+        records.field("latency_ms_p99", r.latencyMsP99);
+        records.field("latency_ms_p999", r.latencyMsP999);
         records.field("replaced", r.replaced);
       }
       records.beginRecord();
       records.field("kind", "summary");
       records.field("policy", report.policy);
+      records.field("pipeline", report.pipeline);
+      records.field("latency_sample",
+                    static_cast<std::int64_t>(cli.latencySample));
       records.field("requests",
                     static_cast<std::int64_t>(report.totalRequests));
       records.field("epochs", static_cast<std::int64_t>(report.epochs));
@@ -322,6 +361,12 @@ int main(int argc, char** argv) {
       records.field("requests_per_sec", report.requestsPerSec);
       records.field("epoch_ms_p50", report.epochMsP50);
       records.field("epoch_ms_p99", report.epochMsP99);
+      records.field("epoch_ms_p999", report.epochMsP999);
+      records.field("latency_ms_p50", report.latencyMsP50);
+      records.field("latency_ms_p99", report.latencyMsP99);
+      records.field("latency_ms_p999", report.latencyMsP999);
+      records.field("latency_samples",
+                    static_cast<std::int64_t>(report.latencySamples));
       records.field("congestion", report.congestion);
       records.field("lower_bound", report.lowerBound);
       records.field("ratio", report.ratio);
