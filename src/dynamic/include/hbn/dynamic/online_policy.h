@@ -28,6 +28,12 @@
 //   owner-only        a single fixed copy, no replication — every
 //                     request pays the path to the owner (upper-bound
 //                     foil for read traffic)
+//   adaptive          per-object meta-policy: scores member policies
+//                     online by shadow-serving every shard through each
+//                     of them and routes each object to the cheapest,
+//                     hot-swapping at epoch boundaries through the §4
+//                     handoff seam — `adaptive:members=<spec>+<spec>,
+//                     window=<epochs>` (hbn/dynamic/adaptive_policy.h)
 #pragma once
 
 #include <map>
@@ -89,6 +95,18 @@ class OnlinePolicy {
   /// Canonical registry name (e.g. "tree-counters").
   [[nodiscard]] virtual std::string_view name() const = 0;
 
+  /// Canonical spec string that reconstructs this policy's configuration
+  /// through the registry: `create(p.spec())` builds an equivalently
+  /// configured policy, and rendering is a fixed point —
+  /// `create(p.spec())->spec() == p.spec()` (checked for every
+  /// registered policy by tests/policy_conformance_test.cpp). Policies
+  /// render only non-default options, which keeps the spec minimal and,
+  /// where possible, comma-free — the form composed specs (adaptive
+  /// members, static placements) can embed.
+  [[nodiscard]] virtual std::string spec() const {
+    return std::string(name());
+  }
+
   /// Serves `requests` (each targeting object `x`, in arrival order)
   /// against x's copy configuration, accumulating exact integer loads
   /// into the caller's `loads`. When `acc` is non-null, path charges
@@ -112,6 +130,15 @@ class OnlinePolicy {
   /// (full-replication, owner-only) return false and the epoch server
   /// skips its drift pass entirely.
   [[nodiscard]] virtual bool migratable() const noexcept { return true; }
+
+  /// Whether the policy itself is asking for a §4 handoff pass at the
+  /// next epoch boundary, independent of the server's drift trigger.
+  /// The epoch server polls this after every epoch (serve thread,
+  /// workers joined) and begins a pass when it returns true — the seam
+  /// a meta-policy (`adaptive`) uses to commit per-object routing
+  /// switches it decided while serving. Only consulted when
+  /// migratable(); the default never asks.
+  [[nodiscard]] virtual bool wantsHandoff() const { return false; }
 
   /// The placement this policy wants to migrate to, computed from the
   /// aggregated request frequencies (the §4 handoff target). Only

@@ -63,6 +63,11 @@ struct ShardStats {
 struct ServeScratch {
   std::vector<net::NodeId> upPath;
   std::vector<net::NodeId> descent;
+  /// Shadow LoadMap the adaptive meta-policy scores member policies
+  /// into (one member at a time, cleared between members); sized lazily
+  /// to the tree's edge count on first use so policies that never
+  /// shadow-serve pay nothing.
+  core::LoadMap shadowLoads{0};
 };
 
 /// Executes requests online, maintaining per-object copy subtrees and

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "hbn/core/nibble.h"
+#include "hbn/dynamic/adaptive_policy.h"
 #include "hbn/net/steiner.h"
 
 namespace hbn::dynamic {
@@ -229,6 +230,28 @@ class TreeCountersPolicy final : public OnlinePolicy {
     return "tree-counters";
   }
 
+  [[nodiscard]] std::string spec() const override {
+    // Minimal rendering: only non-default options, so the canonical
+    // spec of a default-configured instance is comma-free and can be
+    // embedded as an adaptive member.
+    const OnlineOptions defaults;
+    std::string out = "tree-counters";
+    char sep = ':';
+    if (options_.replicationThreshold != defaults.replicationThreshold) {
+      out += sep;
+      sep = ',';
+      out += "threshold=";
+      out += std::to_string(options_.replicationThreshold);
+    }
+    if (options_.contractOnWrite != defaults.contractOnWrite) {
+      out += sep;
+      sep = ',';
+      out += "contract=";
+      out += options_.contractOnWrite ? '1' : '0';
+    }
+    return out;
+  }
+
   ShardStats serveShard(ObjectId x, std::span<const Request> requests,
                         core::LoadMap& loads, ServeScratch& scratch,
                         core::FlatLoadAccumulator* acc) override {
@@ -292,8 +315,12 @@ class StaticPolicy final : public OnlinePolicy {
  public:
   StaticPolicy(const net::RootedTree& rooted, int numObjects,
                net::NodeId initialLocation,
-               std::shared_ptr<const engine::PlacementStrategy> placement)
-      : rooted_(&rooted), flat_(rooted), placement_(std::move(placement)) {
+               std::shared_ptr<const engine::PlacementStrategy> placement,
+               std::string placementSpec)
+      : rooted_(&rooted),
+        flat_(rooted),
+        placement_(std::move(placement)),
+        placementSpec_(std::move(placementSpec)) {
     if (numObjects < 1) {
       throw std::invalid_argument("StaticPolicy: numObjects >= 1");
     }
@@ -310,6 +337,11 @@ class StaticPolicy final : public OnlinePolicy {
   }
 
   [[nodiscard]] std::string_view name() const override { return "static"; }
+
+  [[nodiscard]] std::string spec() const override {
+    if (placementSpec_ == "extended-nibble") return "static";
+    return "static:placement=" + placementSpec_;
+  }
 
   ShardStats serveShard(ObjectId x, std::span<const Request> requests,
                         core::LoadMap& loads, ServeScratch& /*scratch*/,
@@ -374,6 +406,7 @@ class StaticPolicy final : public OnlinePolicy {
   const net::RootedTree* rooted_;
   core::FlatTreeView flat_;
   std::shared_ptr<const engine::PlacementStrategy> placement_;
+  std::string placementSpec_;
   std::vector<std::shared_ptr<const FrozenConfig>> objects_;
   std::uint64_t handoffs_ = 0;
 };
@@ -552,11 +585,12 @@ void registerBuiltinPolicies(OnlinePolicyRegistry& registry) {
         // share one instance.
         std::shared_ptr<const engine::PlacementStrategy> placement =
             engine::StrategyRegistry::global().create(spec);
-        return makeFactory([placement = std::move(placement)](
+        return makeFactory([placement = std::move(placement),
+                            spec = std::move(spec)](
                                const net::RootedTree& rooted, int numObjects,
                                net::NodeId initialLocation) {
-          return std::make_unique<StaticPolicy>(rooted, numObjects,
-                                                initialLocation, placement);
+          return std::make_unique<StaticPolicy>(
+              rooted, numObjects, initialLocation, placement, spec);
         });
       },
       {"frozen"});
@@ -585,6 +619,8 @@ void registerBuiltinPolicies(OnlinePolicyRegistry& registry) {
                                                    initialLocation);
         });
       });
+
+  registerAdaptivePolicy(registry);
 }
 
 }  // namespace detail

@@ -25,7 +25,13 @@ StrategyOptions StrategyOptions::parse(std::string_view spec) {
       throw std::invalid_argument("option '" + std::string(item) +
                                   "' is not of the form key=value");
     }
-    options.entries_[std::string(item.substr(0, eq))] =
+    std::string key(item.substr(0, eq));
+    if (options.entries_.count(key) != 0) {
+      throw std::invalid_argument(
+          "duplicate option '" + key +
+          "' (each key may appear once per spec)");
+    }
+    options.entries_[std::move(key)] =
         Entry{std::string(item.substr(eq + 1)), false};
   }
   return options;

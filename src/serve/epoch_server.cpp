@@ -199,9 +199,13 @@ ServeReport EpochServer::serve(RequestStream& stream) {
     const double serveCongestion = serveLoads_.congestion(tree);
     const double congestionGrowth = serveCongestion - serveCongestionMark_;
     const double lowerBoundGrowth = record.lowerBound - lowerBoundMark_;
-    if (options_.replaceDrift > 0.0 && policy_->migratable() &&
-        lowerBoundGrowth > 0.0 &&
-        congestionGrowth > options_.replaceDrift * lowerBoundGrowth) {
+    const bool driftFired =
+        options_.replaceDrift > 0.0 && lowerBoundGrowth > 0.0 &&
+        congestionGrowth > options_.replaceDrift * lowerBoundGrowth;
+    // A pass also begins when the policy itself asks for one
+    // (wantsHandoff — e.g. adaptive committing per-object routing
+    // switches), independent of the drift knob.
+    if (policy_->migratable() && (driftFired || policy_->wantsHandoff())) {
       beginPass(workers);
       ++replacements_;
       record.replaced = true;
@@ -310,9 +314,19 @@ void EpochServer::applyPendingMigrations(ObjectId x, int worker,
     PassState& pass = *schedule.passes[index];
     const std::vector<net::NodeId> target = pass.pass->target(x, worker);
     std::vector<net::NodeId> terminals = policy_->copySet(x);
-    terminals.insert(terminals.end(), target.begin(), target.end());
-    acc.chargeSteiner(terminals, 1, migration);
-    policy_->resetCopySet(x, target);
+    // A pass that leaves x where it is moves no data — skip the Steiner
+    // charge (both sets are ascending, so equality is positional) but
+    // still resetCopySet: policies may commit bookkeeping there (e.g.
+    // adaptive flipping an object between members whose copy sets
+    // coincide).
+    if (terminals.size() == target.size() &&
+        std::equal(terminals.begin(), terminals.end(), target.begin())) {
+      policy_->resetCopySet(x, target);
+    } else {
+      terminals.insert(terminals.end(), target.begin(), target.end());
+      acc.chargeSteiner(terminals, 1, migration);
+      policy_->resetCopySet(x, target);
+    }
     ++applied;
     pass.applied.fetch_add(1, std::memory_order_relaxed);
   }

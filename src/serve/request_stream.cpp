@@ -63,8 +63,15 @@ std::unique_ptr<RequestStream> makeGeneratedStream(
     return std::make_unique<GeneratorStream>(
         [gen] { return gen->next(); }, total);
   }
-  throw std::invalid_argument("unknown stream '" + name +
-                              "'; available: skewed bursty diurnal");
+  if (name == "phase-shift") {
+    auto gen =
+        std::make_shared<workload::PhaseShiftStream>(tree, params, seed);
+    return std::make_unique<GeneratorStream>(
+        [gen] { return gen->next(); }, total);
+  }
+  throw std::invalid_argument(
+      "unknown stream '" + name +
+      "'; available: skewed bursty diurnal phase-shift");
 }
 
 }  // namespace hbn::serve

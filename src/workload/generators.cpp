@@ -226,6 +226,9 @@ void checkStreamParams(const StreamParams& params) {
   if (params.amplitude < 0.0 || params.amplitude > 1.0) {
     throw std::invalid_argument("StreamParams: amplitude in [0,1]");
   }
+  if (params.phaseLength < 1) {
+    throw std::invalid_argument("StreamParams: phaseLength >= 1");
+  }
 }
 
 // Validated Zipf popularity weights for the skewed stream's alias table
@@ -318,6 +321,45 @@ RequestEvent DiurnalStream::next() {
         rng_.nextBelow(static_cast<std::uint64_t>(numObjects_)));
   }
   return RequestEvent{object, origin, !rng_.nextBool(readFraction_)};
+}
+
+PhaseShiftStream::PhaseShiftStream(const net::Tree& tree,
+                                   const StreamParams& params,
+                                   std::uint64_t seed)
+    : procs_(copyProcessors(tree)),
+      popularity_(streamZipfWeights(params)),
+      numObjects_(params.numObjects),
+      burstLength_(params.burstLength),
+      burstReadFraction_(params.readFraction),
+      phaseLength_(params.phaseLength),
+      rng_(seed) {}
+
+RequestEvent PhaseShiftStream::next() {
+  const int regime = regimeAt(count_, phaseLength_);
+  const bool regimeStart = count_ % phaseLength_ == 0;
+  ++count_;
+  if (regimeStart) remaining_ = 0;  // never carry a burst across regimes
+  if (regime == 2) {
+    // Ping-pong regime: bursts pinned to one (object, origin) pair.
+    if (remaining_ <= 0) {
+      burstObject_ = static_cast<ObjectId>(
+          rng_.nextBelow(static_cast<std::uint64_t>(numObjects_)));
+      burstOrigin_ = procs_[static_cast<std::size_t>(
+          rng_.nextBelow(static_cast<std::uint64_t>(procs_.size())))];
+      remaining_ = burstLength_;
+    }
+    --remaining_;
+    return RequestEvent{burstObject_, burstOrigin_,
+                        !rng_.nextBool(burstReadFraction_)};
+  }
+  // Skew (0) and churn (1) share the Zipf popularity law and uniform
+  // origins; only the read/write mix flips.
+  const double readFraction =
+      regime == 0 ? kSkewReadFraction : kChurnReadFraction;
+  const auto object = static_cast<ObjectId>(popularity_.sample(rng_));
+  const net::NodeId origin = procs_[static_cast<std::size_t>(
+      rng_.nextBelow(static_cast<std::uint64_t>(procs_.size())))];
+  return RequestEvent{object, origin, !rng_.nextBool(readFraction)};
 }
 
 Workload generateAdversarial(const net::Tree& tree, const GenParams& params,

@@ -118,6 +118,10 @@ struct StreamParams {
   std::uint64_t period = 1 << 16;
   /// diurnal: fraction of traffic following the rotating hot region.
   double amplitude = 0.8;
+  /// phase-shift: requests per regime before the stream switches to the
+  /// next one (align to a multiple of the serving epoch so regime
+  /// boundaries land on epoch boundaries).
+  std::uint64_t phaseLength = 1 << 15;
 };
 
 /// WWW-like skew: object popularity Zipf(α), origins uniform over
@@ -173,6 +177,58 @@ class DiurnalStream {
   double amplitude_;
   double readFraction_;
   std::uint64_t count_ = 0;
+  util::Rng rng_;
+};
+
+/// Phase-shift traffic: the stream cycles through the kCycle regime
+/// schedule, each slot held for exactly `phaseLength` requests —
+///   0: read-heavy Zipf skew (favours replication),
+///   1: write-heavy churn over the same Zipf popularity (favours few
+///      copies),
+///   2: ping-pong bursts pinned to one (object, origin) pair at the
+///      base read fraction (favours the counter scheme's migration).
+/// The schedule is [skew, skew, churn, burst]: skew is the workload's
+/// steady state (half of every cycle, and long enough for replication
+/// decisions to pay for themselves), periodically interrupted by a
+/// churn phase and a burst phase that punish whoever over-committed to
+/// it. No fixed policy is best across a whole cycle, which is exactly
+/// the regime-tracking workload the adaptive meta-policy exists for.
+/// Deterministic from the seed; regime boundaries land on multiples of
+/// `phaseLength`, so sizing phaseLength to a multiple of the serving
+/// epoch aligns them with epoch boundaries.
+class PhaseShiftStream {
+ public:
+  static constexpr int kRegimes = 3;
+  /// Regime schedule of one cycle, one slot per phaseLength requests.
+  static constexpr int kCycle[] = {0, 0, 1, 2};
+  static constexpr std::uint64_t kCycleSlots = 4;
+  /// Read fraction of the skew regime (regime 0).
+  static constexpr double kSkewReadFraction = 0.98;
+  /// Read fraction of the churn regime (regime 1).
+  static constexpr double kChurnReadFraction = 0.15;
+
+  PhaseShiftStream(const net::Tree& tree, const StreamParams& params,
+                   std::uint64_t seed);
+  [[nodiscard]] RequestEvent next();
+
+  /// Regime index of the request at stream position `index` (0-based):
+  /// pure arithmetic, exposed so tests can assert boundary placement.
+  [[nodiscard]] static int regimeAt(std::uint64_t index,
+                                    std::uint64_t phaseLength) noexcept {
+    return kCycle[(index / phaseLength) % kCycleSlots];
+  }
+
+ private:
+  std::vector<net::NodeId> procs_;
+  util::AliasTable popularity_;  ///< shared Zipf law of regimes 0 and 1
+  int numObjects_;
+  int burstLength_;
+  double burstReadFraction_;  ///< base readFraction, used by regime 2
+  std::uint64_t phaseLength_;
+  std::uint64_t count_ = 0;
+  int remaining_ = 0;  ///< events left in the current regime-2 burst
+  ObjectId burstObject_ = 0;
+  net::NodeId burstOrigin_ = net::kInvalidNode;
   util::Rng rng_;
 };
 

@@ -172,6 +172,40 @@ TEST(JsonParse, AcceptsWhitespaceAndEmptyRecords) {
   EXPECT_EQ(parsed[1][0].kind, ParsedField::Kind::null);
 }
 
+TEST(JsonRoundTrip, DottedPolicyMetricKeysStayFlatKeys) {
+  // hbn_serve --json emits the serving policy's diagnostics as flat
+  // dot-namespaced keys ("policy.adaptive.member1.share", ...). The
+  // round trip must preserve those keys verbatim — dots are part of the
+  // key, never an invitation to nest — and keep member metrics in
+  // emission order next to their siblings.
+  JsonRecords records;
+  records.beginRecord();
+  records.field("policy", std::string_view(
+                              "adaptive:members=tree-counters+"
+                              "full-replication,window=2"));
+  records.field("policy.adaptive.members", std::int64_t{2});
+  records.field("policy.adaptive.switches", std::int64_t{21});
+  records.field("policy.adaptive.member0.objects", std::int64_t{59});
+  records.field("policy.adaptive.member0.share", 0.9375);
+  records.field("policy.adaptive.member1.objects", std::int64_t{5});
+  records.field("policy.adaptive.member1.share", 0.0625);
+
+  const auto parsed = parseRecords(render(records));
+  ASSERT_EQ(parsed.size(), 1u);
+  ASSERT_EQ(parsed[0].size(), 7u);
+  EXPECT_EQ(parsed[0][0].kind, ParsedField::Kind::string);
+  EXPECT_EQ(parsed[0][0].text,
+            "adaptive:members=tree-counters+full-replication,window=2");
+  EXPECT_EQ(parsed[0][3].key, "policy.adaptive.member0.objects");
+  EXPECT_DOUBLE_EQ(parsed[0][3].number, 59.0);
+  EXPECT_EQ(parsed[0][4].key, "policy.adaptive.member0.share");
+  EXPECT_DOUBLE_EQ(parsed[0][4].number, 0.9375);
+  EXPECT_EQ(parsed[0][6].key, "policy.adaptive.member1.share");
+  EXPECT_DOUBLE_EQ(parsed[0][6].number, 0.0625);
+  // The two members' shares partition the charged load.
+  EXPECT_DOUBLE_EQ(parsed[0][4].number + parsed[0][6].number, 1.0);
+}
+
 TEST(JsonRoundTrip, FileWriteMatchesStreamWrite) {
   JsonRecords records;
   records.beginRecord();

@@ -90,7 +90,7 @@ TEST(RequestStream, GeneratedStreamsAreSeedDeterministicAndInRange) {
   const net::Tree tree = net::makeClusterNetwork(3, 4);
   workload::StreamParams params;
   params.numObjects = 17;
-  for (const char* name : {"skewed", "bursty", "diurnal"}) {
+  for (const char* name : {"skewed", "bursty", "diurnal", "phase-shift"}) {
     const auto a = makeGeneratedStream(name, tree, params, 5, 500);
     const auto b = makeGeneratedStream(name, tree, params, 5, 500);
     std::vector<RequestEvent> batchA(500);
@@ -108,6 +108,65 @@ TEST(RequestStream, GeneratedStreamsAreSeedDeterministicAndInRange) {
   }
   EXPECT_THROW((void)makeGeneratedStream("nope", tree, params, 1, 10),
                std::invalid_argument);
+}
+
+TEST(RequestStream, PhaseShiftFollowsTheRegimeSchedule) {
+  using workload::PhaseShiftStream;
+  const net::Tree tree = net::makeClusterNetwork(3, 4);
+  workload::StreamParams params;
+  params.numObjects = 32;
+  params.readFraction = 0.5;
+  params.phaseLength = 1'000;
+  // One full [skew, skew, churn, burst] cycle plus one slot of wrap.
+  const std::uint64_t total =
+      params.phaseLength * (PhaseShiftStream::kCycleSlots + 1);
+  const auto stream =
+      makeGeneratedStream("phase-shift", tree, params, 9, total);
+  std::vector<workload::RequestEvent> events(total);
+  ASSERT_EQ(stream->fill(events), total);
+
+  // regimeAt is pure slot arithmetic: boundaries sit exactly on
+  // phaseLength multiples and the schedule wraps around the cycle.
+  for (std::uint64_t slot = 0; slot <= PhaseShiftStream::kCycleSlots;
+       ++slot) {
+    const int expected =
+        PhaseShiftStream::kCycle[slot % PhaseShiftStream::kCycleSlots];
+    const std::uint64_t begin = slot * params.phaseLength;
+    EXPECT_EQ(PhaseShiftStream::regimeAt(begin, params.phaseLength),
+              expected);
+    EXPECT_EQ(PhaseShiftStream::regimeAt(begin + params.phaseLength - 1,
+                                         params.phaseLength),
+              expected);
+  }
+
+  // Realised write fractions flip with the regime: the skew slots are
+  // read-heavy, the churn slot write-heavy, the burst slot near the
+  // base readFraction. Generous brackets — this asserts the regime
+  // identity, not the RNG.
+  const auto writeFraction = [&](std::uint64_t slot) {
+    std::uint64_t writes = 0;
+    for (std::uint64_t i = slot * params.phaseLength;
+         i < (slot + 1) * params.phaseLength; ++i) {
+      writes += events[i].isWrite ? 1 : 0;
+    }
+    return static_cast<double>(writes) /
+           static_cast<double>(params.phaseLength);
+  };
+  EXPECT_LT(writeFraction(0), 0.1);  // skew: 1 - kSkewReadFraction
+  EXPECT_LT(writeFraction(1), 0.1);
+  EXPECT_GT(writeFraction(2), 0.7);  // churn: 1 - kChurnReadFraction
+  EXPECT_GT(writeFraction(3), 0.3);  // burst: 1 - readFraction
+  EXPECT_LT(writeFraction(3), 0.7);
+  EXPECT_LT(writeFraction(4), 0.1);  // wrap: skew again
+
+  // The burst regime pins runs of burstLength to one (object, origin).
+  const std::uint64_t burstBegin = 3 * params.phaseLength;
+  bool sawRepeat = false;
+  for (std::uint64_t i = burstBegin + 1; i < burstBegin + 200; ++i) {
+    sawRepeat = sawRepeat || (events[i].object == events[i - 1].object &&
+                              events[i].origin == events[i - 1].origin);
+  }
+  EXPECT_TRUE(sawRepeat);
 }
 
 TEST(RequestStream, TraceFileStreamReadsWhatWasWritten) {

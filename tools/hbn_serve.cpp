@@ -167,7 +167,7 @@ void printUsage(std::ostream& os) {
         "  --trace FILE      serve a trace file (hbn-trace v1) instead of\n"
         "                    a generated stream\n"
         "  --stream NAME     generated stream profile: skewed | bursty |\n"
-        "                    diurnal (default skewed)\n"
+        "                    diurnal | phase-shift (default skewed)\n"
         "  --requests N      generated stream length (default 1000000)\n"
         "  --epoch N         requests per epoch (default 65536)\n"
         "  --objects N       shared objects for generated streams\n"
