@@ -30,6 +30,7 @@ void registerDynamic(engine::ExperimentRegistry&);           // E11
 void registerServingThroughput(engine::ExperimentRegistry&); // E12
 void registerLoadEngine(engine::ExperimentRegistry&);        // E13
 void registerPolicyComparison(engine::ExperimentRegistry&);  // E14
+void registerFaultRecovery(engine::ExperimentRegistry&);     // E15
 }  // namespace detail
 
 }  // namespace hbn::bench

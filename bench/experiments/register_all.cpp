@@ -20,6 +20,7 @@ engine::ExperimentRegistry& experiments() {
     detail::registerServingThroughput(registry);
     detail::registerLoadEngine(registry);
     detail::registerPolicyComparison(registry);
+    detail::registerFaultRecovery(registry);
     return true;
   }();
   (void)populated;

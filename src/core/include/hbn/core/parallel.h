@@ -8,6 +8,7 @@
 // sequential loop for any worker count.
 #pragma once
 
+#include <exception>
 #include <thread>
 #include <vector>
 
@@ -29,6 +30,11 @@ void parallelForObjects(int numObjects, int threads, Fn&& fn) {
     for (workload::ObjectId x = 0; x < numObjects; ++x) fn(x, 0);
     return;
   }
+  // Worker exceptions must not reach std::thread (std::terminate, no
+  // unwinding): each stripe captures its first exception, every thread
+  // is joined unconditionally, and the lowest-stripe exception rethrows
+  // on the caller — deterministic regardless of worker scheduling.
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
   for (int t = 0; t < workers; ++t) {
@@ -36,11 +42,18 @@ void parallelForObjects(int numObjects, int threads, Fn&& fn) {
         static_cast<long>(numObjects) * t / workers);
     const auto end = static_cast<workload::ObjectId>(
         static_cast<long>(numObjects) * (t + 1) / workers);
-    pool.emplace_back([begin, end, t, &fn] {
-      for (workload::ObjectId x = begin; x < end; ++x) fn(x, t);
+    pool.emplace_back([begin, end, t, &fn, &errors] {
+      try {
+        for (workload::ObjectId x = begin; x < end; ++x) fn(x, t);
+      } catch (...) {
+        errors[static_cast<std::size_t>(t)] = std::current_exception();
+      }
     });
   }
   for (std::thread& worker : pool) worker.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
 }
 
 }  // namespace hbn::core

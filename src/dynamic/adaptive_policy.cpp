@@ -1,6 +1,8 @@
 #include "hbn/dynamic/adaptive_policy.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 #include <utility>
 
@@ -271,7 +273,7 @@ void AdaptivePolicy::resetCopySet(ObjectId x,
     // snapshotted, NOT the current desired — chained pending passes
     // then apply identically whether drained at the trigger (barrier)
     // or on later touches (pipelined).
-    member = snapshots_[static_cast<std::size_t>(seq)]
+    member = snapshots_[static_cast<std::size_t>(seq - snapshotBase_)]
                        [static_cast<std::size_t>(x)];
     ++seq;
   } else {
@@ -294,6 +296,114 @@ void AdaptivePolicy::resetCopySet(ObjectId x,
   }
   pending_[static_cast<std::size_t>(x)] =
       route.desired != route.active ? 1 : 0;
+}
+
+void AdaptivePolicy::serializeState(std::ostream& os) const {
+  // Quiescence: every begun pass has been applied to every object (the
+  // epoch server drains before checkpointing), so the routing snapshots
+  // are dead and only the pass COUNT needs to survive.
+  for (const std::uint64_t seq : appliedSeq_) {
+    if (seq != passesBegun_) {
+      throw std::logic_error(
+          "adaptive: serializeState requires a quiescent policy (an "
+          "in-flight handoff pass has not been applied everywhere)");
+    }
+  }
+  const std::size_t m = members_.size();
+  os << "adaptive v1 " << m << ' ' << window_ << ' ' << passesBegun_ << ' '
+     << handoffs_ << '\n';
+  for (std::size_t i = 0; i < m; ++i) {
+    os << "member " << i << '\n';
+    members_[i]->serializeState(os);
+  }
+  os << "routes\n";
+  for (std::size_t x = 0; x < routes_.size(); ++x) {
+    const Route& r = routes_[x];
+    os << x << ' ' << static_cast<unsigned>(r.active) << ' '
+       << static_cast<unsigned>(r.desired) << ' '
+       << static_cast<unsigned>(r.stable) << ' '
+       << static_cast<unsigned>(r.seeded) << ' ' << r.touches << ' '
+       << r.switches << ' ' << r.reads << ' ' << r.writes << ' '
+       << static_cast<unsigned>(pending_[x]) << '\n';
+  }
+  os << "costs\n";
+  for (std::size_t x = 0; x < routes_.size(); ++x) {
+    os << x;
+    const std::size_t base = x * m;
+    for (std::size_t i = 0; i < m; ++i) os << ' ' << windowCost_[base + i];
+    for (std::size_t i = 0; i < m; ++i) os << ' ' << smoothedCost_[base + i];
+    for (std::size_t i = 0; i < m; ++i) os << ' ' << prevRaw_[base + i];
+    for (std::size_t i = 0; i < m; ++i) os << ' ' << chargedCost_[base + i];
+    os << '\n';
+  }
+}
+
+void AdaptivePolicy::restoreState(std::istream& in) {
+  const auto fail = [](const std::string& why) {
+    throw std::invalid_argument("adaptive state: " + why);
+  };
+  std::string tag;
+  std::string version;
+  std::size_t m = 0;
+  int window = 0;
+  if (!(in >> tag >> version >> m >> window >> passesBegun_ >> handoffs_) ||
+      tag != "adaptive" || version != "v1") {
+    fail("bad header");
+  }
+  if (m != members_.size() || window != window_) {
+    fail("member count or window does not match this configuration");
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t index = 0;
+    if (!(in >> tag >> index) || tag != "member" || index != i) {
+      fail("bad member header");
+    }
+    members_[i]->restoreState(in);
+  }
+  if (!(in >> tag) || tag != "routes") fail("missing routes section");
+  for (std::size_t x = 0; x < routes_.size(); ++x) {
+    std::size_t id = 0;
+    unsigned active = 0, desired = 0, stable = 0, seeded = 0, pending = 0;
+    Route r;
+    if (!(in >> id >> active >> desired >> stable >> seeded >> r.touches >>
+          r.switches >> r.reads >> r.writes >> pending) ||
+        id != x) {
+      fail("bad route line");
+    }
+    if (active >= m || desired >= m || stable > kAmortiseMax || seeded > 1 ||
+        pending > 1) {
+      fail("route fields out of range");
+    }
+    r.active = static_cast<std::uint8_t>(active);
+    r.desired = static_cast<std::uint8_t>(desired);
+    r.stable = static_cast<std::uint8_t>(stable);
+    r.seeded = static_cast<std::uint8_t>(seeded);
+    routes_[x] = r;
+    pending_[x] = static_cast<char>(pending);
+  }
+  if (!(in >> tag) || tag != "costs") fail("missing costs section");
+  for (std::size_t x = 0; x < routes_.size(); ++x) {
+    std::size_t id = 0;
+    if (!(in >> id) || id != x) fail("bad cost line");
+    const std::size_t base = x * m;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!(in >> windowCost_[base + i])) fail("bad window cost");
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!(in >> smoothedCost_[base + i])) fail("bad smoothed cost");
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!(in >> prevRaw_[base + i])) fail("bad previous-window cost");
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!(in >> chargedCost_[base + i])) fail("bad charged cost");
+    }
+  }
+  // The serialized point was quiescent: all passes applied, snapshots
+  // dead. Future passes index snapshots_ relative to the restored base.
+  snapshots_.clear();
+  snapshotBase_ = passesBegun_;
+  std::fill(appliedSeq_.begin(), appliedSeq_.end(), passesBegun_);
 }
 
 std::map<std::string, double> AdaptivePolicy::metrics() const {

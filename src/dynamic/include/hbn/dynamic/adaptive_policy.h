@@ -120,6 +120,14 @@ class AdaptivePolicy final : public OnlinePolicy {
   /// policy.adaptive.member<i>.*.
   [[nodiscard]] std::map<std::string, double> metrics() const override;
 
+  /// Serializes the full meta-state — routes, all four score matrices,
+  /// pending flags, pass counters — plus every member policy's state
+  /// recursively. Requires quiescence (every object has applied every
+  /// begun pass, so the routing snapshots are dead); throws
+  /// std::logic_error otherwise.
+  void serializeState(std::ostream& os) const override;
+  void restoreState(std::istream& in) override;
+
  private:
   class RoutePass;
 
@@ -165,7 +173,11 @@ class AdaptivePolicy final : public OnlinePolicy {
   /// resetCopySet consumes them per object through appliedSeq_ so
   /// chained passes commit the member each pass was CREATED against
   /// (barrier and pipelined application then stay bit-identical).
+  /// snapshots_[k] belongs to pass number snapshotBase_ + k: a restored
+  /// policy starts with an empty vector but a nonzero pass count, so
+  /// the base keeps absolute pass numbers indexable.
   std::vector<std::vector<std::uint8_t>> snapshots_;
+  std::uint64_t snapshotBase_ = 0;
   std::vector<std::uint64_t> appliedSeq_;  ///< per object: passes applied
   std::uint64_t passesBegun_ = 0;
   std::uint64_t handoffs_ = 0;

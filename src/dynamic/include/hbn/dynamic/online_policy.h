@@ -36,6 +36,7 @@
 //                     window=<epochs>` (hbn/dynamic/adaptive_policy.h)
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -175,6 +176,24 @@ class OnlinePolicy {
   [[nodiscard]] virtual std::map<std::string, double> metrics() const {
     return {};
   }
+
+  /// Writes the policy's mutable serving state — copy sets, counters,
+  /// scores, handoff bookkeeping — as whitespace-separated text, the
+  /// policy-state block of an epoch-boundary checkpoint
+  /// (hbn/serve/checkpoint.h). Contract: restoreState on a FRESHLY
+  /// built policy with an identical spec over the same topology
+  /// reproduces bit-identical serving from the serialized point on
+  /// (property-checked for every registered policy by
+  /// tests/checkpoint_test.cpp). The policy must be quiescent — no
+  /// in-flight HandoffPass — which the epoch server guarantees by
+  /// draining all passes before checkpointing; a non-quiescent policy
+  /// throws std::logic_error.
+  virtual void serializeState(std::ostream& os) const = 0;
+
+  /// Restores state written by serializeState on an identically
+  /// configured policy; throws std::invalid_argument on malformed,
+  /// truncated, or out-of-range input.
+  virtual void restoreState(std::istream& in) = 0;
 };
 
 /// A parsed policy spec, ready to build per-server instances. Splitting

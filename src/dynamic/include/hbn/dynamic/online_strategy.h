@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -122,6 +123,16 @@ class OnlineTreeStrategy {
 
   /// Current copy locations of `x`, ascending.
   [[nodiscard]] std::vector<net::NodeId> copySet(ObjectId x) const;
+
+  /// Writes the per-object counter state (copy locations in incremental
+  /// order, anchor, nonzero read counters) as whitespace-separated text.
+  /// restoreState on a freshly built strategy over the same topology
+  /// reproduces bit-identical serving from that point on.
+  void serializeState(std::ostream& os) const;
+
+  /// Restores state written by serializeState; throws
+  /// std::invalid_argument on malformed text or out-of-range values.
+  void restoreState(std::istream& in);
 
   /// Total number of replications performed (copy-set extensions).
   [[nodiscard]] Count replications() const noexcept { return replications_; }

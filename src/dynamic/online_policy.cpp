@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
+#include <istream>
+#include <map>
 #include <mutex>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -129,6 +132,18 @@ ObjectId checkObjectId(ObjectId x, std::size_t numObjects,
     throw std::out_of_range(std::string(where) + ": object id");
   }
   return x;
+}
+
+/// Reads and checks the `<name> v1` header every policy-state block
+/// starts with, so restoring into the wrong policy type fails loudly
+/// instead of misparsing.
+void expectStateHeader(std::istream& in, std::string_view name) {
+  std::string tag;
+  std::string version;
+  if (!(in >> tag >> version) || tag != name || version != "v1") {
+    throw std::invalid_argument("policy state: expected '" +
+                                std::string(name) + " v1' header");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -299,6 +314,19 @@ class TreeCountersPolicy final : public OnlinePolicy {
             {"policy.handoffs", static_cast<double>(handoffs_)}};
   }
 
+  void serializeState(std::ostream& os) const override {
+    os << "tree-counters v1 " << handoffs_ << '\n';
+    strategy_.serializeState(os);
+  }
+
+  void restoreState(std::istream& in) override {
+    expectStateHeader(in, "tree-counters");
+    if (!(in >> handoffs_)) {
+      throw std::invalid_argument("tree-counters state: bad handoff count");
+    }
+    strategy_.restoreState(in);
+  }
+
  private:
   OnlineTreeStrategy strategy_;
   OnlineOptions options_;
@@ -402,6 +430,64 @@ class StaticPolicy final : public OnlinePolicy {
             {"policy.copyNodes", static_cast<double>(copyNodes)}};
   }
 
+  void serializeState(std::ostream& os) const override {
+    // FrozenConfig's gate table and Steiner edges are derived data; the
+    // sorted location list alone reconstructs the config bit for bit.
+    os << "static v1 " << handoffs_ << '\n';
+    os << "objects " << objects_.size() << '\n';
+    for (std::size_t x = 0; x < objects_.size(); ++x) {
+      const FrozenConfig& config = *objects_[x];
+      os << x << ' ' << config.locations.size();
+      for (const net::NodeId v : config.locations) os << ' ' << v;
+      os << '\n';
+    }
+  }
+
+  void restoreState(std::istream& in) override {
+    expectStateHeader(in, "static");
+    const auto fail = [](const std::string& why) {
+      throw std::invalid_argument("static state: " + why);
+    };
+    if (!(in >> handoffs_)) fail("bad handoff count");
+    std::string tag;
+    std::size_t count = 0;
+    if (!(in >> tag >> count) || tag != "objects" ||
+        count != objects_.size()) {
+      fail("bad objects header");
+    }
+    // Most objects typically share a configuration (everything starts
+    // on one, and a monolithic handoff moves many objects to identical
+    // sets); dedupe on the sorted location key so restore rebuilds each
+    // distinct FrozenConfig (gate BFS + Steiner) once, not per object.
+    std::map<std::vector<net::NodeId>, std::shared_ptr<const FrozenConfig>>
+        configs;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::size_t x = 0;
+      std::size_t nLoc = 0;
+      if (!(in >> x >> nLoc) || x != i) fail("bad object line");
+      if (nLoc < 1 ||
+          nLoc > static_cast<std::size_t>(rooted_->tree().nodeCount())) {
+        fail("copy count out of range");
+      }
+      std::vector<net::NodeId> locations(nLoc);
+      for (net::NodeId& v : locations) {
+        if (!(in >> v) || v < 0 || v >= rooted_->tree().nodeCount()) {
+          fail("location out of range");
+        }
+      }
+      auto [it, inserted] = configs.try_emplace(locations, nullptr);
+      if (inserted) {
+        auto config = std::make_shared<FrozenConfig>();
+        config->build(*rooted_, locations);
+        if (config->locations != it->first) {
+          fail("locations not sorted/unique");
+        }
+        it->second = std::move(config);
+      }
+      objects_[x] = it->second;
+    }
+  }
+
  private:
   const net::RootedTree* rooted_;
   core::FlatTreeView flat_;
@@ -457,6 +543,22 @@ class FixedConfigPolicy : public OnlinePolicy {
   [[nodiscard]] std::map<std::string, double> metrics() const override {
     return {{"policy.copyNodes",
              static_cast<double>(config_.locations.size())}};
+  }
+
+  void serializeState(std::ostream& os) const override {
+    // The configuration is immutable and fully determined by the spec;
+    // the block is a validation marker only.
+    os << "fixed v1 " << name() << '\n';
+  }
+
+  void restoreState(std::istream& in) override {
+    expectStateHeader(in, "fixed");
+    std::string stored;
+    if (!(in >> stored) || stored != name()) {
+      throw std::invalid_argument(
+          "fixed-config state: policy name mismatch (got '" + stored +
+          "', expected '" + std::string(name()) + "')");
+    }
   }
 
  protected:

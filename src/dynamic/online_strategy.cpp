@@ -1,6 +1,8 @@
 #include "hbn/dynamic/online_strategy.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 
 #include "hbn/net/steiner.h"
@@ -306,6 +308,94 @@ void OnlineTreeStrategy::resetCopySet(ObjectId x,
     state.readCounter[static_cast<std::size_t>(e)] = 0;
   }
   state.countedEdges.clear();
+}
+
+void OnlineTreeStrategy::serializeState(std::ostream& os) const {
+  // One line per object: locations in their incremental (insertion)
+  // order so the restored vector is positionally identical, the anchor,
+  // then the nonzero read counters as (edge, count) pairs. countedEdges
+  // may hold duplicates and already-reset edges in a live strategy;
+  // emitting the deduplicated nonzero set restores identical counter
+  // VALUES, and contraction's zeroing is idempotent over either list.
+  os << "objects " << objects_.size() << '\n';
+  for (std::size_t x = 0; x < objects_.size(); ++x) {
+    const ObjectState& state = objects_[x];
+    os << x << ' ' << state.anchor << ' ' << state.locations.size();
+    for (const net::NodeId v : state.locations) os << ' ' << v;
+    std::size_t counted = 0;
+    for (std::size_t e = 0; e < state.readCounter.size(); ++e) {
+      if (state.readCounter[e] != 0) ++counted;
+    }
+    os << ' ' << counted;
+    for (std::size_t e = 0; e < state.readCounter.size(); ++e) {
+      if (state.readCounter[e] != 0) {
+        os << ' ' << e << ' ' << state.readCounter[e];
+      }
+    }
+    os << '\n';
+  }
+}
+
+void OnlineTreeStrategy::restoreState(std::istream& in) {
+  const auto fail = [](const std::string& why) {
+    throw std::invalid_argument("tree-counters state: " + why);
+  };
+  std::string tag;
+  std::size_t count = 0;
+  if (!(in >> tag >> count) || tag != "objects" || count != objects_.size()) {
+    fail("bad objects header");
+  }
+  const int nodeCount = rooted_->tree().nodeCount();
+  const int edgeCount = rooted_->tree().edgeCount();
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t x = 0;
+    net::NodeId anchor = net::kInvalidNode;
+    std::size_t nLoc = 0;
+    if (!(in >> x >> anchor >> nLoc) || x != i) fail("bad object line");
+    if (nLoc < 1 || nLoc > static_cast<std::size_t>(nodeCount)) {
+      fail("copy count out of range");
+    }
+    ObjectState& state = objects_[x];
+    for (const net::NodeId v : state.locations) {
+      state.hasCopy[static_cast<std::size_t>(v)] = 0;
+    }
+    state.locations.clear();
+    for (std::size_t j = 0; j < nLoc; ++j) {
+      net::NodeId v = net::kInvalidNode;
+      if (!(in >> v) || v < 0 || v >= nodeCount) fail("location out of range");
+      if (state.hasCopy[static_cast<std::size_t>(v)]) {
+        fail("duplicate copy location");
+      }
+      state.hasCopy[static_cast<std::size_t>(v)] = 1;
+      state.locations.push_back(v);
+    }
+    state.copyCount = static_cast<int>(nLoc);
+    if (anchor < 0 || anchor >= nodeCount ||
+        !state.hasCopy[static_cast<std::size_t>(anchor)]) {
+      fail("anchor holds no copy");
+    }
+    state.anchor = anchor;
+    for (const net::EdgeId e : state.countedEdges) {
+      state.readCounter[static_cast<std::size_t>(e)] = 0;
+    }
+    state.countedEdges.clear();
+    std::size_t counted = 0;
+    if (!(in >> counted) || counted > static_cast<std::size_t>(edgeCount)) {
+      fail("bad counter count");
+    }
+    for (std::size_t j = 0; j < counted; ++j) {
+      net::EdgeId e = -1;
+      Count value = 0;
+      if (!(in >> e >> value) || e < 0 || e >= edgeCount || value < 1) {
+        fail("bad counter entry");
+      }
+      if (state.readCounter[static_cast<std::size_t>(e)] != 0) {
+        fail("duplicate counter edge");
+      }
+      state.readCounter[static_cast<std::size_t>(e)] = value;
+      state.countedEdges.push_back(e);
+    }
+  }
 }
 
 std::vector<net::NodeId> OnlineTreeStrategy::copySet(ObjectId x) const {

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <span>
+#include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "hbn/core/lower_bound.h"
 #include "hbn/core/parallel.h"
 #include "hbn/dynamic/harness.h"
+#include "hbn/serve/error.h"
 #include "hbn/util/timer.h"
+#include "hbn/workload/serialize.h"
 
 namespace hbn::serve {
 namespace {
@@ -39,6 +43,12 @@ EpochServer::EpochServer(const net::RootedTree& rooted, int numObjects,
   if (options.epochSize < 1) {
     throw std::invalid_argument("EpochServer: epochSize >= 1");
   }
+  if (!options.checkpointDir.empty() && options.checkpointEvery < 1) {
+    throw std::invalid_argument("EpochServer: checkpointEvery >= 1");
+  }
+  if (options.handoffRetries < 0) {
+    throw std::invalid_argument("EpochServer: handoffRetries >= 0");
+  }
 }
 
 ServeReport EpochServer::serve(RequestStream& stream) {
@@ -52,7 +62,9 @@ ServeReport EpochServer::serve(RequestStream& stream) {
   // identical and pipeline on/off runs are comparable request for
   // request.
   EpochIngest ingest(stream, tree, numObjects_, options_.epochSize,
-                     options_.pipeline);
+                     options_.pipeline, options_.faults.get(),
+                     logBase_ + log_.size());
+  util::FaultInjector* const faults = options_.faults.get();
 
   std::vector<core::LoadMap> workerLoads;       // serve + update traffic
   std::vector<core::LoadMap> workerMigration;   // lazy handoff traffic
@@ -88,9 +100,17 @@ ServeReport EpochServer::serve(RequestStream& stream) {
   std::vector<double> epochLatency;
   util::Timer total;
 
-  while (EpochBatch* batch = ingest.acquire()) {
+  for (;;) {
+    // The watchdogged acquire: past stallTimeoutMs the serve thread
+    // assembles the epoch inline itself (degraded = true) instead of
+    // hanging on a stalled ingest thread.
+    const AcquireResult acquired = ingest.acquireFor(options_.stallTimeoutMs);
+    EpochBatch* const batch = acquired.batch;
+    if (batch == nullptr) break;
     util::Timer epochTimer;
     const std::size_t n = batch->n;
+    const std::uint64_t epochIndex = logBase_ + log_.size();
+    if (acquired.degraded) ++degradedEpochs_;
 
     // Stage 2: shard the epoch over the object range — whole objects
     // per worker, per-worker loads/stats/scratch, no shared mutable
@@ -107,6 +127,16 @@ ServeReport EpochServer::serve(RequestStream& stream) {
     const std::uint64_t targetVersion = passesBegun_;
     core::parallelForObjects(
         numObjects_, options_.threads, [&](ObjectId x, int worker) {
+          // Injected worker failure: thrown as a structured Serve error,
+          // propagated deterministically by parallelForObjects (lowest
+          // stripe wins) and through serve() — the kill the checkpoint
+          // recovery tests restart from.
+          if (faults != nullptr &&
+              faults->fire(util::FaultKind::ShardThrow, epochIndex, worker)) {
+            throw Error(Stage::Serve, epochIndex,
+                        "injected shard failure (worker " +
+                            std::to_string(worker) + ")");
+          }
           const std::size_t begin = batch->offsets[static_cast<std::size_t>(x)];
           const std::size_t end =
               batch->offsets[static_cast<std::size_t>(x) + 1];
@@ -185,8 +215,9 @@ ServeReport EpochServer::serve(RequestStream& stream) {
 
     // Epoch bookkeeping and the adaptive re-placement trigger.
     EpochRecord record;
-    record.index = static_cast<std::uint64_t>(log_.size());
+    record.index = epochIndex;
     record.requests = n;
+    record.degraded = acquired.degraded;
     record.lowerBound = lowerBound_.congestion();
     record.congestion = loads_.congestion(tree);
     // Drift is measured since the last re-placement: how much realised
@@ -206,7 +237,7 @@ ServeReport EpochServer::serve(RequestStream& stream) {
     // (wantsHandoff — e.g. adaptive committing per-object routing
     // switches), independent of the drift knob.
     if (policy_->migratable() && (driftFired || policy_->wantsHandoff())) {
-      beginPass(workers);
+      beginPass(workers, epochIndex);
       ++replacements_;
       record.replaced = true;
       if (!options_.pipeline) {
@@ -218,6 +249,29 @@ ServeReport EpochServer::serve(RequestStream& stream) {
       }
       serveCongestionMark_ = serveCongestion;
       lowerBoundMark_ = record.lowerBound;
+    }
+    // Epoch-boundary checkpoint. Draining the pending passes first
+    // keeps the snapshot quiescent (no pass state to serialize) and is
+    // bit-neutral: a pass applies early here exactly what lazy
+    // application would have charged on each object's next touch (the
+    // row-stability contract), and serveLoads_ — the drift trigger's
+    // input — never carries migration traffic, so the trigger schedule
+    // is unchanged too.
+    if (!options_.checkpointDir.empty() &&
+        (epochIndex + 1) % options_.checkpointEvery == 0) {
+      drainAllPasses(workerMigration, workerAcc, workers);
+      retireAppliedPasses();
+      record.congestion = loads_.congestion(tree);  // migration included
+      try {
+        writeCheckpointFile(snapshotStateAt(epochIndex + 1),
+                            options_.checkpointDir);
+      } catch (const Error&) {
+        throw;
+      } catch (const std::exception& e) {
+        throw Error(Stage::Checkpoint, epochIndex, e.what());
+      }
+      ++checkpointsWritten_;
+      record.checkpointed = true;
     }
     record.ratio =
         dynamic::competitiveRatio(record.congestion, record.lowerBound);
@@ -255,6 +309,23 @@ ServeReport EpochServer::serve(RequestStream& stream) {
   drainAllPasses(workerMigration, workerAcc, workers);
   retireAppliedPasses();
 
+  // Final checkpoint: a restart resumes from exactly end-of-run state
+  // even when the last epoch missed the cadence (skipped when the last
+  // epoch already checkpointed this boundary).
+  if (!options_.checkpointDir.empty() &&
+      (log_.empty() || !log_.back().checkpointed)) {
+    const std::uint64_t epochs = logBase_ + log_.size();
+    try {
+      writeCheckpointFile(snapshotStateAt(epochs), options_.checkpointDir);
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw Error(Stage::Checkpoint, epochs == 0 ? 0 : epochs - 1, e.what());
+    }
+    ++checkpointsWritten_;
+    if (!log_.empty()) log_.back().checkpointed = true;
+  }
+
   report.wallMs = total.millis();
   report.requestsPerSec =
       report.wallMs > 0.0
@@ -274,11 +345,14 @@ ServeReport EpochServer::serve(RequestStream& stream) {
   report.replacements = replacements_;
   report.replications = replications_;
   report.invalidations = invalidations_;
+  report.degradedEpochs = degradedEpochs_;
+  report.handoffRetries = handoffRetriesUsed_;
+  report.checkpoints = checkpointsWritten_;
   report.policyMetrics = policy_->metrics();
   return report;
 }
 
-void EpochServer::beginPass(int workers) {
+void EpochServer::beginPass(int workers, std::uint64_t epoch) {
   // Hand the policy the live aggregated matrix without copying it: a
   // lazy target for object x is only ever queried on x's first touch
   // after this trigger, and because epochs aggregate after they serve,
@@ -289,7 +363,30 @@ void EpochServer::beginPass(int workers) {
   const std::shared_ptr<const workload::Workload> snapshot(
       std::shared_ptr<const workload::Workload>(), &aggregated_);
   auto pass = std::make_unique<PassState>();
-  pass->pass = policy_->beginHandoff(snapshot, workers);
+  // Bounded retry with escalating backoff. The injected fault fires
+  // BEFORE beginHandoff, so a retried attempt re-runs the publication
+  // from a policy that never saw the failed one — retries are
+  // side-effect-clean by construction.
+  util::FaultInjector* const faults = options_.faults.get();
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (faults != nullptr &&
+          faults->fire(util::FaultKind::HandoffFail, epoch, -1)) {
+        throw std::runtime_error("injected handoff publication failure");
+      }
+      pass->pass = policy_->beginHandoff(snapshot, workers);
+      break;
+    } catch (const std::exception& e) {
+      if (attempt >= options_.handoffRetries) {
+        throw Error(Stage::Handoff, epoch, e.what());
+      }
+      ++handoffRetriesUsed_;
+      if (options_.handoffBackoffMs > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            options_.handoffBackoffMs * (attempt + 1)));
+      }
+    }
+  }
   pass->version = ++passesBegun_;
   pendingPasses_.push_back(std::move(pass));
   publishSchedule();
@@ -376,6 +473,94 @@ void EpochServer::retireAppliedPasses() {
   publishSchedule();
   schedule_.synchronize();
   retiring.clear();
+}
+
+CheckpointData EpochServer::snapshotStateAt(std::uint64_t epochs) const {
+  if (!pendingPasses_.empty()) {
+    throw std::logic_error(
+        "EpochServer: snapshot requires a quiescent server "
+        "(handoff passes still pending)");
+  }
+  const net::Tree& tree = rooted_->tree();
+  const int edgeCount = tree.edgeCount();
+  CheckpointData data;
+  data.policySpec = policy_->spec();
+  data.numObjects = numObjects_;
+  data.numNodes = tree.nodeCount();
+  data.numEdges = edgeCount;
+  data.servedTotal = servedTotal_;
+  data.epochs = epochs;
+  data.replacements = replacements_;
+  data.replications = replications_;
+  data.invalidations = invalidations_;
+  data.passesBegun = passesBegun_;
+  data.degradedEpochs = degradedEpochs_;
+  data.handoffRetries = handoffRetriesUsed_;
+  data.checkpointsWritten = checkpointsWritten_;
+  data.serveCongestionMark = serveCongestionMark_;
+  data.lowerBoundMark = lowerBoundMark_;
+  data.loads.resize(static_cast<std::size_t>(edgeCount));
+  data.serveLoads.resize(static_cast<std::size_t>(edgeCount));
+  for (net::EdgeId e = 0; e < edgeCount; ++e) {
+    data.loads[static_cast<std::size_t>(e)] = loads_.edgeLoad(e);
+    data.serveLoads[static_cast<std::size_t>(e)] = serveLoads_.edgeLoad(e);
+  }
+  data.workloadText = workload::toText(aggregated_);
+  std::ostringstream policyState;
+  policy_->serializeState(policyState);
+  data.policyState = policyState.str();
+  return data;
+}
+
+CheckpointData EpochServer::snapshotState() const {
+  return snapshotStateAt(logBase_ + log_.size());
+}
+
+void EpochServer::restoreFrom(const CheckpointData& data) {
+  if (servedTotal_ != 0 || !log_.empty() || passesBegun_ != 0 ||
+      logBase_ != 0) {
+    throw std::logic_error("EpochServer: restoreFrom requires a fresh server");
+  }
+  const net::Tree& tree = rooted_->tree();
+  if (data.policySpec != policy_->spec()) {
+    throw std::invalid_argument("checkpoint: policy mismatch (snapshot '" +
+                                data.policySpec + "' vs server '" +
+                                policy_->spec() + "')");
+  }
+  if (data.numObjects != numObjects_ || data.numNodes != tree.nodeCount() ||
+      data.numEdges != tree.edgeCount()) {
+    throw std::invalid_argument(
+        "checkpoint: topology mismatch (objects/nodes/edges differ)");
+  }
+  workload::Workload restored = workload::parseText(data.workloadText);
+  if (restored.numObjects() != numObjects_ ||
+      restored.numNodes() != tree.nodeCount()) {
+    throw std::invalid_argument("checkpoint: workload dims mismatch");
+  }
+  // Policy state first: it is the most likely piece to fail validation,
+  // and nothing else has been mutated yet when it throws.
+  std::istringstream policyState(data.policyState);
+  policy_->restoreState(policyState);
+  aggregated_ = std::move(restored);
+  for (net::EdgeId e = 0; e < tree.edgeCount(); ++e) {
+    loads_.addEdgeLoad(e, data.loads[static_cast<std::size_t>(e)]);
+    serveLoads_.addEdgeLoad(e, data.serveLoads[static_cast<std::size_t>(e)]);
+  }
+  servedTotal_ = data.servedTotal;
+  logBase_ = data.epochs;
+  replacements_ = data.replacements;
+  replications_ = data.replications;
+  invalidations_ = data.invalidations;
+  passesBegun_ = data.passesBegun;
+  std::fill(appliedVersion_.begin(), appliedVersion_.end(), passesBegun_);
+  degradedEpochs_ = data.degradedEpochs;
+  handoffRetriesUsed_ = data.handoffRetries;
+  checkpointsWritten_ = data.checkpointsWritten;
+  serveCongestionMark_ = data.serveCongestionMark;
+  lowerBoundMark_ = data.lowerBoundMark;
+  // The snapshot was quiescent, so the schedule restarts empty with its
+  // base at the restored pass count.
+  publishSchedule();
 }
 
 void EpochServer::publishSchedule() {

@@ -58,8 +58,10 @@
 #include "hbn/core/lower_bound.h"
 #include "hbn/dynamic/online_policy.h"
 #include "hbn/net/rooted.h"
+#include "hbn/serve/checkpoint.h"
 #include "hbn/serve/pipeline.h"
 #include "hbn/serve/request_stream.h"
+#include "hbn/util/fault.h"
 #include "hbn/util/rcu.h"
 #include "hbn/util/stats.h"
 #include "hbn/workload/workload.h"
@@ -97,6 +99,32 @@ struct ServeOptions {
   /// Reservoir capacity for run-level request-latency sampling;
   /// 0 disables latency percentiles.
   std::size_t latencySample = 4096;
+  /// Directory for epoch-boundary checkpoints (hbn-checkpoint v1, see
+  /// hbn/serve/checkpoint.h); empty disables checkpointing. A
+  /// checkpoint drains every pending handoff pass first, so restoring
+  /// it plus re-serving the rest of the stream is bit-identical to an
+  /// uninterrupted run.
+  std::string checkpointDir;
+  /// Epochs between checkpoints (>= 1); only read when checkpointDir is
+  /// set.
+  std::uint64_t checkpointEvery = 1;
+  /// Pipeline stall watchdog: when the ingest thread has not produced
+  /// an epoch within this many milliseconds, the serve thread assembles
+  /// the epoch inline (degraded mode — the barrier engine's behaviour
+  /// for that epoch) instead of hanging. <= 0 waits forever. Ignored in
+  /// barrier mode, where ingest is inline anyway.
+  double stallTimeoutMs = 0.0;
+  /// Bounded retry on handoff publication failure: how many times
+  /// beginning a §4 pass may be retried before the epoch fails with
+  /// serve::Error{Handoff}, and the base backoff between attempts
+  /// (attempt k sleeps k × handoffBackoffMs).
+  int handoffRetries = 3;
+  double handoffBackoffMs = 1.0;
+  /// Deterministic fault injection (util::FaultInjector specs —
+  /// ingest-stall@epochN, shard-throw@epochN:shardM, handoff-fail@
+  /// epochN); null injects nothing. Shared so the CLI, tests and
+  /// benchmarks can inspect trigger counts after the run.
+  std::shared_ptr<util::FaultInjector> faults;
 };
 
 /// One epoch's record in the serve log.
@@ -123,6 +151,12 @@ struct EpochRecord {
   double latencyMsP99 = 0.0;
   double latencyMsP999 = 0.0;
   bool replaced = false;
+  /// The stall watchdog fired and the serve thread assembled this epoch
+  /// inline (barrier-engine fallback; contents still bit-identical).
+  bool degraded = false;
+  /// A checkpoint was written at this epoch's boundary (after draining
+  /// pending passes — congestion above therefore includes migration).
+  bool checkpointed = false;
 };
 
 /// Aggregate outcome of one serve() run.
@@ -162,6 +196,12 @@ struct ServeReport {
   /// proportional to the epoch (× the two pipeline slots), never to
   /// the stream.
   std::uint64_t epochBufferBytes = 0;
+  /// Robustness counters (server lifetime, so they survive a restore):
+  /// epochs assembled inline by the stall watchdog, handoff publication
+  /// retries consumed, and checkpoints written.
+  std::uint64_t degradedEpochs = 0;
+  std::uint64_t handoffRetries = 0;
+  std::uint64_t checkpoints = 0;
 };
 
 class EpochServer {
@@ -198,6 +238,28 @@ class EpochServer {
   }
   [[nodiscard]] int numObjects() const noexcept { return numObjects_; }
 
+  /// Captures the server's full resumable state as a checkpoint. The
+  /// server must be quiescent (no pending handoff passes — true between
+  /// serve() calls and at checkpoint boundaries inside one); throws
+  /// std::logic_error otherwise.
+  [[nodiscard]] CheckpointData snapshotState() const;
+
+  /// Rebuilds the server from a checkpoint taken by an identically
+  /// configured server (same topology, objects, canonical policy spec).
+  /// Only valid on a fresh server that has not served anything; throws
+  /// std::logic_error when it has, std::invalid_argument when the
+  /// checkpoint does not match this server. The request stream is NOT
+  /// part of the snapshot — resume a deterministic stream by rebuilding
+  /// it and discarding CheckpointData::servedTotal events
+  /// (serve::skipRequests) before the next serve() call.
+  void restoreFrom(const CheckpointData& data);
+
+  /// Requests consumed over the server's lifetime (including the
+  /// restored prefix) — what a resumed stream must skip.
+  [[nodiscard]] std::uint64_t servedTotal() const noexcept {
+    return servedTotal_;
+  }
+
  private:
   /// One pending §4 handoff: the policy's pass plus retirement
   /// bookkeeping. `applied` counts objects migrated through it; the
@@ -221,8 +283,10 @@ class EpochServer {
 
   /// Opens a HandoffPass over aggregated_ (zero-copy; see the
   /// HandoffPass row-stability contract) and publishes the extended
-  /// schedule.
-  void beginPass(int workers);
+  /// schedule. Publication failures (injected or real) are retried up
+  /// to ServeOptions.handoffRetries times with escalating backoff;
+  /// exhaustion throws serve::Error{Handoff, epoch}.
+  void beginPass(int workers, std::uint64_t epoch);
   /// Applies every pass still pending for `x`, charging migration
   /// traffic into `migration` via `acc`. Called from workers (object
   /// striping makes x exclusive) under an RCU read guard.
@@ -240,6 +304,9 @@ class EpochServer {
   /// republishes the schedule and reclaims through the grace period.
   void retireAppliedPasses();
   void publishSchedule();
+  /// snapshotState with an explicit completed-epoch count (the serve
+  /// loop checkpoints before pushing the epoch's record).
+  [[nodiscard]] CheckpointData snapshotStateAt(std::uint64_t epochs) const;
 
   const net::RootedTree* rooted_;
   int numObjects_;
@@ -257,6 +324,10 @@ class EpochServer {
   /// barrier mode.
   core::LoadMap serveLoads_;
   std::vector<EpochRecord> log_;
+  /// Epochs completed before log_ began (nonzero after restoreFrom):
+  /// the absolute index of epoch record i is logBase_ + i, and fault
+  /// specs address epochs in absolute terms.
+  std::uint64_t logBase_ = 0;
   std::uint64_t servedTotal_ = 0;
   core::Count replications_ = 0;
   core::Count invalidations_ = 0;
@@ -271,6 +342,10 @@ class EpochServer {
   util::RcuCell<MigrationSchedule> schedule_;
   std::vector<std::uint64_t> appliedVersion_;
   std::uint64_t passesBegun_ = 0;
+  /// Robustness counters (see ServeReport).
+  std::uint64_t degradedEpochs_ = 0;
+  std::uint64_t handoffRetriesUsed_ = 0;
+  std::uint64_t checkpointsWritten_ = 0;
   /// Run-level request-latency reservoir (persists across serve calls).
   util::ReservoirSampler latency_;
 };

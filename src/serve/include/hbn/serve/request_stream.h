@@ -90,4 +90,12 @@ class VectorStream final : public RequestStream {
     const workload::StreamParams& params, std::uint64_t seed,
     std::uint64_t total);
 
+/// Discards exactly `count` events from `stream` — how a checkpoint
+/// restore resumes a deterministic stream at its cursor (rebuild the
+/// seeded generator or reopen the trace, then skip the served prefix;
+/// the generator state after N draws is a pure function of seed and N).
+/// Throws std::runtime_error when the stream ends before `count` events
+/// (the checkpoint claims more progress than the stream holds).
+void skipRequests(RequestStream& stream, std::uint64_t count);
+
 }  // namespace hbn::serve

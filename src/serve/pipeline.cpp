@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "hbn/dynamic/harness.h"
+#include "hbn/serve/error.h"
 
 namespace hbn::serve {
 namespace {
@@ -27,12 +28,16 @@ std::uint64_t EpochBatch::bufferBytes() const noexcept {
 }
 
 EpochIngest::EpochIngest(RequestStream& stream, const net::Tree& tree,
-                         int numObjects, std::size_t epochSize, bool threaded)
+                         int numObjects, std::size_t epochSize, bool threaded,
+                         util::FaultInjector* faults,
+                         std::uint64_t baseEpoch)
     : stream_(&stream),
       tree_(&tree),
+      faults_(faults),
       numObjects_(numObjects),
       epochSize_(epochSize),
-      threaded_(threaded) {
+      threaded_(threaded),
+      nextEpoch_(baseEpoch) {
   if (epochSize_ < 1) {
     throw std::invalid_argument("EpochIngest: epochSize >= 1");
   }
@@ -43,20 +48,23 @@ EpochIngest::EpochIngest(RequestStream& stream, const net::Tree& tree,
     slots_[s].offsets.resize(static_cast<std::size_t>(numObjects_) + 1);
     slots_[s].arrivals.reserve(kIngestChunks);
   }
+  // Launch last: everything the thread touches is initialised, and the
+  // RAII shutdown() below joins it on every exit path after this point.
   if (threaded_) {
     worker_ = std::thread([this] { ingestLoop(); });
   }
 }
 
-EpochIngest::~EpochIngest() {
-  if (threaded_) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      stopping_ = true;
-    }
-    freeCv_.notify_all();
-    worker_.join();
+EpochIngest::~EpochIngest() { shutdown(); }
+
+void EpochIngest::shutdown() noexcept {
+  if (!worker_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
   }
+  freeCv_.notify_all();
+  worker_.join();
 }
 
 void EpochIngest::fillBatch(EpochBatch& batch) {
@@ -88,6 +96,36 @@ void EpochIngest::fillBatch(EpochBatch& batch) {
       std::span<RequestEvent>(batch.bucketed.data(), batch.n));
 }
 
+bool EpochIngest::fillNextEpoch(EpochBatch& batch) {
+  // Caller holds fillMutex_ (the single-filler token): only one thread
+  // touches the stream at a time, and the epoch number claimed here is
+  // therefore strictly sequential no matter which thread fills.
+  std::uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    epoch = nextEpoch_;
+  }
+  batch.epoch = epoch;
+  try {
+    fillBatch(batch);
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw Error(Stage::Ingest, epoch, e.what());
+  } catch (...) {
+    throw Error(Stage::Ingest, epoch, "unknown ingest failure");
+  }
+  if (batch.n == 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++nextEpoch_;
+  }
+  // Wakes an ingest thread stalled on this epoch: its epoch was taken
+  // over, it should move on to the next one.
+  freeCv_.notify_all();
+  return true;
+}
+
 void EpochIngest::ingestLoop() {
   for (;;) {
     std::size_t index;
@@ -98,13 +136,30 @@ void EpochIngest::ingestLoop() {
       });
       if (stopping_) return;
       index = fillIndex_;
+      // Injected ingest stall: sleep BEFORE taking the fill token, so a
+      // watchdogged consumer (acquireFor) can assemble the epoch itself
+      // meanwhile. The sleep is interruptible — it ends early when the
+      // epoch is taken over, the stream ends, or we are stopping.
+      if (faults_ != nullptr) {
+        const std::uint64_t epoch = nextEpoch_;
+        const double stall = faults_->stallMs(epoch);
+        if (stall > 0.0) {
+          freeCv_.wait_for(
+              lock, std::chrono::duration<double, std::milli>(stall),
+              [this, epoch] {
+                return stopping_ || exhausted_ || nextEpoch_ != epoch;
+              });
+          if (stopping_) return;
+          if (exhausted_ || nextEpoch_ != epoch) continue;
+        }
+      }
     }
-    // Fill outside the lock: this is the whole point of the stage —
-    // the consumer serves the other slot meanwhile.
+    // Fill outside mutex_: this is the whole point of the stage — the
+    // consumer serves the other slot meanwhile.
     bool end = false;
     try {
-      fillBatch(slots_[index]);
-      end = slots_[index].n == 0;
+      std::lock_guard<std::mutex> fillLock(fillMutex_);
+      end = !fillNextEpoch(slots_[index]);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       error_ = std::current_exception();
@@ -128,8 +183,8 @@ void EpochIngest::ingestLoop() {
 EpochBatch* EpochIngest::acquire() {
   if (!threaded_) {
     EpochBatch& batch = slots_[0];
-    fillBatch(batch);
-    return batch.n == 0 ? nullptr : &batch;
+    std::lock_guard<std::mutex> fillLock(fillMutex_);
+    return fillNextEpoch(batch) ? &batch : nullptr;
   }
   std::unique_lock<std::mutex> lock(mutex_);
   readyCv_.wait(lock, [this] {
@@ -146,8 +201,61 @@ EpochBatch* EpochIngest::acquire() {
   return nullptr;  // exhausted
 }
 
+AcquireResult EpochIngest::acquireFor(double timeoutMs) {
+  if (!threaded_ || timeoutMs <= 0.0) return {acquire(), false};
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool signalled = readyCv_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(timeoutMs), [this] {
+          return error_ || exhausted_ ||
+                 state_[serveIndex_] == SlotState::Ready;
+        });
+    if (signalled) {
+      if (state_[serveIndex_] == SlotState::Ready) {
+        EpochBatch* batch = &slots_[serveIndex_];
+        serveIndex_ = 1 - serveIndex_;
+        return {batch, false};
+      }
+      if (error_) std::rethrow_exception(error_);
+      return {nullptr, false};
+    }
+  }
+  // Watchdog fired: contend for the fill token. If the ingest thread
+  // finishes while we wait for it, serve its slot normally — only a
+  // thread that wins the token against a still-stalled ingest assembles
+  // the epoch inline (the barrier engine's behaviour for this epoch).
+  std::lock_guard<std::mutex> fillLock(fillMutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error_ || exhausted_ || state_[serveIndex_] == SlotState::Ready) {
+      if (state_[serveIndex_] == SlotState::Ready) {
+        EpochBatch* batch = &slots_[serveIndex_];
+        serveIndex_ = 1 - serveIndex_;
+        return {batch, false};
+      }
+      if (error_) std::rethrow_exception(error_);
+      return {nullptr, false};
+    }
+  }
+  if (degraded_.offsets.empty()) {
+    degraded_.raw.resize(epochSize_);
+    degraded_.bucketed.resize(epochSize_);
+    degraded_.offsets.resize(static_cast<std::size_t>(numObjects_) + 1);
+    degraded_.arrivals.reserve(kIngestChunks);
+  }
+  if (!fillNextEpoch(degraded_)) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      exhausted_ = true;
+    }
+    freeCv_.notify_all();  // releases an ingest thread stalled on this epoch
+    return {nullptr, false};
+  }
+  return {&degraded_, true};
+}
+
 void EpochIngest::release(EpochBatch* batch) {
-  if (!threaded_ || batch == nullptr) return;
+  if (!threaded_ || batch == nullptr || batch == &degraded_) return;
   const auto index = static_cast<std::size_t>(batch - slots_.data());
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -158,7 +266,7 @@ void EpochIngest::release(EpochBatch* batch) {
 
 std::uint64_t EpochIngest::bufferBytes() const noexcept {
   const std::size_t slotCount = threaded_ ? 2 : 1;
-  std::uint64_t total = 0;
+  std::uint64_t total = degraded_.bufferBytes();
   for (std::size_t s = 0; s < slotCount; ++s) {
     total += slots_[s].bufferBytes();
   }

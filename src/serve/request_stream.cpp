@@ -44,6 +44,25 @@ std::size_t VectorStream::fill(std::span<RequestEvent> out) {
   return n;
 }
 
+void skipRequests(RequestStream& stream, std::uint64_t count) {
+  std::vector<RequestEvent> scratch(
+      static_cast<std::size_t>(std::min<std::uint64_t>(count, 4096)));
+  std::uint64_t skipped = 0;
+  while (skipped < count) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(count - skipped, scratch.size()));
+    const std::size_t got =
+        stream.fill(std::span<RequestEvent>(scratch.data(), want));
+    if (got == 0) {
+      throw std::runtime_error(
+          "skipRequests: stream exhausted after " + std::to_string(skipped) +
+          " of " + std::to_string(count) +
+          " events (checkpoint does not match this stream)");
+    }
+    skipped += got;
+  }
+}
+
 std::unique_ptr<RequestStream> makeGeneratedStream(
     const std::string& name, const net::Tree& tree,
     const workload::StreamParams& params, std::uint64_t seed,

@@ -8,26 +8,55 @@
 
 namespace hbn::workload {
 
-void writeText(const Workload& load, std::ostream& os) {
-  os << "hbn-workload v1\n";
-  os << "dims " << load.numObjects() << ' ' << load.numNodes() << '\n';
+namespace {
+
+void appendInt(std::string& out, std::int64_t value) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, ptr);
+}
+
+}  // namespace
+
+std::string toText(const Workload& load) {
+  // Built with to_chars into one reserved string rather than through an
+  // ostream: rendering is the dominant cost of an epoch-boundary
+  // checkpoint (hbn/serve/checkpoint.h), and per-value operator<< was
+  // most of it. The bytes produced are identical to the ostream form.
+  std::string out;
+  out.reserve(64 + static_cast<std::size_t>(load.numObjects()) *
+                       static_cast<std::size_t>(load.numNodes()) * 16);
+  out += "hbn-workload v1\ndims ";
+  appendInt(out, load.numObjects());
+  out += ' ';
+  appendInt(out, load.numNodes());
+  out += '\n';
   for (ObjectId x = 0; x < load.numObjects(); ++x) {
     for (net::NodeId v = 0; v < load.numNodes(); ++v) {
       if (load.reads(x, v) > 0) {
-        os << "read " << x << ' ' << v << ' ' << load.reads(x, v) << '\n';
+        out += "read ";
+        appendInt(out, x);
+        out += ' ';
+        appendInt(out, v);
+        out += ' ';
+        appendInt(out, load.reads(x, v));
+        out += '\n';
       }
       if (load.writes(x, v) > 0) {
-        os << "write " << x << ' ' << v << ' ' << load.writes(x, v) << '\n';
+        out += "write ";
+        appendInt(out, x);
+        out += ' ';
+        appendInt(out, v);
+        out += ' ';
+        appendInt(out, load.writes(x, v));
+        out += '\n';
       }
     }
   }
+  return out;
 }
 
-std::string toText(const Workload& load) {
-  std::ostringstream oss;
-  writeText(load, oss);
-  return oss.str();
-}
+void writeText(const Workload& load, std::ostream& os) { os << toText(load); }
 
 Workload parseText(std::string_view text) {
   std::istringstream in{std::string(text)};
@@ -110,17 +139,16 @@ std::int32_t parseTraceInt(const std::string& text, std::size_t& pos,
 TraceReader::TraceReader(std::istream& in) : in_(&in) {
   std::string line;
   if (!std::getline(in, line) || line != "hbn-trace v1") {
-    throw std::invalid_argument("TraceReader: missing 'hbn-trace v1' header");
+    traceFail(1, "missing 'hbn-trace v1' header");
   }
   if (!std::getline(in, line)) {
-    throw std::invalid_argument("TraceReader: missing dims line");
+    traceFail(2, "missing dims line (truncated trace?)");
   }
   std::istringstream dims{line};
   std::string keyword;
   if (!(dims >> keyword >> numObjects_ >> numNodes_) || keyword != "dims" ||
       numObjects_ < 1 || numNodes_ < 1) {
-    throw std::invalid_argument("TraceReader: malformed dims line '" + line +
-                                "'");
+    traceFail(2, "malformed dims line '" + line + "'");
   }
 }
 
@@ -152,6 +180,13 @@ bool TraceReader::next(RequestEvent& out) {
     }
     out = RequestEvent{object, node, kind == 'w'};
     return true;
+  }
+  // Distinguish a clean end of trace from a failed read: bad() means
+  // the underlying stream lost data (I/O error), which would otherwise
+  // masquerade as a short-but-valid trace.
+  if (in_->bad()) {
+    throw std::runtime_error("trace I/O error after line " +
+                             std::to_string(line_));
   }
   return false;
 }

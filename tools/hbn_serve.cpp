@@ -24,6 +24,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,8 +33,11 @@
 #include "hbn/engine/cli.h"
 #include "hbn/net/generators.h"
 #include "hbn/net/serialize.h"
+#include "hbn/serve/checkpoint.h"
 #include "hbn/serve/epoch_server.h"
+#include "hbn/serve/error.h"
 #include "hbn/serve/request_stream.h"
+#include "hbn/util/fault.h"
 #include "hbn/util/json.h"
 #include "hbn/util/stats.h"
 #include "hbn/util/table.h"
@@ -61,6 +65,12 @@ struct ServeCli {
   std::string policy;           ///< policy spec; empty = tree-counters
   bool listPolicies = false;
   std::string jsonOut;          ///< empty = no JSON report
+  std::string checkpointDir;    ///< empty = checkpointing off
+  std::uint64_t checkpointEvery = 1;
+  std::string restoreDir;       ///< resume from this checkpoint dir
+  std::string inject;           ///< comma-joined fault specs
+  double stallTimeout = 0.0;    ///< ingest watchdog ms; 0 = wait forever
+  std::uint64_t handoffRetries = 3;
   hbn::engine::CliOptions shared;
 };
 
@@ -147,6 +157,25 @@ ServeCli parseServeCli(int argc, char** argv) {
           hbn::engine::parseUintFlag("--latency-sample", text));
     } else if (arg == "--json") {
       cli.jsonOut = value(arg);
+    } else if (arg == "--checkpoint-dir") {
+      cli.checkpointDir = value(arg);
+    } else if (arg == "--checkpoint-every") {
+      cli.checkpointEvery = hbn::engine::parseUintFlag(arg, value(arg));
+      if (cli.checkpointEvery < 1) {
+        throw std::invalid_argument("--checkpoint-every expects >= 1");
+      }
+    } else if (arg == "--restore") {
+      cli.restoreDir = value(arg);
+    } else if (arg == "--inject") {
+      // Repeatable; specs accumulate (each may itself be a comma list).
+      const std::string spec = value(arg);
+      if (!cli.inject.empty()) cli.inject += ',';
+      cli.inject += spec;
+    } else if (arg == "--stall-timeout") {
+      cli.stallTimeout = parseDoubleFlag(arg, value(arg), 0.0, 1e9);
+    } else if (arg == "--handoff-retries") {
+      cli.handoffRetries =
+          hbn::engine::parseUintFlag(arg, value(arg), kMaxInt);
     } else {
       rest.push_back(argv[i]);
     }
@@ -190,10 +219,31 @@ void printUsage(std::ostream& os) {
         "                    barrier engine (same results, spikier tails)\n"
         "  --latency-sample N  request-latency reservoir capacity for the\n"
         "                    p50/p99/p999 metrics; 0 disables (default 4096)\n"
+        "  --checkpoint-dir D  write epoch-boundary checkpoints\n"
+        "                    (hbn-checkpoint v1) into D; restore with\n"
+        "                    --restore D after a crash\n"
+        "  --checkpoint-every K  epochs between checkpoints (default 1)\n"
+        "  --restore D       resume from the latest checkpoint in D (the\n"
+        "                    stream is rebuilt and the served prefix\n"
+        "                    skipped; the resumed run's final state is\n"
+        "                    bit-identical to an uninterrupted one)\n"
+        "  --inject SPEC     arm a deterministic fault (repeatable):\n"
+        "                    ingest-stall@epochN[:ms=T] |\n"
+        "                    shard-throw@epochN[:shardM] |\n"
+        "                    handoff-fail@epochN[:times=K]\n"
+        "  --stall-timeout MS  ingest watchdog: past MS the serve thread\n"
+        "                    assembles the epoch inline (degraded mode);\n"
+        "                    0 waits forever (default)\n"
+        "  --handoff-retries N  retries before a failed handoff\n"
+        "                    publication aborts the run (default 3)\n"
         "  --json FILE       also write the serve report as JSON records\n"
         "  --threads N       worker threads (0 = all cores)\n"
         "  --seed N          stream RNG seed\n"
         "  --help            show this text\n"
+        "\n"
+        "exit codes: 0 ok, 1 error, 2 usage/bad input; stage failures:\n"
+        "  10 ingest, 11 serve, 12 handoff, 13 checkpoint, 14 restore\n"
+        "  (see docs/robustness.md)\n"
         "\n"
         "policies:\n"
      << hbn::dynamic::OnlinePolicyRegistry::global().helpText();
@@ -236,10 +286,28 @@ int main(int argc, char** argv) {
           "--threshold is shorthand for tree-counters; pass "
           "--policy tree-counters:threshold=D instead of combining them");
     }
+    // When resuming, load the snapshot before anything else: it decides
+    // the policy (absent --policy/--threshold) and the object count for
+    // generated streams, so a bare `--restore D` resumes faithfully.
+    std::optional<serve::CheckpointData> restored;
+    if (!cli.restoreDir.empty()) {
+      try {
+        restored = serve::readCheckpointFile(
+            serve::latestCheckpointPath(cli.restoreDir));
+      } catch (const serve::Error&) {
+        throw;
+      } catch (const std::exception& e) {
+        throw serve::Error(serve::Stage::Restore, 0, e.what());
+      }
+    }
+
     dynamic::OnlineOptions defaults;
     defaults.replicationThreshold = cli.threshold;
     const std::string policySpec =
-        cli.policy.empty() ? dynamic::treeCountersSpec(defaults) : cli.policy;
+        !cli.policy.empty() ? cli.policy
+        : (restored && !cli.thresholdSet)
+            ? restored->policySpec
+            : dynamic::treeCountersSpec(defaults);
 
     const net::Tree tree =
         cli.shared.positional.empty()
@@ -249,7 +317,7 @@ int main(int argc, char** argv) {
     const std::uint64_t seed = cli.shared.seedSet ? cli.shared.seed : 12;
 
     std::unique_ptr<serve::RequestStream> stream;
-    int numObjects = cli.objects;
+    int numObjects = restored ? restored->numObjects : cli.objects;
     if (!cli.trace.empty()) {
       auto traceStream = std::make_unique<serve::TraceFileStream>(cli.trace);
       if (traceStream->numNodes() != tree.nodeCount()) {
@@ -272,7 +340,26 @@ int main(int argc, char** argv) {
     options.policy = policySpec;
     options.pipeline = cli.pipeline;
     options.latencySample = cli.latencySample;
+    options.checkpointDir = cli.checkpointDir;
+    options.checkpointEvery = cli.checkpointEvery;
+    options.stallTimeoutMs = cli.stallTimeout;
+    options.handoffRetries = static_cast<int>(cli.handoffRetries);
+    options.faults = util::makeFaultInjector(cli.inject);
     serve::EpochServer server(rooted, numObjects, options);
+
+    if (restored) {
+      try {
+        server.restoreFrom(*restored);
+        serve::skipRequests(*stream, restored->servedTotal);
+      } catch (const serve::Error&) {
+        throw;
+      } catch (const std::exception& e) {
+        throw serve::Error(serve::Stage::Restore, restored->epochs, e.what());
+      }
+      std::cout << "restored from " << cli.restoreDir << ": epoch "
+                << restored->epochs << ", " << restored->servedTotal
+                << " requests already served\n";
+    }
 
     std::cout << "serving "
               << (cli.trace.empty() ? "stream '" + cli.stream + "'"
@@ -287,13 +374,15 @@ int main(int argc, char** argv) {
     const serve::ServeReport report = server.serve(*stream);
 
     util::Table epochs({"epoch", "requests", "ms", "congestion",
-                        "lower bound", "ratio", "re-placed"});
+                        "lower bound", "ratio", "re-placed", "degraded",
+                        "ckpt"});
     // The log can run to thousands of epochs; print the first and last
     // few, eliding the middle.
     const std::size_t logSize = server.epochLog().size();
     for (std::size_t i = 0; i < logSize; ++i) {
       if (logSize > 12 && i == 6) {
-        epochs.addRow({"...", "...", "...", "...", "...", "...", "..."});
+        epochs.addRow({"...", "...", "...", "...", "...", "...", "...",
+                       "...", "..."});
       }
       if (logSize > 12 && i >= 6 && i + 6 < logSize) continue;
       const serve::EpochRecord& r = server.epochLog()[i];
@@ -302,7 +391,8 @@ int main(int argc, char** argv) {
                      util::formatDouble(r.congestion, 1),
                      util::formatDouble(r.lowerBound, 1),
                      util::formatDouble(r.ratio, 2),
-                     r.replaced ? "yes" : ""});
+                     r.replaced ? "yes" : "", r.degraded ? "yes" : "",
+                     r.checkpointed ? "yes" : ""});
     }
     epochs.print(std::cout);
 
@@ -326,7 +416,13 @@ int main(int argc, char** argv) {
               << util::formatDouble(report.ratio, 2) << "\n"
               << report.replacements << " re-placements, "
               << report.replications << " replications, "
-              << report.invalidations << " invalidations\n";
+              << report.invalidations << " invalidations\n"
+              << report.checkpoints << " checkpoints, "
+              << report.degradedEpochs << " degraded epochs, "
+              << report.handoffRetries << " handoff retries\n";
+    if (options.faults && options.faults->triggered() > 0) {
+      std::cout << options.faults->triggered() << " faults injected\n";
+    }
 
     if (!cli.jsonOut.empty()) {
       // Ratio fields may be +inf (positive congestion against a zero
@@ -347,6 +443,8 @@ int main(int argc, char** argv) {
         records.field("latency_ms_p99", r.latencyMsP99);
         records.field("latency_ms_p999", r.latencyMsP999);
         records.field("replaced", r.replaced);
+        records.field("degraded", r.degraded);
+        records.field("checkpointed", r.checkpointed);
       }
       records.beginRecord();
       records.field("kind", "summary");
@@ -376,6 +474,12 @@ int main(int argc, char** argv) {
                     static_cast<std::int64_t>(report.replications));
       records.field("invalidations",
                     static_cast<std::int64_t>(report.invalidations));
+      records.field("degraded_epochs",
+                    static_cast<std::int64_t>(report.degradedEpochs));
+      records.field("handoff_retries",
+                    static_cast<std::int64_t>(report.handoffRetries));
+      records.field("checkpoints",
+                    static_cast<std::int64_t>(report.checkpoints));
       records.field("seed", static_cast<std::int64_t>(seed));
       records.field("threads", options.threads);
       // The policy's own diagnostics, keys already "policy."-prefixed.
@@ -386,6 +490,15 @@ int main(int argc, char** argv) {
       std::cout << "wrote " << cli.jsonOut << "\n";
     }
     return 0;
+  } catch (const serve::Error& e) {
+    // Stage failures carry their own exit code (10-14, one per stage —
+    // see docs/robustness.md) so supervisors can tell a corrupt trace
+    // from a failed checkpoint without parsing stderr.
+    std::cerr << "error: " << e.what() << "\n";
+    return e.exitCode();
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
