@@ -31,6 +31,7 @@ void registerServingThroughput(engine::ExperimentRegistry&); // E12
 void registerLoadEngine(engine::ExperimentRegistry&);        // E13
 void registerPolicyComparison(engine::ExperimentRegistry&);  // E14
 void registerFaultRecovery(engine::ExperimentRegistry&);     // E15
+void registerShardedServing(engine::ExperimentRegistry&);    // E16
 }  // namespace detail
 
 }  // namespace hbn::bench

@@ -21,6 +21,7 @@ engine::ExperimentRegistry& experiments() {
     detail::registerLoadEngine(registry);
     detail::registerPolicyComparison(registry);
     detail::registerFaultRecovery(registry);
+    detail::registerShardedServing(registry);
     return true;
   }();
   (void)populated;

@@ -11,7 +11,14 @@
 // BENCH_<experiment>.json for the cross-PR perf trajectory. The same
 // driver is reachable as `hbn_place --bench ...`.
 #include "experiments/experiments.h"
+#include "hbn/shard/process.h"
 
 int main(int argc, char** argv) {
+  // The sharded-serving experiment spawns exec-cluster workers from
+  // this binary; a worker invocation short-circuits here.
+  if (const int code = hbn::shard::maybeRunWorkerMain(argc, argv);
+      code >= 0) {
+    return code;
+  }
   return hbn::engine::runBenchCli(hbn::bench::experiments(), argc, argv);
 }

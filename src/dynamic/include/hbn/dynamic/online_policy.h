@@ -233,6 +233,22 @@ class OnlinePolicyRegistry
   [[nodiscard]] std::string helpText() const;
 };
 
+/// Applies one handoff target to object `x`: compares the policy's
+/// current copy set to `target` (both ascending, so equality is
+/// positional), charges Steiner(current ∪ target) migration traffic
+/// into `migration` through `acc` when they differ, and resets the copy
+/// set either way (policies may commit bookkeeping in resetCopySet even
+/// for a no-move target — e.g. adaptive flipping an object between
+/// members whose copy sets coincide). This is the exact per-object §4
+/// migration step; EpochServer's lazy application and the shard
+/// worker's barrier application both route through it so their charged
+/// traffic is bit-identical. Per-object like resetCopySet: safe to call
+/// concurrently for distinct objects.
+void applyHandoffTarget(OnlinePolicy& policy, ObjectId x,
+                        std::span<const net::NodeId> target,
+                        core::FlatLoadAccumulator& acc,
+                        core::LoadMap& migration);
+
 /// Renders OnlineOptions as the equivalent tree-counters spec
 /// ("tree-counters:threshold=D,contract=0|1") — the bridge legacy
 /// OnlineOptions call sites (CLI --threshold, the OnlineOptions

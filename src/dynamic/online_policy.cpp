@@ -631,6 +631,24 @@ std::unique_ptr<HandoffPass> OnlinePolicy::beginHandoff(
       handoffPlacement(*aggregated, workers));
 }
 
+void applyHandoffTarget(OnlinePolicy& policy, ObjectId x,
+                        std::span<const net::NodeId> target,
+                        core::FlatLoadAccumulator& acc,
+                        core::LoadMap& migration) {
+  std::vector<net::NodeId> terminals = policy.copySet(x);
+  // A target that leaves x where it is moves no data — skip the Steiner
+  // charge (both sets are ascending, so equality is positional) but
+  // still resetCopySet for the policy's bookkeeping.
+  if (terminals.size() == target.size() &&
+      std::equal(terminals.begin(), terminals.end(), target.begin())) {
+    policy.resetCopySet(x, target);
+    return;
+  }
+  terminals.insert(terminals.end(), target.begin(), target.end());
+  acc.chargeSteiner(terminals, 1, migration);
+  policy.resetCopySet(x, target);
+}
+
 std::string treeCountersSpec(const OnlineOptions& options) {
   std::ostringstream oss;
   oss << "tree-counters:threshold=" << options.replicationThreshold

@@ -40,6 +40,7 @@ EpochServer::EpochServer(const net::RootedTree& rooted, int numObjects,
       schedule_(std::make_unique<MigrationSchedule>()),
       appliedVersion_(static_cast<std::size_t>(numObjects), 0),
       latency_(options.latencySample) {
+  drift_.replaceDrift = options.replaceDrift;
   if (options.epochSize < 1) {
     throw std::invalid_argument("EpochServer: epochSize >= 1");
   }
@@ -220,19 +221,13 @@ ServeReport EpochServer::serve(RequestStream& stream) {
     record.degraded = acquired.degraded;
     record.lowerBound = lowerBound_.congestion();
     record.congestion = loads_.congestion(tree);
-    // Drift is measured since the last re-placement: how much realised
-    // serve congestion grew against how much the offline bound says
-    // *had* to be paid for the traffic of the same period. A cumulative
-    // ratio would either never fire or fire forever; the delta resets.
-    // Migration traffic is excluded from the trigger so that lazy
-    // (pipelined) and immediate (barrier) migration timing cannot skew
-    // when the next pass fires.
+    // Drift is measured since the last re-placement (see
+    // hbn/serve/drift.h for the shared trigger arithmetic). Migration
+    // traffic is excluded from the trigger so that lazy (pipelined) and
+    // immediate (barrier) migration timing cannot skew when the next
+    // pass fires.
     const double serveCongestion = serveLoads_.congestion(tree);
-    const double congestionGrowth = serveCongestion - serveCongestionMark_;
-    const double lowerBoundGrowth = record.lowerBound - lowerBoundMark_;
-    const bool driftFired =
-        options_.replaceDrift > 0.0 && lowerBoundGrowth > 0.0 &&
-        congestionGrowth > options_.replaceDrift * lowerBoundGrowth;
+    const bool driftFired = drift_.fired(serveCongestion, record.lowerBound);
     // A pass also begins when the policy itself asks for one
     // (wantsHandoff — e.g. adaptive committing per-object routing
     // switches), independent of the drift knob.
@@ -247,8 +242,7 @@ ServeReport EpochServer::serve(RequestStream& stream) {
         retireAppliedPasses();
         record.congestion = loads_.congestion(tree);  // migration included
       }
-      serveCongestionMark_ = serveCongestion;
-      lowerBoundMark_ = record.lowerBound;
+      drift_.reset(serveCongestion, record.lowerBound);
     }
     // Epoch-boundary checkpoint. Draining the pending passes first
     // keeps the snapshot quiescent (no pass state to serialize) and is
@@ -410,20 +404,11 @@ void EpochServer::applyPendingMigrations(ObjectId x, int worker,
                                                 schedule.baseVersion);
     PassState& pass = *schedule.passes[index];
     const std::vector<net::NodeId> target = pass.pass->target(x, worker);
-    std::vector<net::NodeId> terminals = policy_->copySet(x);
-    // A pass that leaves x where it is moves no data — skip the Steiner
-    // charge (both sets are ascending, so equality is positional) but
-    // still resetCopySet: policies may commit bookkeeping there (e.g.
-    // adaptive flipping an object between members whose copy sets
-    // coincide).
-    if (terminals.size() == target.size() &&
-        std::equal(terminals.begin(), terminals.end(), target.begin())) {
-      policy_->resetCopySet(x, target);
-    } else {
-      terminals.insert(terminals.end(), target.begin(), target.end());
-      acc.chargeSteiner(terminals, 1, migration);
-      policy_->resetCopySet(x, target);
-    }
+    // The shared per-object migration step (compare / charge Steiner /
+    // resetCopySet) — also what the shard worker's barrier application
+    // runs, so single-process and sharded serving charge bit-identical
+    // migration traffic.
+    dynamic::applyHandoffTarget(*policy_, x, target, acc, migration);
     ++applied;
     pass.applied.fetch_add(1, std::memory_order_relaxed);
   }
@@ -497,8 +482,8 @@ CheckpointData EpochServer::snapshotStateAt(std::uint64_t epochs) const {
   data.degradedEpochs = degradedEpochs_;
   data.handoffRetries = handoffRetriesUsed_;
   data.checkpointsWritten = checkpointsWritten_;
-  data.serveCongestionMark = serveCongestionMark_;
-  data.lowerBoundMark = lowerBoundMark_;
+  data.serveCongestionMark = drift_.serveCongestionMark;
+  data.lowerBoundMark = drift_.lowerBoundMark;
   data.loads.resize(static_cast<std::size_t>(edgeCount));
   data.serveLoads.resize(static_cast<std::size_t>(edgeCount));
   for (net::EdgeId e = 0; e < edgeCount; ++e) {
@@ -556,8 +541,8 @@ void EpochServer::restoreFrom(const CheckpointData& data) {
   degradedEpochs_ = data.degradedEpochs;
   handoffRetriesUsed_ = data.handoffRetries;
   checkpointsWritten_ = data.checkpointsWritten;
-  serveCongestionMark_ = data.serveCongestionMark;
-  lowerBoundMark_ = data.lowerBoundMark;
+  drift_.serveCongestionMark = data.serveCongestionMark;
+  drift_.lowerBoundMark = data.lowerBoundMark;
   // The snapshot was quiescent, so the schedule restarts empty with its
   // base at the restored pass count.
   publishSchedule();

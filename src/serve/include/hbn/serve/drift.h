@@ -1,0 +1,48 @@
+// The §4 drift trigger, factored out of EpochServer so every serving
+// surface evaluates re-placement with bit-identical arithmetic.
+//
+// The trigger measures growth since the last re-placement: realised
+// serve-only congestion (migration traffic excluded) against the growth
+// of the analytic offline lower bound over the same period. It fires
+// when congestion grew more than `replaceDrift` times what the
+// aggregated frequencies say was unavoidable. A cumulative ratio would
+// either never fire or fire forever; the delta resets at each
+// re-placement.
+//
+// Both the single-process EpochServer and the multi-process
+// ShardCoordinator (src/shard/) drive their handoff waves through this
+// one struct — that shared arithmetic is what keeps the re-placement
+// schedule identical between one process and N workers (the coordinator
+// feeds it the merged serve loads and the workers' identically computed
+// lower bound, both exact).
+#pragma once
+
+namespace hbn::serve {
+
+/// Re-placement drift trigger state: the marks taken at the last
+/// re-placement and the comparison both serving engines share.
+struct DriftTrigger {
+  /// <= 0 disables the trigger entirely.
+  double replaceDrift = 3.0;
+  /// Serve congestion / lower bound at the last re-placement.
+  double serveCongestionMark = 0.0;
+  double lowerBoundMark = 0.0;
+
+  /// Whether a §4 pass should fire for the given cumulative serve-only
+  /// congestion and lower bound. Pure; call reset() when a pass begins.
+  [[nodiscard]] bool fired(double serveCongestion,
+                           double lowerBound) const noexcept {
+    const double congestionGrowth = serveCongestion - serveCongestionMark;
+    const double lowerBoundGrowth = lowerBound - lowerBoundMark;
+    return replaceDrift > 0.0 && lowerBoundGrowth > 0.0 &&
+           congestionGrowth > replaceDrift * lowerBoundGrowth;
+  }
+
+  /// Re-bases both marks at a re-placement.
+  void reset(double serveCongestion, double lowerBound) noexcept {
+    serveCongestionMark = serveCongestion;
+    lowerBoundMark = lowerBound;
+  }
+};
+
+}  // namespace hbn::serve

@@ -59,6 +59,7 @@
 #include "hbn/dynamic/online_policy.h"
 #include "hbn/net/rooted.h"
 #include "hbn/serve/checkpoint.h"
+#include "hbn/serve/drift.h"
 #include "hbn/serve/pipeline.h"
 #include "hbn/serve/request_stream.h"
 #include "hbn/util/fault.h"
@@ -332,10 +333,10 @@ class EpochServer {
   core::Count replications_ = 0;
   core::Count invalidations_ = 0;
   std::uint64_t replacements_ = 0;
-  /// Serve congestion / lower bound at the last re-placement, the
-  /// baselines the drift trigger measures growth from.
-  double serveCongestionMark_ = 0.0;
-  double lowerBoundMark_ = 0.0;
+  /// The §4 drift trigger (marks at the last re-placement plus the
+  /// shared comparison — see hbn/serve/drift.h; the shard coordinator
+  /// drives the identical struct).
+  DriftTrigger drift_;
   /// Lazy handoff machinery: pending passes in creation order, the
   /// RCU-published schedule, and per-object applied-pass counts.
   std::deque<std::unique_ptr<PassState>> pendingPasses_;

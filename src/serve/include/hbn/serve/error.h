@@ -15,13 +15,21 @@
 
 namespace hbn::serve {
 
-/// Pipeline stage a failure is attributed to.
+/// Pipeline stage a failure is attributed to. The transport stages
+/// (Connect/Frame/Peer) belong to the sharded multi-process engine
+/// (src/shard/): workers ship failures across the wire with their stage
+/// intact, so the coordinator and the single-process CLI report every
+/// failure through one taxonomy and one exit-code table.
 enum class Stage {
   Ingest,      ///< stream pull / validation / bucketing
   Serve,       ///< shard serving inside the worker pool
   Handoff,     ///< §4 re-placement pass publication
   Checkpoint,  ///< writing an epoch-boundary snapshot
   Restore,     ///< reading a snapshot back
+  Connect,     ///< shard transport handshake / worker spawn
+  Frame,       ///< malformed wire frame (bad magic, oversized length
+               ///< prefix, checksum mismatch, truncated payload)
+  Peer,        ///< peer death / unresponsive peer mid-run
 };
 
 [[nodiscard]] constexpr const char* stageName(Stage stage) noexcept {
@@ -31,11 +39,14 @@ enum class Stage {
     case Stage::Handoff: return "handoff";
     case Stage::Checkpoint: return "checkpoint";
     case Stage::Restore: return "restore";
+    case Stage::Connect: return "connect";
+    case Stage::Frame: return "frame";
+    case Stage::Peer: return "peer";
   }
   return "unknown";
 }
 
-/// Process exit code for a stage failure (10-14; 2 stays reserved for
+/// Process exit code for a stage failure (10-17; 2 stays reserved for
 /// usage/malformed-input errors, 1 for everything else).
 [[nodiscard]] constexpr int stageExitCode(Stage stage) noexcept {
   switch (stage) {
@@ -44,6 +55,9 @@ enum class Stage {
     case Stage::Handoff: return 12;
     case Stage::Checkpoint: return 13;
     case Stage::Restore: return 14;
+    case Stage::Connect: return 15;
+    case Stage::Frame: return 16;
+    case Stage::Peer: return 17;
   }
   return 1;
 }

@@ -33,20 +33,39 @@ class RequestStream {
   /// how many were produced; 0 means the stream is exhausted. A stream
   /// never buffers more than one such batch internally.
   [[nodiscard]] virtual std::size_t fill(std::span<RequestEvent> out) = 0;
+
+  /// Discards exactly `count` events. The default implementation pulls
+  /// and drops events through fill() — O(count); sources with random
+  /// access (seekable generators) override this with a fast-forward.
+  /// Throws std::runtime_error when the stream ends before `count`
+  /// events (a checkpoint claiming more progress than the stream holds).
+  virtual void skip(std::uint64_t count);
 };
 
 /// Bounded stream drawing from a generator function (e.g. one of the
 /// workload stream generators); O(1) memory regardless of `total`.
+///
+/// When the underlying generator supports seeking, pass its seek
+/// callback: skip(count) then repositions the generator in
+/// O(workload::kStreamReseedBlock) instead of replaying `count` events
+/// — the difference between a multi-second and a sub-millisecond
+/// checkpoint restore on hundred-million-request streams.
 class GeneratorStream final : public RequestStream {
  public:
   GeneratorStream(std::function<RequestEvent()> generator,
                   std::uint64_t total);
+  GeneratorStream(std::function<RequestEvent()> generator,
+                  std::uint64_t total,
+                  std::function<void(std::uint64_t)> seek);
 
   [[nodiscard]] std::size_t fill(std::span<RequestEvent> out) override;
+  void skip(std::uint64_t count) override;
 
  private:
   std::function<RequestEvent()> generator_;
   std::uint64_t remaining_;
+  std::uint64_t consumed_ = 0;  ///< events handed out or skipped so far
+  std::function<void(std::uint64_t)> seek_;  ///< may be empty
 };
 
 /// Trace-file-backed stream (hbn-trace v1), read incrementally.
@@ -92,10 +111,12 @@ class VectorStream final : public RequestStream {
 
 /// Discards exactly `count` events from `stream` — how a checkpoint
 /// restore resumes a deterministic stream at its cursor (rebuild the
-/// seeded generator or reopen the trace, then skip the served prefix;
-/// the generator state after N draws is a pure function of seed and N).
-/// Throws std::runtime_error when the stream ends before `count` events
-/// (the checkpoint claims more progress than the stream holds).
+/// seeded generator or reopen the trace, then skip the served prefix).
+/// Delegates to RequestStream::skip, so generator-backed streams
+/// fast-forward in O(workload::kStreamReseedBlock) rather than
+/// replaying the whole prefix. Throws std::runtime_error when the
+/// stream ends before `count` events (the checkpoint claims more
+/// progress than the stream holds).
 void skipRequests(RequestStream& stream, std::uint64_t count);
 
 }  // namespace hbn::serve

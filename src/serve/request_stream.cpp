@@ -6,9 +6,41 @@
 
 namespace hbn::serve {
 
+namespace {
+
+[[noreturn]] void throwExhausted(std::uint64_t skipped, std::uint64_t count) {
+  throw std::runtime_error(
+      "skipRequests: stream exhausted after " + std::to_string(skipped) +
+      " of " + std::to_string(count) +
+      " events (checkpoint does not match this stream)");
+}
+
+}  // namespace
+
+void RequestStream::skip(std::uint64_t count) {
+  std::vector<RequestEvent> scratch(
+      static_cast<std::size_t>(std::min<std::uint64_t>(count, 4096)));
+  std::uint64_t skipped = 0;
+  while (skipped < count) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(count - skipped, scratch.size()));
+    const std::size_t got =
+        fill(std::span<RequestEvent>(scratch.data(), want));
+    if (got == 0) throwExhausted(skipped, count);
+    skipped += got;
+  }
+}
+
 GeneratorStream::GeneratorStream(std::function<RequestEvent()> generator,
                                  std::uint64_t total)
-    : generator_(std::move(generator)), remaining_(total) {
+    : GeneratorStream(std::move(generator), total, nullptr) {}
+
+GeneratorStream::GeneratorStream(std::function<RequestEvent()> generator,
+                                 std::uint64_t total,
+                                 std::function<void(std::uint64_t)> seek)
+    : generator_(std::move(generator)),
+      remaining_(total),
+      seek_(std::move(seek)) {
   if (!generator_) {
     throw std::invalid_argument("GeneratorStream: null generator");
   }
@@ -19,7 +51,20 @@ std::size_t GeneratorStream::fill(std::span<RequestEvent> out) {
       std::min<std::uint64_t>(remaining_, out.size()));
   for (std::size_t i = 0; i < n; ++i) out[i] = generator_();
   remaining_ -= n;
+  consumed_ += n;
   return n;
+}
+
+void GeneratorStream::skip(std::uint64_t count) {
+  if (!seek_) {
+    RequestStream::skip(count);
+    consumed_ += count;
+    return;
+  }
+  if (count > remaining_) throwExhausted(remaining_, count);
+  consumed_ += count;
+  remaining_ -= count;
+  seek_(consumed_);
 }
 
 TraceFileStream::TraceFileStream(const std::string& path) : in_(path) {
@@ -45,48 +90,40 @@ std::size_t VectorStream::fill(std::span<RequestEvent> out) {
 }
 
 void skipRequests(RequestStream& stream, std::uint64_t count) {
-  std::vector<RequestEvent> scratch(
-      static_cast<std::size_t>(std::min<std::uint64_t>(count, 4096)));
-  std::uint64_t skipped = 0;
-  while (skipped < count) {
-    const std::size_t want = static_cast<std::size_t>(
-        std::min<std::uint64_t>(count - skipped, scratch.size()));
-    const std::size_t got =
-        stream.fill(std::span<RequestEvent>(scratch.data(), want));
-    if (got == 0) {
-      throw std::runtime_error(
-          "skipRequests: stream exhausted after " + std::to_string(skipped) +
-          " of " + std::to_string(count) +
-          " events (checkpoint does not match this stream)");
-    }
-    skipped += got;
-  }
+  stream.skip(count);
 }
+
+namespace {
+
+template <typename Generator>
+std::unique_ptr<RequestStream> wrapSeekable(const net::Tree& tree,
+                                            const workload::StreamParams& params,
+                                            std::uint64_t seed,
+                                            std::uint64_t total) {
+  auto gen = std::make_shared<Generator>(tree, params, seed);
+  return std::make_unique<GeneratorStream>(
+      [gen] { return gen->next(); }, total,
+      [gen](std::uint64_t position) { gen->seek(position); });
+}
+
+}  // namespace
 
 std::unique_ptr<RequestStream> makeGeneratedStream(
     const std::string& name, const net::Tree& tree,
     const workload::StreamParams& params, std::uint64_t seed,
     std::uint64_t total) {
   if (name == "skewed") {
-    auto gen = std::make_shared<workload::SkewedStream>(tree, params, seed);
-    return std::make_unique<GeneratorStream>(
-        [gen] { return gen->next(); }, total);
+    return wrapSeekable<workload::SkewedStream>(tree, params, seed, total);
   }
   if (name == "bursty") {
-    auto gen = std::make_shared<workload::BurstyStream>(tree, params, seed);
-    return std::make_unique<GeneratorStream>(
-        [gen] { return gen->next(); }, total);
+    return wrapSeekable<workload::BurstyStream>(tree, params, seed, total);
   }
   if (name == "diurnal") {
-    auto gen = std::make_shared<workload::DiurnalStream>(tree, params, seed);
-    return std::make_unique<GeneratorStream>(
-        [gen] { return gen->next(); }, total);
+    return wrapSeekable<workload::DiurnalStream>(tree, params, seed, total);
   }
   if (name == "phase-shift") {
-    auto gen =
-        std::make_shared<workload::PhaseShiftStream>(tree, params, seed);
-    return std::make_unique<GeneratorStream>(
-        [gen] { return gen->next(); }, total);
+    return wrapSeekable<workload::PhaseShiftStream>(tree, params, seed,
+                                                    total);
   }
   throw std::invalid_argument(
       "unknown stream '" + name +

@@ -1,0 +1,56 @@
+// Object-space partitioning for the sharded serving engine.
+//
+// A Partition maps every object id to exactly one owning shard; it is
+// pure arithmetic over (kind, shards, seed, numObjects), so the
+// coordinator and every worker compute identical ownership from the
+// Hello parameters alone — no ownership table ever crosses the wire.
+//
+//   hash   splitmix64 over a seed-salted object id, reduced mod the
+//          shard count: spreads hot objects independently of their ids
+//          (the right default for skewed streams, where range blocks
+//          would pin the whole hot set onto one shard).
+//   range  contiguous equal blocks of the id space: preserves id
+//          locality and makes ownership predictable for operators.
+//
+// Determinism contract (property-tested): every object has exactly one
+// owner in [0, shards); re-instantiating with equal parameters is a
+// fixed point; hash ownership is independent of the shard a query runs
+// on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hbn/workload/workload.h"
+
+namespace hbn::shard {
+
+class Partition {
+ public:
+  enum class Kind : std::uint8_t { Hash = 0, Range = 1 };
+
+  /// Throws std::invalid_argument when shards < 1 or numObjects < 0.
+  Partition(Kind kind, int shards, std::uint64_t seed, int numObjects);
+
+  /// The owning shard of `x`, in [0, shards()).
+  [[nodiscard]] int ownerOf(workload::ObjectId x) const noexcept;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] int shards() const noexcept { return shards_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] int numObjects() const noexcept { return numObjects_; }
+
+ private:
+  Kind kind_;
+  int shards_;
+  std::uint64_t seed_;
+  int numObjects_;
+  int blockSize_;  ///< range mode: objects per shard block
+};
+
+[[nodiscard]] const char* partitionKindName(Partition::Kind kind) noexcept;
+
+/// Parses "hash" | "range"; throws std::invalid_argument otherwise.
+[[nodiscard]] Partition::Kind parsePartitionKind(const std::string& name);
+
+}  // namespace hbn::shard

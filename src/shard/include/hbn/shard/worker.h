@@ -1,0 +1,46 @@
+// ShardWorker — one shard of the sharded serving engine.
+//
+// A worker owns an object-space shard and runs the existing
+// OnlinePolicy serving stack over it, driven entirely by frames from
+// the coordinator (see hbn/shard/wire.h for the protocol):
+//
+//   Hello      build the full stack from the wire: parse the tree,
+//              instantiate the policy, derive the Partition.
+//   Epoch      serve the epoch. Every shard receives the FULL epoch
+//              and aggregates ALL events into a complete frequency
+//              matrix (plus the full-matrix incremental lower bound),
+//              but serves only owned∩touched objects. The full-matrix
+//              invariant is what keeps §4 handoff placements — which
+//              may read other objects' rows (static:placement=
+//              extended-nibble steers its mapping by the basic loads
+//              of every object) — bit-identical for any shard count.
+//   Decide     the coordinator's global re-placement decision. On
+//              replace the worker opens a HandoffPass over its (full,
+//              identical) matrix and applies the target to every owned
+//              object through dynamic::applyHandoffTarget — the same
+//              per-object migration step the single-process engine
+//              runs — then reports the charged traffic in Migrate.
+//   Fin        report the shard summary (FinAck) and return.
+//
+// Failures ship as Error frames with their serve::Error stage intact
+// before the worker exits, so the coordinator rethrows them with full
+// attribution and the right process exit code.
+#pragma once
+
+#include "hbn/shard/transport.h"
+
+namespace hbn::shard {
+
+/// Runs the worker protocol loop over `transport` until Fin or error.
+/// serve::Error (own failures and injected ones alike) is sent to the
+/// coordinator as an Error frame and rethrown; transport errors
+/// (coordinator death) are rethrown directly.
+void runWorker(FramedTransport& transport);
+
+/// Worker entry for a process of its own: wraps `fd` (an AF_UNIX
+/// stream socket to the coordinator) and runs runWorker, mapping
+/// serve::Error onto its stage exit code (10-17), std::exception onto
+/// 1. Never throws.
+[[nodiscard]] int runWorkerProcess(int fd) noexcept;
+
+}  // namespace hbn::shard

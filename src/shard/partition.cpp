@@ -1,0 +1,47 @@
+#include "hbn/shard/partition.h"
+
+#include <stdexcept>
+
+#include "hbn/util/rng.h"
+
+namespace hbn::shard {
+
+Partition::Partition(Kind kind, int shards, std::uint64_t seed,
+                     int numObjects)
+    : kind_(kind), shards_(shards), seed_(seed), numObjects_(numObjects) {
+  if (shards < 1) {
+    throw std::invalid_argument("Partition: shards >= 1");
+  }
+  if (numObjects < 0) {
+    throw std::invalid_argument("Partition: numObjects >= 0");
+  }
+  blockSize_ = numObjects == 0 ? 1 : (numObjects + shards - 1) / shards;
+}
+
+int Partition::ownerOf(workload::ObjectId x) const noexcept {
+  if (shards_ == 1) return 0;
+  if (kind_ == Kind::Range) {
+    const int owner = static_cast<int>(x) / blockSize_;
+    return owner < shards_ ? owner : shards_ - 1;
+  }
+  // Seed-salted splitmix64: the golden-ratio stride decorrelates
+  // adjacent ids before the mix, so consecutive hot objects land on
+  // different shards even for small id ranges.
+  std::uint64_t state =
+      seed_ + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(x) + 1);
+  return static_cast<int>(util::splitmix64(state) %
+                          static_cast<std::uint64_t>(shards_));
+}
+
+const char* partitionKindName(Partition::Kind kind) noexcept {
+  return kind == Partition::Kind::Hash ? "hash" : "range";
+}
+
+Partition::Kind parsePartitionKind(const std::string& name) {
+  if (name == "hash") return Partition::Kind::Hash;
+  if (name == "range") return Partition::Kind::Range;
+  throw std::invalid_argument("unknown partition '" + name +
+                              "'; available: hash range");
+}
+
+}  // namespace hbn::shard

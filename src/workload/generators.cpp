@@ -239,6 +239,23 @@ std::vector<double> streamZipfWeights(const StreamParams& params) {
   return zipfWeights(params.numObjects, params.zipfAlpha);
 }
 
+// The per-block RNG seed: a SplitMix64 mix of the stream seed and the
+// block index, so blocks are mutually independent and any block's RNG
+// is reconstructible in O(1) — the seam seek() jumps through.
+std::uint64_t blockSeed(std::uint64_t seed, std::uint64_t block) {
+  std::uint64_t state = seed + 0x9e3779b97f4a7c15ULL * (block + 1);
+  return util::splitmix64(state);
+}
+
+// Shared seek body: jump to the enclosing block start (beginBlock runs
+// from next() at the boundary) and replay the intra-block prefix.
+template <typename Stream>
+void seekStream(Stream& stream, std::uint64_t& position,
+                std::uint64_t target) {
+  position = target - target % kStreamReseedBlock;
+  while (position < target) (void)stream.next();
+}
+
 }  // namespace
 
 SkewedStream::SkewedStream(const net::Tree& tree, const StreamParams& params,
@@ -246,9 +263,16 @@ SkewedStream::SkewedStream(const net::Tree& tree, const StreamParams& params,
     : procs_(copyProcessors(tree)),
       popularity_(streamZipfWeights(params)),
       readFraction_(params.readFraction),
+      seed_(seed),
       rng_(seed) {}
 
+void SkewedStream::beginBlock() {
+  rng_ = util::Rng(blockSeed(seed_, position_ / kStreamReseedBlock));
+}
+
 RequestEvent SkewedStream::next() {
+  if (position_ % kStreamReseedBlock == 0) beginBlock();
+  ++position_;
   // O(1) per event: Walker alias draw for the object, one bounded draw
   // for the origin (the former CDF binary search was O(log |X|) and
   // showed up beside the batched serving engine in e12 profiles).
@@ -258,17 +282,29 @@ RequestEvent SkewedStream::next() {
   return RequestEvent{rank, origin, !rng_.nextBool(readFraction_)};
 }
 
+void SkewedStream::seek(std::uint64_t position) {
+  seekStream(*this, position_, position);
+}
+
 BurstyStream::BurstyStream(const net::Tree& tree, const StreamParams& params,
                            std::uint64_t seed)
     : procs_(copyProcessors(tree)),
       numObjects_(params.numObjects),
       burstLength_(params.burstLength),
       readFraction_(params.readFraction),
+      seed_(seed),
       rng_(seed) {
   checkStreamParams(params);
 }
 
+void BurstyStream::beginBlock() {
+  rng_ = util::Rng(blockSeed(seed_, position_ / kStreamReseedBlock));
+  remaining_ = 0;  // bursts never span a re-seed block
+}
+
 RequestEvent BurstyStream::next() {
+  if (position_ % kStreamReseedBlock == 0) beginBlock();
+  ++position_;
   if (remaining_ <= 0) {
     burstObject_ = static_cast<ObjectId>(
         rng_.nextBelow(static_cast<std::uint64_t>(numObjects_)));
@@ -281,6 +317,10 @@ RequestEvent BurstyStream::next() {
                       !rng_.nextBool(readFraction_)};
 }
 
+void BurstyStream::seek(std::uint64_t position) {
+  seekStream(*this, position_, position);
+}
+
 DiurnalStream::DiurnalStream(const net::Tree& tree,
                              const StreamParams& params, std::uint64_t seed)
     : procs_(copyProcessors(tree)),
@@ -288,14 +328,20 @@ DiurnalStream::DiurnalStream(const net::Tree& tree,
       period_(params.period),
       amplitude_(params.amplitude),
       readFraction_(params.readFraction),
+      seed_(seed),
       rng_(seed) {
   checkStreamParams(params);
 }
 
+void DiurnalStream::beginBlock() {
+  rng_ = util::Rng(blockSeed(seed_, position_ / kStreamReseedBlock));
+}
+
 RequestEvent DiurnalStream::next() {
-  const double phase =
-      static_cast<double>(count_ % period_) / static_cast<double>(period_);
-  ++count_;
+  if (position_ % kStreamReseedBlock == 0) beginBlock();
+  const double phase = static_cast<double>(position_ % period_) /
+                       static_cast<double>(period_);
+  ++position_;
   ObjectId object = 0;
   net::NodeId origin = net::kInvalidNode;
   if (rng_.nextBool(amplitude_)) {
@@ -323,6 +369,10 @@ RequestEvent DiurnalStream::next() {
   return RequestEvent{object, origin, !rng_.nextBool(readFraction_)};
 }
 
+void DiurnalStream::seek(std::uint64_t position) {
+  seekStream(*this, position_, position);
+}
+
 PhaseShiftStream::PhaseShiftStream(const net::Tree& tree,
                                    const StreamParams& params,
                                    std::uint64_t seed)
@@ -332,12 +382,19 @@ PhaseShiftStream::PhaseShiftStream(const net::Tree& tree,
       burstLength_(params.burstLength),
       burstReadFraction_(params.readFraction),
       phaseLength_(params.phaseLength),
+      seed_(seed),
       rng_(seed) {}
 
+void PhaseShiftStream::beginBlock() {
+  rng_ = util::Rng(blockSeed(seed_, position_ / kStreamReseedBlock));
+  remaining_ = 0;  // bursts never span a re-seed block
+}
+
 RequestEvent PhaseShiftStream::next() {
-  const int regime = regimeAt(count_, phaseLength_);
-  const bool regimeStart = count_ % phaseLength_ == 0;
-  ++count_;
+  if (position_ % kStreamReseedBlock == 0) beginBlock();
+  const int regime = regimeAt(position_, phaseLength_);
+  const bool regimeStart = position_ % phaseLength_ == 0;
+  ++position_;
   if (regimeStart) remaining_ = 0;  // never carry a burst across regimes
   if (regime == 2) {
     // Ping-pong regime: bursts pinned to one (object, origin) pair.
@@ -360,6 +417,10 @@ RequestEvent PhaseShiftStream::next() {
   const net::NodeId origin = procs_[static_cast<std::size_t>(
       rng_.nextBelow(static_cast<std::uint64_t>(procs_.size())))];
   return RequestEvent{object, origin, !rng_.nextBool(readFraction)};
+}
+
+void PhaseShiftStream::seek(std::uint64_t position) {
+  seekStream(*this, position_, position);
 }
 
 Workload generateAdversarial(const net::Tree& tree, const GenParams& params,

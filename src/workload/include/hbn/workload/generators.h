@@ -124,6 +124,17 @@ struct StreamParams {
   std::uint64_t phaseLength = 1 << 15;
 };
 
+/// Requests per RNG re-seed block. Every stream generator below derives
+/// a fresh per-block RNG from (seed, blockIndex) at each multiple of
+/// this count and resets its carry state (burst runs never span a block
+/// boundary), so the generator state at any position is a function of
+/// the seed and the position *within its block* alone. That is what
+/// makes seek() O(kStreamReseedBlock) instead of O(position): jump to
+/// the block start by arithmetic, replay at most one block. Checkpoint
+/// restore of a multi-million-request stream stops being linear in the
+/// served prefix (serve::skipRequests fast-forwards through this seam).
+inline constexpr std::uint64_t kStreamReseedBlock = 4096;
+
 /// WWW-like skew: object popularity Zipf(α), origins uniform over
 /// processors. O(1) per event — a Walker alias table over the popularity
 /// weights, so stream generation no longer competes with serving even
@@ -134,11 +145,18 @@ class SkewedStream {
   SkewedStream(const net::Tree& tree, const StreamParams& params,
                std::uint64_t seed);
   [[nodiscard]] RequestEvent next();
+  /// Repositions the stream so the next next() returns the event at
+  /// 0-based `position` — O(kStreamReseedBlock), not O(position).
+  void seek(std::uint64_t position);
 
  private:
+  void beginBlock();
+
   std::vector<net::NodeId> procs_;
   util::AliasTable popularity_;  ///< Zipf(α) weights, O(1) sampling
   double readFraction_;
+  std::uint64_t seed_;
+  std::uint64_t position_ = 0;
   util::Rng rng_;
 };
 
@@ -149,8 +167,13 @@ class BurstyStream {
   BurstyStream(const net::Tree& tree, const StreamParams& params,
                std::uint64_t seed);
   [[nodiscard]] RequestEvent next();
+  /// See SkewedStream::seek. Bursts never span re-seed blocks, so
+  /// replaying from the block start reproduces the burst state exactly.
+  void seek(std::uint64_t position);
 
  private:
+  void beginBlock();
+
   std::vector<net::NodeId> procs_;
   int numObjects_;
   int burstLength_;
@@ -158,6 +181,8 @@ class BurstyStream {
   int remaining_ = 0;  ///< events left in the current burst
   ObjectId burstObject_ = 0;
   net::NodeId burstOrigin_ = net::kInvalidNode;
+  std::uint64_t seed_;
+  std::uint64_t position_ = 0;
   util::Rng rng_;
 };
 
@@ -169,14 +194,20 @@ class DiurnalStream {
   DiurnalStream(const net::Tree& tree, const StreamParams& params,
                 std::uint64_t seed);
   [[nodiscard]] RequestEvent next();
+  /// See SkewedStream::seek. The time-of-day phase is derived from the
+  /// stream position, so seeking lands on the right hot region.
+  void seek(std::uint64_t position);
 
  private:
+  void beginBlock();
+
   std::vector<net::NodeId> procs_;
   int numObjects_;
   std::uint64_t period_;
   double amplitude_;
   double readFraction_;
-  std::uint64_t count_ = 0;
+  std::uint64_t seed_;
+  std::uint64_t position_ = 0;
   util::Rng rng_;
 };
 
@@ -210,6 +241,9 @@ class PhaseShiftStream {
   PhaseShiftStream(const net::Tree& tree, const StreamParams& params,
                    std::uint64_t seed);
   [[nodiscard]] RequestEvent next();
+  /// See SkewedStream::seek. Regime schedule is position arithmetic;
+  /// bursts span neither regime nor re-seed-block boundaries.
+  void seek(std::uint64_t position);
 
   /// Regime index of the request at stream position `index` (0-based):
   /// pure arithmetic, exposed so tests can assert boundary placement.
@@ -219,13 +253,16 @@ class PhaseShiftStream {
   }
 
  private:
+  void beginBlock();
+
   std::vector<net::NodeId> procs_;
   util::AliasTable popularity_;  ///< shared Zipf law of regimes 0 and 1
   int numObjects_;
   int burstLength_;
   double burstReadFraction_;  ///< base readFraction, used by regime 2
   std::uint64_t phaseLength_;
-  std::uint64_t count_ = 0;
+  std::uint64_t seed_;
+  std::uint64_t position_ = 0;
   int remaining_ = 0;  ///< events left in the current regime-2 burst
   ObjectId burstObject_ = 0;
   net::NodeId burstOrigin_ = net::kInvalidNode;

@@ -1,0 +1,131 @@
+// Property tests for the shard object partition (hbn/shard/partition.h):
+// the ownership function the coordinator and every worker compute
+// independently from the Hello parameters. Soundness of the whole
+// sharded engine rests on these properties, so they are pinned
+// directly.
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hbn/shard/partition.h"
+
+namespace hbn::shard {
+namespace {
+
+// Every object has exactly one owner and that owner is in range — for
+// both kinds, across shard counts that divide the object count, don't,
+// and exceed it.
+TEST(ShardPartition, EveryObjectOwnedByExactlyOneShard) {
+  for (const Partition::Kind kind :
+       {Partition::Kind::Hash, Partition::Kind::Range}) {
+    for (const int numObjects : {0, 1, 7, 64, 1000}) {
+      for (const int shards : {1, 2, 3, 4, 16, 1001}) {
+        const Partition partition(kind, shards, /*seed=*/9, numObjects);
+        std::vector<int> owned(static_cast<std::size_t>(numObjects), -1);
+        for (int x = 0; x < numObjects; ++x) {
+          const int owner = partition.ownerOf(x);
+          ASSERT_GE(owner, 0);
+          ASSERT_LT(owner, shards);
+          // ownerOf is a function: asking again yields the same shard.
+          ASSERT_EQ(partition.ownerOf(x), owner);
+          owned[static_cast<std::size_t>(x)] = owner;
+        }
+        for (const int owner : owned) ASSERT_NE(owner, -1);
+      }
+    }
+  }
+}
+
+// Re-instantiating with equal parameters is a fixed point: ownership
+// never depends on construction order, address, or which process asks
+// (the worker recomputes the partition the coordinator described).
+TEST(ShardPartition, SameParametersSameOwnership) {
+  for (const Partition::Kind kind :
+       {Partition::Kind::Hash, Partition::Kind::Range}) {
+    const Partition a(kind, 5, /*seed=*/1234, 512);
+    const Partition b(kind, 5, /*seed=*/1234, 512);
+    for (int x = 0; x < 512; ++x) {
+      ASSERT_EQ(a.ownerOf(x), b.ownerOf(x));
+    }
+  }
+}
+
+// The hash partition must actually use its seed: distinct seeds give
+// distinct assignments (rebalancing lever), while the range partition
+// ignores the seed by design.
+TEST(ShardPartition, HashSeedChangesAssignmentRangeIgnoresIt) {
+  const Partition hashA(Partition::Kind::Hash, 4, 1, 512);
+  const Partition hashB(Partition::Kind::Hash, 4, 2, 512);
+  bool differs = false;
+  for (int x = 0; x < 512 && !differs; ++x) {
+    differs = hashA.ownerOf(x) != hashB.ownerOf(x);
+  }
+  EXPECT_TRUE(differs);
+
+  const Partition rangeA(Partition::Kind::Range, 4, 1, 512);
+  const Partition rangeB(Partition::Kind::Range, 4, 2, 512);
+  for (int x = 0; x < 512; ++x) {
+    ASSERT_EQ(rangeA.ownerOf(x), rangeB.ownerOf(x));
+  }
+}
+
+// Range blocks are contiguous (owner is non-decreasing in the id) and
+// balanced to within one ceil-sized block.
+TEST(ShardPartition, RangeIsContiguousAndBalanced) {
+  for (const int numObjects : {64, 100, 1000}) {
+    for (const int shards : {1, 3, 4, 7}) {
+      const Partition partition(Partition::Kind::Range, shards, 0,
+                                numObjects);
+      std::vector<int> sizes(static_cast<std::size_t>(shards), 0);
+      int previous = 0;
+      for (int x = 0; x < numObjects; ++x) {
+        const int owner = partition.ownerOf(x);
+        ASSERT_GE(owner, previous) << "range owners must be monotone";
+        previous = owner;
+        ++sizes[static_cast<std::size_t>(owner)];
+      }
+      const int block = (numObjects + shards - 1) / shards;
+      for (const int size : sizes) ASSERT_LE(size, block);
+    }
+  }
+}
+
+// The hash partition spreads a contiguous id range over all shards —
+// the reason it is the default for skewed streams whose hot set is a
+// low-id prefix. A wildly unbalanced spread would defeat sharding.
+TEST(ShardPartition, HashSpreadsContiguousIds) {
+  constexpr int kObjects = 4096;
+  constexpr int kShards = 4;
+  const Partition partition(Partition::Kind::Hash, kShards, 7, kObjects);
+  std::vector<int> sizes(kShards, 0);
+  for (int x = 0; x < kObjects; ++x) {
+    ++sizes[static_cast<std::size_t>(partition.ownerOf(x))];
+  }
+  for (const int size : sizes) {
+    EXPECT_GT(size, kObjects / kShards / 2);
+    EXPECT_LT(size, kObjects / kShards * 2);
+  }
+}
+
+TEST(ShardPartition, ValidatesParameters) {
+  EXPECT_THROW(Partition(Partition::Kind::Hash, 0, 0, 16),
+               std::invalid_argument);
+  EXPECT_THROW(Partition(Partition::Kind::Range, -1, 0, 16),
+               std::invalid_argument);
+  EXPECT_THROW(Partition(Partition::Kind::Hash, 2, 0, -5),
+               std::invalid_argument);
+}
+
+TEST(ShardPartition, ParseAndName) {
+  EXPECT_EQ(parsePartitionKind("hash"), Partition::Kind::Hash);
+  EXPECT_EQ(parsePartitionKind("range"), Partition::Kind::Range);
+  EXPECT_THROW((void)parsePartitionKind("modulo"), std::invalid_argument);
+  EXPECT_THROW((void)parsePartitionKind(""), std::invalid_argument);
+  EXPECT_STREQ(partitionKindName(Partition::Kind::Hash), "hash");
+  EXPECT_STREQ(partitionKindName(Partition::Kind::Range), "range");
+}
+
+}  // namespace
+}  // namespace hbn::shard

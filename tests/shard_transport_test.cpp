@@ -1,0 +1,213 @@
+// Negative-path and fuzz tests for the shard framed transport
+// (hbn/shard/transport.h): every malformed byte sequence a peer can
+// ship must surface as a serve::Error with the right stage attribution
+// (Frame for malformed bytes, Peer for death/unresponsiveness) — never
+// a crash, a hang, or a silently corrupt payload.
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "hbn/serve/error.h"
+#include "hbn/shard/transport.h"
+#include "hbn/shard/wire.h"
+
+namespace hbn::shard {
+namespace {
+
+/// Channel pair with the receiving end framed and the sending end raw,
+/// so tests can write arbitrary (malformed) bytes.
+struct RawToFramed {
+  std::unique_ptr<ByteChannel> raw;
+  FramedTransport framed;
+
+  RawToFramed()
+      : RawToFramed(makeLoopbackPair()) {}
+
+ private:
+  explicit RawToFramed(
+      std::pair<std::unique_ptr<ByteChannel>, std::unique_ptr<ByteChannel>>
+          pair)
+      : raw(std::move(pair.first)), framed(std::move(pair.second)) {}
+};
+
+TEST(ShardTransport, RoundtripsFrames) {
+  auto [a, b] = makeLoopbackPair();
+  FramedTransport sender(std::move(a));
+  FramedTransport receiver(std::move(b));
+
+  sender.send(FrameType::kHello, "payload bytes");
+  sender.send(FrameType::kEpoch, {});  // empty payload is a valid frame
+  const std::string big(1 << 20, 'x');
+  sender.send(FrameType::kStats, big);
+
+  Frame frame = receiver.recv();
+  EXPECT_EQ(frame.type, FrameType::kHello);
+  EXPECT_EQ(frame.payload, "payload bytes");
+  frame = receiver.recv();
+  EXPECT_EQ(frame.type, FrameType::kEpoch);
+  EXPECT_TRUE(frame.payload.empty());
+  frame = receiver.recv();
+  EXPECT_EQ(frame.type, FrameType::kStats);
+  EXPECT_EQ(frame.payload, big);
+
+  EXPECT_EQ(sender.bytesSent(), receiver.bytesReceived());
+  EXPECT_GT(sender.bytesSent(), big.size());
+}
+
+TEST(ShardTransport, SocketChannelRoundtripsAcrossThreads) {
+  auto [fdA, fdB] = makeSocketPair();
+  FramedTransport a(makeSocketChannel(fdA));
+  FramedTransport b(makeSocketChannel(fdB));
+  // Larger than any socket buffer, so writeAll must loop and the
+  // reader must drain concurrently.
+  const std::string big(8 << 20, 'y');
+  std::thread writer([&] { a.send(FrameType::kMigrate, big); });
+  const Frame frame = b.recv();
+  writer.join();
+  EXPECT_EQ(frame.type, FrameType::kMigrate);
+  EXPECT_EQ(frame.payload, big);
+}
+
+TEST(ShardTransport, CleanCloseAtFrameStartIsPeerError) {
+  RawToFramed link;
+  link.raw->close();
+  try {
+    (void)link.framed.recv();
+    FAIL() << "expected serve::Error";
+  } catch (const serve::Error& e) {
+    EXPECT_EQ(e.stage(), serve::Stage::Peer);
+    EXPECT_EQ(e.exitCode(), 17);
+  }
+}
+
+TEST(ShardTransport, TruncatedFrameIsFrameError) {
+  RawToFramed link;
+  const std::string frame =
+      FramedTransport::encodeFrame(FrameType::kStats, "abcdefgh");
+  // Ship the header plus half the payload, then die.
+  link.raw->writeAll(frame.data(), kFrameHeaderBytes + 4);
+  link.raw->close();
+  try {
+    (void)link.framed.recv();
+    FAIL() << "expected serve::Error";
+  } catch (const serve::Error& e) {
+    EXPECT_EQ(e.stage(), serve::Stage::Frame);
+    EXPECT_EQ(e.exitCode(), 16);
+    EXPECT_NE(e.cause().find("truncated"), std::string::npos);
+  }
+}
+
+TEST(ShardTransport, BadMagicIsFrameError) {
+  RawToFramed link;
+  std::string frame =
+      FramedTransport::encodeFrame(FrameType::kHello, "hi");
+  frame[0] = 'Z';
+  link.raw->writeAll(frame.data(), frame.size());
+  try {
+    (void)link.framed.recv();
+    FAIL() << "expected serve::Error";
+  } catch (const serve::Error& e) {
+    EXPECT_EQ(e.stage(), serve::Stage::Frame);
+    EXPECT_NE(e.cause().find("magic"), std::string::npos);
+  }
+}
+
+TEST(ShardTransport, OversizedLengthPrefixIsFrameError) {
+  RawToFramed link;
+  std::string frame =
+      FramedTransport::encodeFrame(FrameType::kHello, "hi");
+  // Stamp a payload length just past the hard bound into the header
+  // (little-endian u64 at offset 8).
+  const std::uint64_t oversized = kMaxFramePayload + 1;
+  std::memcpy(frame.data() + 8, &oversized, sizeof(oversized));
+  link.raw->writeAll(frame.data(), frame.size());
+  try {
+    (void)link.framed.recv();
+    FAIL() << "expected serve::Error";
+  } catch (const serve::Error& e) {
+    EXPECT_EQ(e.stage(), serve::Stage::Frame);
+    EXPECT_NE(e.cause().find("oversized"), std::string::npos);
+  }
+}
+
+TEST(ShardTransport, ChecksumMismatchIsFrameError) {
+  RawToFramed link;
+  std::string frame =
+      FramedTransport::encodeFrame(FrameType::kDecide, "payload");
+  frame[kFrameHeaderBytes + 2] ^= 0x40;  // flip one payload bit
+  link.raw->writeAll(frame.data(), frame.size());
+  try {
+    (void)link.framed.recv();
+    FAIL() << "expected serve::Error";
+  } catch (const serve::Error& e) {
+    EXPECT_EQ(e.stage(), serve::Stage::Frame);
+    EXPECT_NE(e.cause().find("checksum"), std::string::npos);
+  }
+}
+
+TEST(ShardTransport, RecvTimeoutIsPeerError) {
+  RawToFramed link;  // nothing ever written
+  try {
+    (void)link.framed.recv(/*timeoutMs=*/50.0);
+    FAIL() << "expected serve::Error";
+  } catch (const serve::Error& e) {
+    EXPECT_EQ(e.stage(), serve::Stage::Peer);
+    EXPECT_NE(e.cause().find("unresponsive"), std::string::npos);
+  }
+}
+
+TEST(ShardTransport, WriteAfterPeerClosedThrows) {
+  auto [a, b] = makeLoopbackPair();
+  FramedTransport sender(std::move(a));
+  b->close();
+  EXPECT_THROW(sender.send(FrameType::kHello, "x"), serve::Error);
+}
+
+// Fuzz: single-byte corruptions of a valid two-frame byte stream must
+// either decode (corruption hit a spot the receiver cannot distinguish,
+// e.g. producing another internally-consistent frame — the checksum
+// makes that impossible for payload bytes) or fail with a serve::Error.
+// Never any other exception, never a hang (the recv timeout bounds the
+// wait), never a wrong-payload success.
+TEST(ShardTransport, FuzzedCorruptionNeverCrashes) {
+  const std::string one =
+      FramedTransport::encodeFrame(FrameType::kStats, "first payload");
+  const std::string two =
+      FramedTransport::encodeFrame(FrameType::kEpoch, "second-payload!");
+  const std::string clean = one + two;
+  std::mt19937_64 rng(20260808);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string bytes = clean;
+    const std::size_t at = rng() % bytes.size();
+    const char flip = static_cast<char>(1 + rng() % 255);
+    bytes[at] = static_cast<char>(bytes[at] ^ flip);
+
+    RawToFramed link;
+    link.raw->writeAll(bytes.data(), bytes.size());
+    link.raw->close();
+    int delivered = 0;
+    try {
+      for (;;) {
+        const Frame frame = link.framed.recv(/*timeoutMs=*/2000.0);
+        // Whatever got through intact must be one of the two originals.
+        EXPECT_TRUE(frame.payload == "first payload" ||
+                    frame.payload == "second-payload!")
+            << "corrupt payload delivered at offset " << at;
+        ++delivered;
+      }
+    } catch (const serve::Error&) {
+      // Expected for most corruptions (including the end-of-stream
+      // Peer error once both frames drained).
+    }
+    EXPECT_LE(delivered, 2);
+  }
+}
+
+}  // namespace
+}  // namespace hbn::shard

@@ -1,0 +1,150 @@
+// Regression tests for RequestStream::skip — the checkpoint-restore
+// fast-forward. The seekable generator streams must reposition in
+// O(workload::kStreamReseedBlock) instead of replaying the whole served
+// prefix, and skipping must land on exactly the same continuation as
+// consuming: skip(N) followed by fill() yields the events a fresh
+// stream yields after N fill()ed events.
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hbn/net/generators.h"
+#include "hbn/serve/request_stream.h"
+#include "hbn/util/timer.h"
+#include "hbn/workload/generators.h"
+
+namespace hbn::serve {
+namespace {
+
+net::Tree testTree() { return net::makeClusterNetwork(4, 4); }
+
+std::unique_ptr<RequestStream> makeStream(const std::string& profile,
+                                          std::uint64_t total) {
+  workload::StreamParams params;
+  params.numObjects = 128;
+  return makeGeneratedStream(profile, testTree(), params, /*seed=*/42,
+                             total);
+}
+
+std::vector<RequestEvent> consume(RequestStream& stream, std::size_t n) {
+  std::vector<RequestEvent> out(n);
+  std::size_t have = 0;
+  while (have < n) {
+    const std::size_t got = stream.fill(
+        std::span<RequestEvent>(out.data() + have, n - have));
+    if (got == 0) break;
+    have += got;
+  }
+  out.resize(have);
+  return out;
+}
+
+bool sameEvents(const std::vector<RequestEvent>& a,
+                const std::vector<RequestEvent>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].object != b[i].object || a[i].origin != b[i].origin ||
+        a[i].isWrite != b[i].isWrite) {
+      return false;
+    }
+  }
+  return true;
+}
+
+constexpr const char* kProfiles[] = {"skewed", "bursty", "diurnal",
+                                     "phase-shift"};
+
+// skip(N) must land on the same continuation as consuming N events, for
+// every generated profile and for skip distances on both sides of the
+// re-seed block boundary (inside one block, exactly one block, and
+// spanning several).
+TEST(StreamSkip, SkipMatchesConsumeAcrossProfiles) {
+  constexpr std::uint64_t kTotal = 4 * workload::kStreamReseedBlock + 500;
+  const std::uint64_t distances[] = {
+      1, 100, workload::kStreamReseedBlock - 1,
+      workload::kStreamReseedBlock,
+      2 * workload::kStreamReseedBlock + 77};
+  for (const char* profile : kProfiles) {
+    for (const std::uint64_t distance : distances) {
+      auto reference = makeStream(profile, kTotal);
+      (void)consume(*reference, static_cast<std::size_t>(distance));
+      const std::vector<RequestEvent> expected = consume(*reference, 256);
+
+      auto skipped = makeStream(profile, kTotal);
+      skipped->skip(distance);
+      const std::vector<RequestEvent> actual = consume(*skipped, 256);
+      EXPECT_TRUE(sameEvents(expected, actual))
+          << profile << " diverged after skip(" << distance << ")";
+    }
+  }
+}
+
+// Chained skips must compose exactly like one big skip (a resumed run
+// that checkpoints again re-skips from its new cursor).
+TEST(StreamSkip, SkipsCompose) {
+  constexpr std::uint64_t kTotal = 3 * workload::kStreamReseedBlock;
+  for (const char* profile : kProfiles) {
+    auto once = makeStream(profile, kTotal);
+    once->skip(workload::kStreamReseedBlock + 123);
+    auto twice = makeStream(profile, kTotal);
+    twice->skip(1000);
+    twice->skip(workload::kStreamReseedBlock - 877);
+    EXPECT_TRUE(sameEvents(consume(*once, 128), consume(*twice, 128)))
+        << profile;
+  }
+}
+
+// The whole point of the fast-forward: skipping a hundred-billion-event
+// prefix must cost O(kStreamReseedBlock), not O(prefix). The wall-clock
+// bound is generous (a replaying implementation would need hours).
+TEST(StreamSkip, HugeSkipIsFastForward) {
+  constexpr std::uint64_t kTotal = 1ULL << 40;
+  for (const char* profile : kProfiles) {
+    auto stream = makeStream(profile, kTotal);
+    util::Timer timer;
+    stream->skip(kTotal - 64);
+    EXPECT_LT(timer.millis(), 5000.0) << profile;
+    EXPECT_EQ(consume(*stream, 128).size(), 64u) << profile;
+  }
+}
+
+// Sources without random access (VectorStream) fall back to the base
+// O(count) replay and must produce the identical continuation.
+TEST(StreamSkip, DefaultPathReplaysVectorStream) {
+  std::vector<RequestEvent> events;
+  for (int i = 0; i < 10000; ++i) {
+    events.push_back({i % 128, i % 16, i % 3 == 0});
+  }
+  VectorStream skipped(events);
+  skipped.skip(7777);
+  VectorStream reference(events);
+  (void)consume(reference, 7777);
+  EXPECT_TRUE(sameEvents(consume(reference, 512), consume(skipped, 512)));
+}
+
+// A skip past the end means the checkpoint claims more progress than
+// the stream holds — both the fast-forward and the replay path must
+// refuse rather than resume silently misaligned.
+TEST(StreamSkip, SkipPastEndThrows) {
+  auto generated = makeStream("skewed", 1000);
+  EXPECT_THROW(generated->skip(1001), std::runtime_error);
+
+  VectorStream vector(std::vector<RequestEvent>(100, {0, 0, false}));
+  EXPECT_THROW(vector.skip(101), std::runtime_error);
+}
+
+// skipRequests is the serve-layer entry point checkpoint restore uses;
+// it must delegate to the override.
+TEST(StreamSkip, SkipRequestsDelegates) {
+  auto reference = makeStream("diurnal", 100000);
+  (void)consume(*reference, 60000);
+  auto skipped = makeStream("diurnal", 100000);
+  skipRequests(*skipped, 60000);
+  EXPECT_TRUE(sameEvents(consume(*reference, 100), consume(*skipped, 100)));
+}
+
+}  // namespace
+}  // namespace hbn::serve

@@ -37,6 +37,9 @@
 #include "hbn/serve/epoch_server.h"
 #include "hbn/serve/error.h"
 #include "hbn/serve/request_stream.h"
+#include "hbn/shard/coordinator.h"
+#include "hbn/shard/partition.h"
+#include "hbn/shard/process.h"
 #include "hbn/util/fault.h"
 #include "hbn/util/json.h"
 #include "hbn/util/stats.h"
@@ -71,6 +74,9 @@ struct ServeCli {
   std::string inject;           ///< comma-joined fault specs
   double stallTimeout = 0.0;    ///< ingest watchdog ms; 0 = wait forever
   std::uint64_t handoffRetries = 3;
+  int workers = 0;              ///< sharded workers; 0 = single-process
+  std::string transport = "loopback";  ///< loopback | socket
+  std::string partition = "hash";      ///< hash | range
   hbn::engine::CliOptions shared;
 };
 
@@ -176,6 +182,21 @@ ServeCli parseServeCli(int argc, char** argv) {
     } else if (arg == "--handoff-retries") {
       cli.handoffRetries =
           hbn::engine::parseUintFlag(arg, value(arg), kMaxInt);
+    } else if (arg == "--workers" || arg.rfind("--workers=", 0) == 0) {
+      const std::string text =
+          arg == "--workers" ? value(arg) : arg.substr(10);
+      cli.workers = static_cast<int>(
+          hbn::engine::parseUintFlag("--workers", text, kMaxInt));
+    } else if (arg == "--transport" || arg.rfind("--transport=", 0) == 0) {
+      cli.transport = arg == "--transport" ? value(arg) : arg.substr(12);
+      if (cli.transport != "loopback" && cli.transport != "socket") {
+        throw std::invalid_argument(
+            "--transport expects loopback|socket, got '" + cli.transport +
+            "'");
+      }
+    } else if (arg == "--partition" || arg.rfind("--partition=", 0) == 0) {
+      cli.partition = arg == "--partition" ? value(arg) : arg.substr(12);
+      (void)hbn::shard::parsePartitionKind(cli.partition);  // validate
     } else {
       rest.push_back(argv[i]);
     }
@@ -236,14 +257,25 @@ void printUsage(std::ostream& os) {
         "                    0 waits forever (default)\n"
         "  --handoff-retries N  retries before a failed handoff\n"
         "                    publication aborts the run (default 3)\n"
+        "  --workers N       shard the object space over N workers and\n"
+        "                    serve through the coordinator/worker protocol\n"
+        "                    (docs/sharding.md); 0 = single-process engine\n"
+        "                    (default). Bit-identical loads and ratio for\n"
+        "                    any N. Incompatible with --checkpoint-dir,\n"
+        "                    --restore and --inject.\n"
+        "  --transport T     worker transport: loopback (in-process\n"
+        "                    threads) | socket (fork+exec'd processes over\n"
+        "                    Unix sockets); default loopback\n"
+        "  --partition P     object partition: hash (seeded stable hash) |\n"
+        "                    range (contiguous blocks); default hash\n"
         "  --json FILE       also write the serve report as JSON records\n"
         "  --threads N       worker threads (0 = all cores)\n"
         "  --seed N          stream RNG seed\n"
         "  --help            show this text\n"
         "\n"
         "exit codes: 0 ok, 1 error, 2 usage/bad input; stage failures:\n"
-        "  10 ingest, 11 serve, 12 handoff, 13 checkpoint, 14 restore\n"
-        "  (see docs/robustness.md)\n"
+        "  10 ingest, 11 serve, 12 handoff, 13 checkpoint, 14 restore,\n"
+        "  15 connect, 16 frame, 17 peer (see docs/robustness.md)\n"
         "\n"
         "policies:\n"
      << hbn::dynamic::OnlinePolicyRegistry::global().helpText();
@@ -261,6 +293,12 @@ std::string readFile(const std::string& path) {
 
 int main(int argc, char** argv) {
   using namespace hbn;
+  // Worker mode: when spawned by an exec cluster with
+  // --shard-worker-fd=K this process IS a shard worker; it speaks the
+  // wire protocol over fd K and exits with the stage code on failure.
+  if (const int code = shard::maybeRunWorkerMain(argc, argv); code >= 0) {
+    return code;
+  }
   try {
     const ServeCli cli = parseServeCli(argc, argv);
     if (cli.shared.help) {
@@ -285,6 +323,14 @@ int main(int argc, char** argv) {
       throw std::invalid_argument(
           "--threshold is shorthand for tree-counters; pass "
           "--policy tree-counters:threshold=D instead of combining them");
+    }
+    if (cli.workers > 0 &&
+        (!cli.checkpointDir.empty() || !cli.restoreDir.empty() ||
+         !cli.inject.empty())) {
+      throw std::invalid_argument(
+          "--workers is incompatible with --checkpoint-dir/--restore/"
+          "--inject: checkpointing and fault injection are single-process "
+          "features (see docs/sharding.md)");
     }
     // When resuming, load the snapshot before anything else: it decides
     // the policy (absent --policy/--threshold) and the object count for
@@ -345,6 +391,162 @@ int main(int argc, char** argv) {
     options.stallTimeoutMs = cli.stallTimeout;
     options.handoffRetries = static_cast<int>(cli.handoffRetries);
     options.faults = util::makeFaultInjector(cli.inject);
+
+    if (cli.workers > 0) {
+      // Sharded mode: fan the stream out over a worker cluster through
+      // the coordinator/worker wire protocol (docs/sharding.md). The
+      // merged loads and ratio are bit-identical to the single-process
+      // engine below for any worker count.
+      shard::ShardOptions sharded;
+      sharded.serve = options;
+      sharded.partition = shard::parsePartitionKind(cli.partition);
+      sharded.partitionSeed = seed;
+      sharded.peerTimeoutMs = cli.stallTimeout;
+      std::unique_ptr<shard::ShardCluster> cluster =
+          cli.transport == "loopback"
+              ? shard::makeLoopbackCluster(cli.workers)
+              : shard::makeExecCluster(cli.workers);
+      shard::ShardCoordinator coordinator(tree, numObjects, sharded,
+                                          cluster->links(), cli.transport);
+
+      std::cout << "serving "
+                << (cli.trace.empty() ? "stream '" + cli.stream + "'"
+                                      : "trace " + cli.trace)
+                << " over " << tree.processorCount() << " processors, "
+                << numObjects << " objects, " << cli.workers
+                << " shard workers (policy=" << policySpec
+                << ", transport=" << cli.transport
+                << ", partition=" << cli.partition
+                << ", epoch=" << cli.epoch << ", seed=" << seed
+                << ", drift=" << cli.drift << ")\n\n";
+
+      const shard::ShardedReport report = coordinator.serve(*stream);
+      cluster->join();
+
+      util::Table epochs({"epoch", "requests", "ms", "congestion",
+                          "lower bound", "ratio", "re-placed", "degraded"});
+      const std::size_t logSize = coordinator.epochLog().size();
+      for (std::size_t i = 0; i < logSize; ++i) {
+        if (logSize > 12 && i == 6) {
+          epochs.addRow(
+              {"...", "...", "...", "...", "...", "...", "...", "..."});
+        }
+        if (logSize > 12 && i >= 6 && i + 6 < logSize) continue;
+        const serve::EpochRecord& r = coordinator.epochLog()[i];
+        epochs.addRow({std::to_string(r.index), std::to_string(r.requests),
+                       util::formatDouble(r.wallMs, 1),
+                       util::formatDouble(r.congestion, 1),
+                       util::formatDouble(r.lowerBound, 1),
+                       util::formatDouble(r.ratio, 2),
+                       r.replaced ? "yes" : "", r.degraded ? "yes" : ""});
+      }
+      epochs.print(std::cout);
+
+      util::Table shardsTable({"shard", "requests", "busy ms",
+                               "replications", "invalidations", "bytes in",
+                               "bytes out"});
+      for (const shard::ShardBreakdown& b : report.shards) {
+        shardsTable.addRow(
+            {std::to_string(b.shard), std::to_string(b.requests),
+             util::formatDouble(b.busyMs, 1), std::to_string(b.replications),
+             std::to_string(b.invalidations),
+             std::to_string(b.bytesToWorker),
+             std::to_string(b.bytesFromWorker)});
+      }
+      std::cout << "\n";
+      shardsTable.print(std::cout);
+
+      std::cout << "\nserved " << report.totalRequests << " requests in "
+                << report.epochs << " epochs, "
+                << util::formatDouble(report.wallMs, 1) << " ms ("
+                << util::formatDouble(report.requestsPerSec / 1e6, 2)
+                << " M req/s wall, "
+                << util::formatDouble(report.requestsPerSecCritical / 1e6, 2)
+                << " M req/s critical-path)\n"
+                << "epoch latency p50/p99/p999: "
+                << util::formatDouble(report.epochMsP50, 2) << " / "
+                << util::formatDouble(report.epochMsP99, 2) << " / "
+                << util::formatDouble(report.epochMsP999, 2) << " ms\n"
+                << "congestion " << util::formatDouble(report.congestion, 1)
+                << " vs offline lower bound "
+                << util::formatDouble(report.lowerBound, 1) << " — ratio "
+                << util::formatDouble(report.ratio, 2) << "\n"
+                << report.replacements << " re-placements, "
+                << report.replications << " replications, "
+                << report.invalidations << " invalidations\n"
+                << "cross-shard traffic " << report.crossShardBytes
+                << " bytes ("
+                << util::formatDouble(report.bytesPerRequest, 1)
+                << " bytes/request)\n";
+
+      if (!cli.jsonOut.empty()) {
+        util::JsonRecords records;
+        for (const serve::EpochRecord& r : coordinator.epochLog()) {
+          records.beginRecord();
+          records.field("kind", "epoch");
+          records.field("epoch", static_cast<std::int64_t>(r.index));
+          records.field("requests", static_cast<std::int64_t>(r.requests));
+          records.field("wall_ms", r.wallMs);
+          records.field("congestion", r.congestion);
+          records.field("lower_bound", r.lowerBound);
+          records.field("ratio", r.ratio);
+          records.field("replaced", r.replaced);
+          records.field("degraded", r.degraded);
+        }
+        for (const shard::ShardBreakdown& b : report.shards) {
+          records.beginRecord();
+          records.field("kind", "shard");
+          records.field("shard", static_cast<std::int64_t>(b.shard));
+          records.field("requests", static_cast<std::int64_t>(b.requests));
+          records.field("busy_ms", b.busyMs);
+          records.field("replications",
+                        static_cast<std::int64_t>(b.replications));
+          records.field("invalidations",
+                        static_cast<std::int64_t>(b.invalidations));
+          records.field("bytes_to_worker",
+                        static_cast<std::int64_t>(b.bytesToWorker));
+          records.field("bytes_from_worker",
+                        static_cast<std::int64_t>(b.bytesFromWorker));
+          for (const auto& [key, value] : b.policyMetrics) {
+            records.field(key, value);
+          }
+        }
+        records.beginRecord();
+        records.field("kind", "summary");
+        records.field("policy", report.policy);
+        records.field("transport", report.transport);
+        records.field("partition", report.partition);
+        records.field("workers", static_cast<std::int64_t>(report.workers));
+        records.field("requests",
+                      static_cast<std::int64_t>(report.totalRequests));
+        records.field("epochs", static_cast<std::int64_t>(report.epochs));
+        records.field("wall_ms", report.wallMs);
+        records.field("requests_per_sec", report.requestsPerSec);
+        records.field("critical_path_ms", report.criticalPathMs);
+        records.field("requests_per_sec_critical",
+                      report.requestsPerSecCritical);
+        records.field("epoch_ms_p50", report.epochMsP50);
+        records.field("epoch_ms_p99", report.epochMsP99);
+        records.field("epoch_ms_p999", report.epochMsP999);
+        records.field("congestion", report.congestion);
+        records.field("lower_bound", report.lowerBound);
+        records.field("ratio", report.ratio);
+        records.field("replacements",
+                      static_cast<std::int64_t>(report.replacements));
+        records.field("replications",
+                      static_cast<std::int64_t>(report.replications));
+        records.field("invalidations",
+                      static_cast<std::int64_t>(report.invalidations));
+        records.field("cross_shard_bytes",
+                      static_cast<std::int64_t>(report.crossShardBytes));
+        records.field("bytes_per_request", report.bytesPerRequest);
+        records.field("seed", static_cast<std::int64_t>(seed));
+        records.writeFile(cli.jsonOut);
+        std::cout << "wrote " << cli.jsonOut << "\n";
+      }
+      return 0;
+    }
+
     serve::EpochServer server(rooted, numObjects, options);
 
     if (restored) {
